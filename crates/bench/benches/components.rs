@@ -1,0 +1,122 @@
+//! Component microbenchmarks: the substrate operations every experiment is
+//! built from — sparse solves, stamping, convolution kernels, feature
+//! extraction. These are the ablation knobs DESIGN.md calls out (solver
+//! choice, preconditioner, conv cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_bench::{bench_grid, bench_vector};
+use pdn_grid::design::DesignPreset;
+use pdn_grid::stamp;
+use pdn_nn::conv::{Conv2d, Padding};
+use pdn_nn::deconv::ConvTranspose2d;
+use pdn_nn::layer::Layer;
+use pdn_nn::tensor::Tensor;
+use pdn_sparse::cg::{self, CgOptions, IdentityPreconditioner, JacobiPreconditioner};
+use pdn_sparse::cholesky::SparseCholesky;
+use pdn_sparse::ichol::IncompleteCholesky;
+use pdn_sparse::mindeg::minimum_degree;
+use pdn_sparse::ordering::reverse_cuthill_mckee;
+
+fn bench_sparse_solvers(c: &mut Criterion) {
+    let grid = bench_grid(DesignPreset::D4);
+    let mut coo = stamp::conductance_coo(&grid);
+    for b in grid.bumps() {
+        coo.push(b.node.index(), b.node.index(), 1.0 / b.resistance.0);
+    }
+    let a = coo.to_csr();
+    let rhs: Vec<f64> = (0..a.n_rows()).map(|i| ((i % 7) as f64 - 3.0) * 1e-3).collect();
+    let opts = CgOptions { tolerance: 1e-8, max_iterations: 20_000 };
+
+    let mut group = c.benchmark_group("components_sparse");
+    group.sample_size(10);
+    group.bench_function("ic0_factorization", |b| {
+        b.iter(|| IncompleteCholesky::factor(&a).expect("spd"))
+    });
+    let ic0 = IncompleteCholesky::factor(&a).expect("spd");
+    let jacobi = JacobiPreconditioner::new(&a).expect("spd");
+    group.bench_function("cg_ic0", |b| b.iter(|| cg::solve(&a, &rhs, &ic0, &opts).expect("ok")));
+    group.bench_function("cg_jacobi", |b| {
+        b.iter(|| cg::solve(&a, &rhs, &jacobi, &opts).expect("ok"))
+    });
+    group.bench_function("cg_identity", |b| {
+        b.iter(|| cg::solve(&a, &rhs, &IdentityPreconditioner, &opts).expect("ok"))
+    });
+    let x = vec![1.0; a.n_cols()];
+    group.bench_function("spmv", |b| b.iter(|| a.mul_vec(&x)));
+    // Fill-reducing orderings ahead of the direct factorization.
+    group.bench_function("ordering_rcm", |b| b.iter(|| reverse_cuthill_mckee(&a)));
+    group.bench_function("ordering_mindeg", |b| b.iter(|| minimum_degree(&a)));
+    let rcm_fill =
+        SparseCholesky::factor(&a.permute_symmetric(&reverse_cuthill_mckee(&a))).expect("spd").nnz();
+    let md_fill =
+        SparseCholesky::factor(&a.permute_symmetric(&minimum_degree(&a))).expect("spd").nnz();
+    println!("\ndirect-factor fill-in: rcm {rcm_fill} nnz, min-degree {md_fill} nnz");
+    group.finish();
+}
+
+fn bench_transient_solver_choice(c: &mut Criterion) {
+    // The repeated-solve trade-off of paper §2: direct factorization vs
+    // warm-started iterative CG over a full transient run.
+    use pdn_sim::transient::{SolverKind, TransientSimulator};
+    let grid = bench_grid(DesignPreset::D4);
+    let vector = bench_vector(&grid, 60);
+    let cg_sim = TransientSimulator::new(&grid).expect("cg");
+    let direct_sim =
+        TransientSimulator::with_solver(&grid, SolverKind::DirectCholesky).expect("direct");
+    let mut group = c.benchmark_group("components_transient_solver");
+    group.sample_size(10);
+    group.bench_function("iterative_cg", |b| {
+        b.iter(|| cg_sim.run_with(&vector, |_, _| {}).expect("run"))
+    });
+    group.bench_function("direct_cholesky", |b| {
+        b.iter(|| direct_sim.run_with(&vector, |_, _| {}).expect("run"))
+    });
+    group.bench_function("direct_factorization_setup", |b| {
+        b.iter(|| TransientSimulator::with_solver(&grid, SolverKind::DirectCholesky).expect("ok"))
+    });
+    group.finish();
+}
+
+fn bench_stamping_and_features(c: &mut Criterion) {
+    let grid = bench_grid(DesignPreset::D4);
+    let vector = bench_vector(&grid, 60);
+    let mut group = c.benchmark_group("components_features");
+    group.bench_function("stamp_conductance", |b| b.iter(|| stamp::conductance_coo(&grid)));
+    group.bench_function("tile_current_maps", |b| {
+        b.iter(|| pdn_compress::spatial::tile_current_maps(&grid, &vector))
+    });
+    group.bench_function("distance_tensor", |b| {
+        b.iter(|| pdn_features::distance::distance_tensor(&grid))
+    });
+    group.finish();
+}
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components_conv");
+    for size in [24usize, 48] {
+        let x = Tensor::filled(&[8, size, size], 0.5);
+        let mut conv = Conv2d::new(8, 8, 3, 1, Padding::Replication, 1);
+        group.bench_with_input(BenchmarkId::new("conv3x3_fwd", size), &x, |b, x| {
+            b.iter(|| conv.forward(x))
+        });
+        let y = conv.forward(&x);
+        group.bench_with_input(BenchmarkId::new("conv3x3_bwd", size), &y, |b, y| {
+            b.iter(|| conv.backward(y))
+        });
+        let xe = Tensor::filled(&[8, size / 2, size / 2], 0.5);
+        let mut deconv = ConvTranspose2d::new(8, 8, 4, 2, 1, 2);
+        group.bench_with_input(BenchmarkId::new("deconv4x4_fwd", size), &xe, |b, x| {
+            b.iter(|| deconv.forward(x))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_solvers,
+    bench_transient_solver_choice,
+    bench_stamping_and_features,
+    bench_conv_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 4 bench: producing the whole-die predicted noise map for D1–D3 —
+//! the "one-time execution" claim of the paper (no region-by-region
+//! scanning). Prints the regenerated panels (bench scale) once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::{bench_evaluated, bench_vector};
+use pdn_eval::experiments::fig4;
+use pdn_grid::design::DesignPreset;
+
+fn bench_noise_map_prediction(c: &mut Criterion) {
+    let mut evals: Vec<_> = [DesignPreset::D1, DesignPreset::D2, DesignPreset::D3]
+        .iter()
+        .map(|p| bench_evaluated(*p))
+        .collect();
+    {
+        let refs: Vec<&_> = evals.iter().collect();
+        println!("\nFig. 4 (bench scale):\n{}", fig4::run(&refs));
+    }
+
+    let mut group = c.benchmark_group("fig4_noise_map_prediction");
+    group.sample_size(10);
+    for eval in &mut evals {
+        let name = eval.prepared.preset.name();
+        let grid = eval.prepared.grid.clone();
+        let vector = bench_vector(&grid, 60);
+        group.bench_function(name, |b| b.iter(|| eval.predictor.predict(&grid, &vector)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise_map_prediction);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 5 bench: the error-analysis post-processing on D4 — per-tile
+//! RE maps, histograms and the hotspot metrics. Prints the regenerated
+//! Fig. 5 summary (bench scale) once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::bench_evaluated;
+use pdn_eval::experiments::fig5;
+use pdn_eval::metrics::{pooled_auc, pooled_error_stats, pooled_missing_rate};
+use pdn_grid::design::DesignPreset;
+
+fn bench_error_analysis(c: &mut Criterion) {
+    let eval = bench_evaluated(DesignPreset::D4);
+    let fig = fig5::run(&eval);
+    println!("\nFig. 5 (bench scale):\n{fig}");
+
+    let thr = eval.prepared.grid.spec().hotspot_threshold();
+    let pairs = eval.test_pairs.clone();
+    let mut group = c.benchmark_group("fig5_error_analysis");
+    group.bench_function("re_histogram_and_maps", |b| b.iter(|| fig5::run(&eval)));
+    group.bench_function("pooled_error_stats", |b| b.iter(|| pooled_error_stats(&pairs)));
+    group.bench_function("hotspot_auc", |b| b.iter(|| pooled_auc(&pairs, thr)));
+    group.bench_function("missing_rate", |b| b.iter(|| pooled_missing_rate(&pairs, thr)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_error_analysis);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 6 bench: temporal compression — Algorithm 1's own cost (optimized
+//! vs literal reference implementation) and the inference cost as a
+//! function of the compression rate (Fig. 6b's near-linear curve).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdn_bench::{bench_evaluated, bench_vector};
+use pdn_compress::temporal::TemporalCompressor;
+use pdn_core::rng;
+use pdn_grid::design::DesignPreset;
+use rand::Rng as _;
+
+fn bursty_totals(n: usize) -> Vec<f64> {
+    let mut rng = rng::seeded(42);
+    (0..n)
+        .map(|_| if rng.gen_bool(0.15) { rng.gen_range(5.0..10.0) } else { rng.gen_range(0.0..1.0) })
+        .collect()
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_algorithm1");
+    for n in [300usize, 3000] {
+        let totals = bursty_totals(n);
+        let comp = TemporalCompressor::new(0.3, 0.05).expect("valid");
+        group.bench_with_input(BenchmarkId::new("optimized", n), &totals, |b, t| {
+            b.iter(|| comp.compress(t))
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &totals, |b, t| {
+            b.iter(|| comp.compress_reference(t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference_vs_rate(c: &mut Criterion) {
+    let mut eval = bench_evaluated(DesignPreset::D1);
+    let grid = eval.prepared.grid.clone();
+    let vector = bench_vector(&grid, 60);
+    let mut group = c.benchmark_group("fig6_inference_vs_rate");
+    group.sample_size(10);
+    for rate in [0.1, 0.3, 0.6, 1.0] {
+        // Swap the predictor's compressor for each rate.
+        let cfg = pdn_bench::bench_config();
+        let compressor = TemporalCompressor::new(rate, cfg.rate_step).expect("valid");
+        let mut predictor = pdn_model::model::Predictor::new(
+            std::mem::replace(
+                eval.predictor.model_mut(),
+                pdn_model::model::WnvModel::new(grid.bumps().len(), cfg.model, 0),
+            ),
+            &eval.dataset,
+            Some(compressor),
+        );
+        group.bench_function(format!("rate_{rate}"), |b| {
+            b.iter(|| predictor.predict(&grid, &vector))
+        });
+        // Put the trained model back for the next rate.
+        *eval.predictor.model_mut() = std::mem::replace(
+            predictor.model_mut(),
+            pdn_model::model::WnvModel::new(grid.bumps().len(), cfg.model, 0),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_inference_vs_rate);
+criterion_main!(benches);

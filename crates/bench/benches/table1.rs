@@ -1,0 +1,36 @@
+//! Table 1 bench: the ground-truth WNV simulation per design — the
+//! operation whose cost motivates the whole paper. Prints the regenerated
+//! Table 1 (bench scale) once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::{bench_config, bench_grid, bench_vector};
+use pdn_eval::experiments::table1;
+use pdn_eval::harness::PreparedDesign;
+use pdn_grid::design::DesignPreset;
+use pdn_sim::wnv::WnvRunner;
+
+fn bench_wnv_simulation(c: &mut Criterion) {
+    // Regenerate the table once so the artifact appears in the bench log.
+    let cfg = bench_config();
+    let prepared: Vec<PreparedDesign> = DesignPreset::ALL
+        .iter()
+        .map(|p| PreparedDesign::prepare(*p, &cfg).expect("prepare"))
+        .collect();
+    let refs: Vec<&PreparedDesign> = prepared.iter().collect();
+    println!("\nTable 1 (bench scale):\n{}", table1::run(&refs));
+
+    let mut group = c.benchmark_group("table1_wnv_simulation");
+    group.sample_size(10);
+    for preset in DesignPreset::ALL {
+        let grid = bench_grid(preset);
+        let runner = WnvRunner::new(&grid).expect("runner");
+        let vector = bench_vector(&grid, 60);
+        group.bench_function(preset.name(), |b| {
+            b.iter(|| runner.run(&vector).expect("simulate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wnv_simulation);
+criterion_main!(benches);

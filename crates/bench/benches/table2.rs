@@ -1,0 +1,32 @@
+//! Table 2 bench: simulator vs proposed-framework runtime per vector —
+//! the speedup measurement of the paper's headline claim. Prints the
+//! regenerated Table 2 (bench scale) once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::{bench_evaluated, bench_vector};
+use pdn_eval::experiments::table2;
+use pdn_grid::design::DesignPreset;
+use pdn_sim::wnv::WnvRunner;
+
+fn bench_simulator_vs_predictor(c: &mut Criterion) {
+    // Train on D1 at bench scale, print its Table 2 row.
+    let mut eval = bench_evaluated(DesignPreset::D1);
+    println!("\nTable 2 (bench scale, D1):\n{}", table2::run(&[&eval]));
+
+    let vector = bench_vector(&eval.prepared.grid, 60);
+    let runner = WnvRunner::new(&eval.prepared.grid).expect("runner");
+
+    let mut group = c.benchmark_group("table2_runtime_per_vector");
+    group.sample_size(10);
+    group.bench_function("commercial_simulator", |b| {
+        b.iter(|| runner.run(&vector).expect("simulate"))
+    });
+    let grid = eval.prepared.grid.clone();
+    group.bench_function("proposed_framework", |b| {
+        b.iter(|| eval.predictor.predict(&grid, &vector))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator_vs_predictor);
+criterion_main!(benches);

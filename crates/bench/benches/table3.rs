@@ -1,0 +1,44 @@
+//! Table 3 bench: whole-map inference runtime of the proposed model vs the
+//! PowerNet baseline (the "runtime (s)" column). Prints the regenerated
+//! Table 3 (bench scale) once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdn_bench::bench_evaluated;
+use pdn_eval::experiments::table3;
+use pdn_grid::design::DesignPreset;
+use pdn_powernet::model::PowerNetTrainConfig;
+use pdn_powernet::{PowerNet, PowerNetConfig, PowerNetDataset};
+
+fn bench_ours_vs_powernet(c: &mut Criterion) {
+    let mut eval = bench_evaluated(DesignPreset::D4);
+    let pn_cfg = PowerNetConfig { time_windows: 5, window: 7, channels: 4, seed: 1 };
+    let pn_train = PowerNetTrainConfig {
+        epochs: 3,
+        tiles_per_epoch: 300,
+        batch_size: 16,
+        learning_rate: 2e-3,
+        seed: 2,
+    };
+    println!("\nTable 3 (bench scale, D4):\n{}", table3::run(&eval, &pn_cfg, &pn_train));
+
+    // Benchmark the two inference paths on the same test sample.
+    let ds = PowerNetDataset::build(
+        &eval.prepared.grid,
+        &eval.prepared.vectors,
+        &eval.prepared.reports,
+        &pn_cfg,
+    );
+    let net = PowerNet::new(pn_cfg);
+    let idx = eval.test_indices[0];
+    let grid = eval.prepared.grid.clone();
+    let vector = eval.prepared.vectors[idx].clone();
+
+    let mut group = c.benchmark_group("table3_whole_map_inference");
+    group.sample_size(10);
+    group.bench_function("powernet_tile_scan", |b| b.iter(|| net.predict_sample(&ds, idx)));
+    group.bench_function("ours_one_pass", |b| b.iter(|| eval.predictor.predict(&grid, &vector)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_ours_vs_powernet);
+criterion_main!(benches);

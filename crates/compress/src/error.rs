@@ -1,0 +1,49 @@
+//! Error types for the compression stage.
+
+use std::fmt;
+
+/// Result alias for compression operations.
+pub type CompressResult<T> = std::result::Result<T, CompressError>;
+
+/// Errors produced by compression configuration or inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// The compression rate must lie in `(0, 1]`.
+    InvalidRate {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// The rate sweep step must be positive.
+    InvalidRateStep {
+        /// The offending step.
+        step: f64,
+    },
+    /// The input sequence was empty.
+    EmptyInput,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::InvalidRate { rate } => {
+                write!(f, "compression rate must be in (0, 1], got {rate}")
+            }
+            CompressError::InvalidRateStep { step } => {
+                write!(f, "rate step must be positive, got {step}")
+            }
+            CompressError::EmptyInput => write!(f, "cannot compress an empty sequence"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CompressError::InvalidRate { rate: 2.0 }.to_string().contains("got 2"));
+    }
+}

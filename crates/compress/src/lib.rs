@@ -1,0 +1,31 @@
+//! Spatial and temporal compression (paper §3.2).
+//!
+//! The framework's scalability comes from two reductions applied before any
+//! learning:
+//!
+//! * **Spatial** ([`spatial`]): instance currents are summed per layout tile,
+//!   turning millions of per-node quantities into `m × n` maps (Eq. (2));
+//! * **Temporal** ([`temporal`]): Algorithm 1 discards time stamps with
+//!   moderate total current, keeping the fraction `r` of stamps — split
+//!   between the smallest and largest totals so that the `μ + 3σ` statistic
+//!   of the kept totals best matches the original trace.
+//!
+//! # Example
+//!
+//! ```
+//! use pdn_compress::temporal::TemporalCompressor;
+//!
+//! let totals: Vec<f64> = (0..100).map(|k| if k % 10 == 0 { 5.0 } else { 1.0 }).collect();
+//! let out = TemporalCompressor::new(0.3, 0.01).unwrap().compress(&totals);
+//! assert_eq!(out.kept.len(), 30);
+//! // The compressed μ+3σ tracks the original closely.
+//! assert!(out.statistic_error < 0.5);
+//! ```
+
+pub mod error;
+pub mod spatial;
+pub mod temporal;
+
+pub use error::{CompressError, CompressResult};
+pub use spatial::{load_tile_map, tile_current_maps};
+pub use temporal::{CompressionOutcome, TemporalCompressor};

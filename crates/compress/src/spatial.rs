@@ -1,0 +1,100 @@
+//! Spatial compression: instance currents → per-tile current maps.
+//!
+//! "When spatially compressing the PDN layout, the instance currents within
+//! a tile are summed up to compute the load current" (paper §3.3). These
+//! maps are both the `I[k]` inputs of Algorithm 1 and the current feature
+//! maps of the CNN.
+
+use pdn_core::map::TileMap;
+use pdn_grid::build::PowerGrid;
+use pdn_vectors::vector::TestVector;
+
+/// Aggregates one time stamp's per-load currents into an `m × n` tile map
+/// (amperes per tile).
+///
+/// # Panics
+///
+/// Panics if `currents.len()` differs from the grid's load count.
+///
+/// # Example
+///
+/// ```
+/// use pdn_grid::design::{DesignPreset, DesignScale};
+/// use pdn_compress::spatial::load_tile_map;
+///
+/// let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+/// let currents = vec![1e-3; grid.loads().len()];
+/// let map = load_tile_map(&grid, &currents);
+/// assert!((map.sum() - 1e-3 * grid.loads().len() as f64).abs() < 1e-12);
+/// ```
+pub fn load_tile_map(grid: &PowerGrid, currents: &[f64]) -> TileMap {
+    assert_eq!(currents.len(), grid.loads().len(), "current count must match load count");
+    let tiles = grid.tile_grid();
+    let mut map = TileMap::zeros(tiles.rows(), tiles.cols());
+    for (load, &i) in grid.loads().iter().zip(currents) {
+        map[load.tile] += i;
+    }
+    map
+}
+
+/// Converts a whole test vector into its sequence of tile current maps
+/// `{I[k]}`.
+///
+/// # Panics
+///
+/// Panics if the vector's load count differs from the grid's.
+pub fn tile_current_maps(grid: &PowerGrid, vector: &TestVector) -> Vec<TileMap> {
+    (0..vector.step_count()).map(|k| load_tile_map(grid, vector.step(k))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_grid::design::{DesignPreset, DesignScale};
+    use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+
+    fn grid() -> PowerGrid {
+        DesignPreset::D2.spec(DesignScale::Tiny).build(1).unwrap()
+    }
+
+    #[test]
+    fn map_conserves_total_current() {
+        let g = grid();
+        let gen = VectorGenerator::new(&g, GeneratorConfig { steps: 30, ..Default::default() });
+        let v = gen.generate(1);
+        let maps = tile_current_maps(&g, &v);
+        assert_eq!(maps.len(), 30);
+        for (k, m) in maps.iter().enumerate() {
+            assert!((m.sum() - v.total_at(k)).abs() < 1e-12, "step {k}");
+            assert!(m.min() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn current_lands_in_load_tiles() {
+        let g = grid();
+        let mut currents = vec![0.0; g.loads().len()];
+        currents[0] = 7e-3;
+        let map = load_tile_map(&g, &currents);
+        assert_eq!(map[g.loads()[0].tile], 7e-3);
+        assert!((map.sum() - 7e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq2_tiling_identity_for_maps() {
+        // max over all loads == max over tiles of per-tile max contribution
+        // when each tile holds at most the summed loads (here: totals).
+        let g = grid();
+        let currents: Vec<f64> = (0..g.loads().len()).map(|i| (i % 5) as f64 * 1e-3).collect();
+        let map = load_tile_map(&g, &currents);
+        // Sum of per-tile sums equals total.
+        assert!((map.sum() - currents.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "current count must match")]
+    fn wrong_length_panics() {
+        let g = grid();
+        let _ = load_tile_map(&g, &[1.0]);
+    }
+}

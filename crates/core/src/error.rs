@@ -1,0 +1,77 @@
+//! Error types for the foundation crate.
+
+use std::fmt;
+
+/// Convenient result alias used across `pdn-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors produced by foundation types.
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::map::TileMap;
+/// use pdn_core::CoreError;
+///
+/// let err = TileMap::from_vec(2, 3, vec![0.0; 5]).unwrap_err();
+/// assert!(matches!(err, CoreError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A buffer length did not match the requested shape.
+    ShapeMismatch {
+        /// Number of elements the shape implies.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// A dimension was zero where a non-empty extent is required.
+    EmptyDimension {
+        /// Human-readable name of the offending argument.
+        what: &'static str,
+    },
+    /// A numeric argument was outside its documented domain.
+    OutOfDomain {
+        /// Human-readable name of the offending argument.
+        what: &'static str,
+        /// The offending value, formatted by the caller.
+        value: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+            }
+            CoreError::EmptyDimension { what } => {
+                write!(f, "{what} must be non-zero")
+            }
+            CoreError::OutOfDomain { what, value } => {
+                write!(f, "{what} out of domain: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = CoreError::ShapeMismatch { expected: 4, actual: 5 };
+        let s = e.to_string();
+        assert!(s.starts_with("shape mismatch"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,335 @@
+//! Layout geometry: points, rectangles and the die tiling.
+//!
+//! All coordinates are in micrometres (µm). The [`TileGrid`] realizes the
+//! spatial compression of the paper's Eq. (2): the die is partitioned into an
+//! `m × n` array of tiles and every per-node quantity is aggregated per tile.
+
+use crate::error::{CoreError, Result};
+
+/// A point on the die, in micrometres.
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::geom::Point;
+/// let p = Point::new(3.0, 4.0);
+/// assert_eq!(p.distance_to(Point::new(0.0, 0.0)), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (µm).
+    pub x: f64,
+    /// Vertical coordinate (µm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance_to(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance (cheaper when only comparisons are needed).
+    pub fn distance_sq(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// An axis-aligned rectangle on the die, in micrometres.
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::geom::{Point, Rect};
+/// let r = Rect::new(0.0, 0.0, 10.0, 20.0);
+/// assert!(r.contains(Point::new(5.0, 5.0)));
+/// assert_eq!(r.center(), Point::new(5.0, 10.0));
+/// assert_eq!(r.area(), 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corners. Corners are normalized so that
+    /// `x0 <= x1` and `y0 <= y1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) * 0.5, (self.y0 + self.y1) * 0.5)
+    }
+
+    /// Whether the point lies inside (edges inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+}
+
+/// Index of a tile inside a [`TileGrid`]: `(row, col)` with row 0 at the
+/// bottom of the die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TileIndex {
+    /// Row (y direction).
+    pub row: usize,
+    /// Column (x direction).
+    pub col: usize,
+}
+
+impl TileIndex {
+    /// Creates a tile index.
+    pub fn new(row: usize, col: usize) -> TileIndex {
+        TileIndex { row, col }
+    }
+}
+
+/// Partition of the die into an `m × n` array of equal tiles.
+///
+/// This is the spatial-compression structure of the paper: instead of
+/// predicting a voltage for each of millions of nodes, every quantity is
+/// aggregated over tiles, reducing dimensions to `m × n` (paper §3.2).
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::geom::{Point, TileGrid, TileIndex};
+///
+/// let g = TileGrid::new(4, 5, 100.0, 80.0); // 4 rows x 5 cols
+/// assert_eq!(g.len(), 20);
+/// assert_eq!(g.tile_of(Point::new(0.0, 0.0)), TileIndex::new(0, 0));
+/// assert_eq!(g.tile_of(Point::new(99.9, 79.9)), TileIndex::new(3, 4));
+/// let c = g.tile_center(TileIndex::new(0, 0));
+/// assert_eq!((c.x, c.y), (10.0, 10.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileGrid {
+    rows: usize,
+    cols: usize,
+    die_width: f64,
+    die_height: f64,
+}
+
+impl TileGrid {
+    /// Creates a tiling with `rows × cols` tiles over a die of
+    /// `die_width × die_height` µm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or non-positive.
+    pub fn new(rows: usize, cols: usize, die_width: f64, die_height: f64) -> TileGrid {
+        assert!(rows > 0 && cols > 0, "tile grid must be non-empty");
+        assert!(
+            die_width > 0.0 && die_height > 0.0,
+            "die dimensions must be positive"
+        );
+        TileGrid { rows, cols, die_width, die_height }
+    }
+
+    /// Fallible constructor mirroring [`TileGrid::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyDimension`] for zero tile counts and
+    /// [`CoreError::OutOfDomain`] for non-positive die dimensions.
+    pub fn try_new(rows: usize, cols: usize, die_width: f64, die_height: f64) -> Result<TileGrid> {
+        if rows == 0 {
+            return Err(CoreError::EmptyDimension { what: "rows" });
+        }
+        if cols == 0 {
+            return Err(CoreError::EmptyDimension { what: "cols" });
+        }
+        if !(die_width > 0.0) {
+            return Err(CoreError::OutOfDomain { what: "die_width", value: die_width.to_string() });
+        }
+        if !(die_height > 0.0) {
+            return Err(CoreError::OutOfDomain {
+                what: "die_height",
+                value: die_height.to_string(),
+            });
+        }
+        Ok(TileGrid { rows, cols, die_width, die_height })
+    }
+
+    /// Number of tile rows (`m`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of tile columns (`n`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of tiles (`m · n`).
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the grid has zero tiles. Always `false` by construction, but
+    /// provided for API completeness alongside [`TileGrid::len`].
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Die width in µm.
+    pub fn die_width(&self) -> f64 {
+        self.die_width
+    }
+
+    /// Die height in µm.
+    pub fn die_height(&self) -> f64 {
+        self.die_height
+    }
+
+    /// Width of one tile in µm.
+    pub fn tile_width(&self) -> f64 {
+        self.die_width / self.cols as f64
+    }
+
+    /// Height of one tile in µm.
+    pub fn tile_height(&self) -> f64 {
+        self.die_height / self.rows as f64
+    }
+
+    /// The tile containing the given point. Points outside the die are
+    /// clamped to the nearest boundary tile, so loads placed exactly on the
+    /// die edge are never lost.
+    pub fn tile_of(&self, p: Point) -> TileIndex {
+        let col = ((p.x / self.tile_width()).floor() as isize).clamp(0, self.cols as isize - 1);
+        let row = ((p.y / self.tile_height()).floor() as isize).clamp(0, self.rows as isize - 1);
+        TileIndex::new(row as usize, col as usize)
+    }
+
+    /// Geometric bounds of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn tile_rect(&self, t: TileIndex) -> Rect {
+        assert!(t.row < self.rows && t.col < self.cols, "tile index out of range");
+        let w = self.tile_width();
+        let h = self.tile_height();
+        Rect::new(t.col as f64 * w, t.row as f64 * h, (t.col + 1) as f64 * w, (t.row + 1) as f64 * h)
+    }
+
+    /// Center point of a tile — the representative point used when computing
+    /// the distance-to-bump feature (paper §3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn tile_center(&self, t: TileIndex) -> Point {
+        self.tile_rect(t).center()
+    }
+
+    /// Iterates over all tile indices in row-major order.
+    pub fn tiles(&self) -> impl Iterator<Item = TileIndex> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |r| (0..cols).map(move |c| TileIndex::new(r, c)))
+    }
+
+    /// Flat row-major offset of a tile.
+    pub fn flat_index(&self, t: TileIndex) -> usize {
+        t.row * self.cols + t.col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance_to(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(10.0, 20.0, 0.0, 0.0);
+        assert_eq!((r.x0, r.y0, r.x1, r.y1), (0.0, 0.0, 10.0, 20.0));
+    }
+
+    #[test]
+    fn tile_lookup_corners_and_clamping() {
+        let g = TileGrid::new(3, 3, 30.0, 30.0);
+        assert_eq!(g.tile_of(Point::new(-5.0, -5.0)), TileIndex::new(0, 0));
+        assert_eq!(g.tile_of(Point::new(35.0, 35.0)), TileIndex::new(2, 2));
+        assert_eq!(g.tile_of(Point::new(15.0, 25.0)), TileIndex::new(2, 1));
+    }
+
+    #[test]
+    fn tile_rect_partition_covers_die() {
+        let g = TileGrid::new(2, 2, 10.0, 10.0);
+        let total: f64 = g.tiles().map(|t| g.tile_rect(t).area()).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiles_iterate_row_major() {
+        let g = TileGrid::new(2, 3, 1.0, 1.0);
+        let v: Vec<_> = g.tiles().collect();
+        assert_eq!(v.len(), 6);
+        assert_eq!(v[0], TileIndex::new(0, 0));
+        assert_eq!(v[1], TileIndex::new(0, 1));
+        assert_eq!(v[3], TileIndex::new(1, 0));
+        for (i, t) in v.iter().enumerate() {
+            assert_eq!(g.flat_index(*t), i);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_bad_args() {
+        assert!(TileGrid::try_new(0, 1, 1.0, 1.0).is_err());
+        assert!(TileGrid::try_new(1, 0, 1.0, 1.0).is_err());
+        assert!(TileGrid::try_new(1, 1, 0.0, 1.0).is_err());
+        assert!(TileGrid::try_new(1, 1, 1.0, -1.0).is_err());
+        assert!(TileGrid::try_new(1, 1, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile index out of range")]
+    fn tile_rect_panics_out_of_range() {
+        let g = TileGrid::new(2, 2, 1.0, 1.0);
+        let _ = g.tile_rect(TileIndex::new(2, 0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Runs the full experiment suite, regenerating every table and figure of
+//! the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p pdn-eval --release --bin experiments            # CI scale (~1 h)
+//! cargo run -p pdn-eval --release --bin experiments -- --quick # Tiny scale (~1 min)
+//! ```
+//!
+//! Text output goes to stdout; CSV artifacts go to `target/experiments/`.
+
+use pdn_eval::experiments::{ablations, fig4, fig5, fig6, table1, table2, table3};
+use pdn_eval::harness::{EvaluatedDesign, ExperimentConfig, PreparedDesign};
+use pdn_grid::design::DesignPreset;
+use pdn_powernet::model::PowerNetTrainConfig;
+use pdn_powernet::PowerNetConfig;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::ci() };
+    let out_dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let started = Instant::now();
+
+    println!("== pdn-wnv experiment suite ({:?} scale) ==\n", config.scale);
+
+    // --- prepare + evaluate all four designs (shared by every artifact) ---
+    let mut evaluated: Vec<EvaluatedDesign> = Vec::new();
+    for preset in DesignPreset::ALL {
+        let t0 = Instant::now();
+        print!("[{}] simulate + train ... ", preset.name());
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        let eval = EvaluatedDesign::evaluate(preset, &config).expect("pipeline");
+        println!(
+            "done in {:.1}s (train loss {:.4} -> {:.4}, val {:.4})",
+            t0.elapsed().as_secs_f64(),
+            eval.history.epochs.first().map_or(0.0, |e| e.train_loss),
+            eval.history.final_train_loss(),
+            eval.history.final_val_loss(),
+        );
+        evaluated.push(eval);
+    }
+    println!();
+
+    // --- Table 1 ---
+    let prepared: Vec<&PreparedDesign> = evaluated.iter().map(|e| &e.prepared).collect();
+    let t1 = table1::run(&prepared);
+    println!("Table 1: design characteristics\n{t1}");
+    std::fs::write(out_dir.join("table1.txt"), t1.to_string()).expect("write table1");
+
+    // --- Table 2 ---
+    let refs: Vec<&EvaluatedDesign> = evaluated.iter().collect();
+    let t2 = table2::run(&refs);
+    println!("Table 2: proposed framework vs simulator\n{t2}");
+    std::fs::write(out_dir.join("table2.txt"), t2.to_string()).expect("write table2");
+
+    // --- Table 3: PowerNet on D4 ---
+    let d4 = &evaluated[3];
+    let (pn_cfg, pn_train) = if quick {
+        (
+            PowerNetConfig { time_windows: 5, window: 7, channels: 4, seed: 1 },
+            PowerNetTrainConfig {
+                epochs: 3,
+                tiles_per_epoch: 300,
+                batch_size: 16,
+                learning_rate: 2e-3,
+                seed: 2,
+            },
+        )
+    } else {
+        (
+            PowerNetConfig { time_windows: 10, window: 15, channels: 8, seed: 1 },
+            PowerNetTrainConfig {
+                epochs: 8,
+                tiles_per_epoch: 1500,
+                batch_size: 32,
+                learning_rate: 1e-3,
+                seed: 2,
+            },
+        )
+    };
+    let t0 = Instant::now();
+    let t3 = table3::run(d4, &pn_cfg, &pn_train);
+    println!(
+        "Table 3: comparison with PowerNet on {} ({:.1}s)\n{t3}",
+        d4.prepared.preset.name(),
+        t0.elapsed().as_secs_f64()
+    );
+    std::fs::write(out_dir.join("table3.txt"), t3.to_string()).expect("write table3");
+
+    // --- Fig. 4: D1-D3 maps ---
+    let f4 = fig4::run(&refs[..3]);
+    println!("Fig. 4: ground truth vs prediction (D1-D3)\n{f4}");
+    f4.write_artifacts(&out_dir).expect("write fig4");
+
+    // --- Fig. 5: D4 detail ---
+    let f5 = fig5::run(d4);
+    println!("Fig. 5: D4 error analysis\n{f5}");
+    f5.write_artifacts(&out_dir).expect("write fig5");
+
+    // --- Fig. 6: compression sweep on D1 and D2 (the designs the paper's
+    //     text discusses) ---
+    let rates: &[f64] = if quick { &[0.2, 0.6, 1.0] } else { &[0.1, 0.3, 0.6, 1.0] };
+    // The sweep retrains per rate; use a reduced training budget so the
+    // curve stays affordable, and reuse the already-simulated designs.
+    let sweep_config = if quick {
+        config
+    } else {
+        ExperimentConfig {
+            train: pdn_model::trainer::TrainConfig { epochs: 60, ..config.train },
+            ..config
+        }
+    };
+    for preset in [DesignPreset::D1, DesignPreset::D2] {
+        let prep = PreparedDesign::prepare(preset, &sweep_config).expect("prepare");
+        let f6 = fig6::run(prep, rates, &sweep_config);
+        println!("Fig. 6 ({}): compression sweep\n{f6}", preset.name());
+        f6.write_artifacts(&out_dir).expect("write fig6");
+        std::fs::write(
+            out_dir.join(format!("fig6_{}.txt", preset.name())),
+            f6.to_string(),
+        )
+        .expect("write fig6 text");
+    }
+
+    // --- extension: ablation study on D1 ---
+    let prep = PreparedDesign::prepare(DesignPreset::D1, &sweep_config).expect("prepare");
+    let abl = ablations::run(prep, &sweep_config);
+    println!("{abl}");
+    std::fs::write(out_dir.join("ablations_D1.txt"), abl.to_string()).expect("write ablations");
+
+    println!(
+        "\nAll artifacts written to {} (total {:.1} min)",
+        out_dir.display(),
+        started.elapsed().as_secs_f64() / 60.0
+    );
+}

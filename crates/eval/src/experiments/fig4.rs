@@ -1,0 +1,118 @@
+//! Fig. 4: ground-truth vs predicted worst-case noise maps for D1–D3.
+//!
+//! For each design the driver takes the first test vector, renders the two
+//! maps side by side (ASCII) and writes both as CSV for plotting.
+
+use crate::harness::EvaluatedDesign;
+use crate::render::{ascii_side_by_side, write_csv};
+use pdn_core::map::TileMap;
+use std::path::Path;
+
+/// One design's Fig. 4 panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Panel {
+    /// Design name.
+    pub design: String,
+    /// Ground-truth noise map (volts).
+    pub ground_truth: TileMap,
+    /// Predicted noise map (volts).
+    pub predicted: TileMap,
+}
+
+impl Fig4Panel {
+    /// Pearson correlation between the two maps — a scalar proxy for the
+    /// "almost identical" visual claim.
+    pub fn correlation(&self) -> f64 {
+        let a = self.ground_truth.as_slice();
+        let b = self.predicted.as_slice();
+        let ma = self.ground_truth.mean();
+        let mb = self.predicted.mean();
+        let mut num = 0.0;
+        let mut da = 0.0;
+        let mut db = 0.0;
+        for (x, y) in a.iter().zip(b) {
+            num += (x - ma) * (y - mb);
+            da += (x - ma) * (x - ma);
+            db += (y - mb) * (y - mb);
+        }
+        if da == 0.0 || db == 0.0 {
+            return 0.0;
+        }
+        num / (da * db).sqrt()
+    }
+}
+
+/// The regenerated Fig. 4.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Fig4 {
+    /// One panel per design (paper shows D1–D3).
+    pub panels: Vec<Fig4Panel>,
+}
+
+/// Builds the panels from evaluated designs (the first test pair of each).
+pub fn run(evaluated: &[&EvaluatedDesign]) -> Fig4 {
+    let panels = evaluated
+        .iter()
+        .map(|e| {
+            let (pred, truth) = &e.test_pairs[0];
+            Fig4Panel {
+                design: e.prepared.preset.name().to_string(),
+                ground_truth: truth.clone(),
+                predicted: pred.clone(),
+            }
+        })
+        .collect();
+    Fig4 { panels }
+}
+
+impl Fig4 {
+    /// Writes each panel's maps as CSV under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_artifacts(&self, dir: &Path) -> std::io::Result<()> {
+        for p in &self.panels {
+            write_csv(&p.ground_truth, &dir.join(format!("fig4_{}_truth.csv", p.design)))?;
+            write_csv(&p.predicted, &dir.join(format!("fig4_{}_pred.csv", p.design)))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for p in &self.panels {
+            writeln!(f, "{} (correlation {:.3}):", p.design, p.correlation())?;
+            writeln!(
+                f,
+                "{}",
+                ascii_side_by_side(&p.ground_truth, &p.predicted, "ground truth", "predicted")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ExperimentConfig;
+    use pdn_grid::design::DesignPreset;
+
+    #[test]
+    fn panels_correlate_with_truth() {
+        let cfg = ExperimentConfig::quick();
+        let eval = EvaluatedDesign::evaluate(DesignPreset::D1, &cfg).unwrap();
+        let fig = run(&[&eval]);
+        assert_eq!(fig.panels.len(), 1);
+        // Even a quick model must produce a map positively correlated with
+        // the ground truth (the structure is dominated by the common droop).
+        assert!(fig.panels[0].correlation() > 0.0, "corr {}", fig.panels[0].correlation());
+        let dir = std::env::temp_dir().join("pdn_fig4_test");
+        fig.write_artifacts(&dir).unwrap();
+        assert!(dir.join("fig4_D1_truth.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(fig.to_string().contains("ground truth"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Fig. 5: detailed prediction analysis on D4.
+//!
+//! Regenerates the four sub-figures: (a) histogram of per-tile relative
+//! errors, (b) the relative-error map, (c) the ground-truth map,
+//! (d) the predicted map.
+
+use crate::harness::EvaluatedDesign;
+use crate::metrics::RE_FLOOR;
+use crate::render::{ascii_side_by_side, write_csv, write_series_csv};
+use pdn_core::map::TileMap;
+use std::path::Path;
+
+/// The regenerated Fig. 5 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5 {
+    /// Design name (paper: D4).
+    pub design: String,
+    /// Histogram of per-tile REs: `(bin_upper_edge, count)`.
+    pub histogram: Vec<(f64, usize)>,
+    /// Per-tile relative-error map (fraction).
+    pub re_map: TileMap,
+    /// Ground-truth noise map (volts).
+    pub ground_truth: TileMap,
+    /// Predicted noise map (volts).
+    pub predicted: TileMap,
+}
+
+/// Number of histogram bins.
+pub const HISTOGRAM_BINS: usize = 20;
+
+/// Builds Fig. 5 from an evaluated design's first test pair.
+pub fn run(eval: &EvaluatedDesign) -> Fig5 {
+    let (pred, truth) = &eval.test_pairs[0];
+    let (rows, cols) = truth.shape();
+    let mut re_map = TileMap::zeros(rows, cols);
+    for (i, (p, t)) in pred.as_slice().iter().zip(truth.as_slice()).enumerate() {
+        re_map.as_mut_slice()[i] = (p - t).abs() / t.abs().max(RE_FLOOR);
+    }
+    let max_re = re_map.max().max(1e-9);
+    let mut counts = vec![0usize; HISTOGRAM_BINS];
+    for &re in re_map.as_slice() {
+        let bin = ((re / max_re * HISTOGRAM_BINS as f64).floor() as usize)
+            .min(HISTOGRAM_BINS - 1);
+        counts[bin] += 1;
+    }
+    let histogram = counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| ((i + 1) as f64 / HISTOGRAM_BINS as f64 * max_re, c))
+        .collect();
+    Fig5 {
+        design: eval.prepared.preset.name().to_string(),
+        histogram,
+        re_map,
+        ground_truth: truth.clone(),
+        predicted: pred.clone(),
+    }
+}
+
+impl Fig5 {
+    /// Fraction of tiles with relative error below 5 % (the paper observes
+    /// "most of the tiles have relative errors of less than 5 %").
+    pub fn fraction_below_5_percent(&self) -> f64 {
+        let below =
+            self.re_map.as_slice().iter().filter(|re| **re < 0.05).count();
+        below as f64 / self.re_map.len() as f64
+    }
+
+    /// Writes the histogram and the three maps as CSV under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_artifacts(&self, dir: &Path) -> std::io::Result<()> {
+        let hist: Vec<(f64, f64)> =
+            self.histogram.iter().map(|(e, c)| (*e, *c as f64)).collect();
+        write_series_csv(("re_bin_upper", "count"), &hist, &dir.join("fig5_histogram.csv"))?;
+        write_csv(&self.re_map, &dir.join("fig5_re_map.csv"))?;
+        write_csv(&self.ground_truth, &dir.join("fig5_truth.csv"))?;
+        write_csv(&self.predicted, &dir.join("fig5_pred.csv"))?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.1}% of tiles below 5% relative error",
+            self.design,
+            self.fraction_below_5_percent() * 100.0
+        )?;
+        writeln!(f, "RE histogram (bin upper edge -> count):")?;
+        for (edge, count) in &self.histogram {
+            if *count > 0 {
+                writeln!(f, "  {:>6.2}%: {}", edge * 100.0, count)?;
+            }
+        }
+        writeln!(
+            f,
+            "{}",
+            ascii_side_by_side(&self.ground_truth, &self.predicted, "ground truth", "predicted")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ExperimentConfig;
+    use pdn_grid::design::DesignPreset;
+
+    #[test]
+    fn histogram_counts_all_tiles() {
+        let cfg = ExperimentConfig::quick();
+        let eval = EvaluatedDesign::evaluate(DesignPreset::D4, &cfg).unwrap();
+        let fig = run(&eval);
+        let total: usize = fig.histogram.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, fig.re_map.len());
+        assert!((0.0..=1.0).contains(&fig.fraction_below_5_percent()));
+        let dir = std::env::temp_dir().join("pdn_fig5_test");
+        fig.write_artifacts(&dir).unwrap();
+        assert!(dir.join("fig5_histogram.csv").exists());
+        assert!(dir.join("fig5_re_map.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Table 1: characteristics of the evaluation designs.
+//!
+//! Columns: `#Node`, `#I_load`, mean worst-case noise, max worst-case noise,
+//! hotspot ratio (tiles above 10 % of V<sub>nom</sub>).
+
+use crate::harness::PreparedDesign;
+use crate::report::TextTable;
+use pdn_core::units::Volts;
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Design name.
+    pub design: String,
+    /// Total power-grid node count.
+    pub nodes: usize,
+    /// Current-load count.
+    pub loads: usize,
+    /// Mean worst-case noise across tiles (union over the vector group).
+    pub mean_wn: Volts,
+    /// Max worst-case noise.
+    pub max_wn: Volts,
+    /// Hotspot ratio at the design's threshold.
+    pub hotspot_ratio: f64,
+}
+
+/// The regenerated Table 1.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table1 {
+    /// One row per design, in D1–D4 order.
+    pub rows: Vec<Table1Row>,
+}
+
+/// Builds one row from a prepared design.
+pub fn row(prepared: &PreparedDesign) -> Table1Row {
+    let worst = prepared.union_worst_noise();
+    let thr = prepared.grid.spec().hotspot_threshold();
+    Table1Row {
+        design: prepared.preset.name().to_string(),
+        nodes: prepared.grid.node_count(),
+        loads: prepared.grid.loads().len(),
+        mean_wn: Volts(worst.mean()),
+        max_wn: Volts(worst.max()),
+        hotspot_ratio: worst.count_above(thr.0) as f64 / worst.len() as f64,
+    }
+}
+
+/// Builds the table from prepared designs.
+pub fn run(prepared: &[&PreparedDesign]) -> Table1 {
+    Table1 { rows: prepared.iter().map(|p| row(p)).collect() }
+}
+
+impl std::fmt::Display for Table1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t = TextTable::new(vec![
+            "Design",
+            "#Node",
+            "#I_load",
+            "Mean WN (mV)",
+            "Max WN (mV)",
+            "Hotspot ratio",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.design.clone(),
+                r.nodes.to_string(),
+                r.loads.to_string(),
+                format!("{:.1}", r.mean_wn.to_millivolts()),
+                format!("{:.1}", r.max_wn.to_millivolts()),
+                format!("{:.1}%", r.hotspot_ratio * 100.0),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ExperimentConfig;
+    use pdn_grid::design::DesignPreset;
+
+    #[test]
+    fn builds_rows_with_positive_noise() {
+        let cfg = ExperimentConfig::quick();
+        let prep = PreparedDesign::prepare(DesignPreset::D1, &cfg).unwrap();
+        let table = run(&[&prep]);
+        assert_eq!(table.rows.len(), 1);
+        let r = &table.rows[0];
+        assert_eq!(r.design, "D1");
+        assert!(r.nodes > 100);
+        assert_eq!(r.loads, 30);
+        assert!(r.mean_wn.0 > 0.0);
+        assert!(r.max_wn.0 >= r.mean_wn.0);
+        assert!((0.0..=1.0).contains(&r.hotspot_ratio));
+        let rendered = table.to_string();
+        assert!(rendered.contains("D1"));
+        assert!(rendered.contains("Hotspot"));
+    }
+}

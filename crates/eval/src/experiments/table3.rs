@@ -1,0 +1,143 @@
+//! Table 3: the proposed framework vs PowerNet on D4.
+//!
+//! Columns: MAE (mV), mean RE, max RE, ROC-AUC of hotspot classification,
+//! and whole-map inference runtime. Both models train on the same data
+//! (same vector group, same split), as in the paper.
+
+use crate::harness::EvaluatedDesign;
+use crate::metrics::{pooled_auc, pooled_error_stats};
+use crate::report::TextTable;
+use pdn_core::map::TileMap;
+use pdn_powernet::{PowerNet, PowerNetConfig, PowerNetDataset};
+use pdn_powernet::model::PowerNetTrainConfig;
+use std::time::{Duration, Instant};
+
+/// One Table 3 row (a model's whole-map performance on the test set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Model name.
+    pub model: String,
+    /// Mean absolute error, volts.
+    pub mae: f64,
+    /// Mean relative error (fraction).
+    pub mean_re: f64,
+    /// Max relative error (fraction).
+    pub max_re: f64,
+    /// ROC-AUC of hotspot classification.
+    pub auc: f64,
+    /// Whole-test-set inference runtime per vector.
+    pub runtime: Duration,
+}
+
+/// The regenerated Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// PowerNet row first, proposed row second (paper order).
+    pub rows: Vec<Table3Row>,
+}
+
+/// Runs the PowerNet comparison against an already-evaluated design
+/// (the paper uses D4). `powernet` and `train` control the baseline's size
+/// and training budget.
+pub fn run(
+    eval: &EvaluatedDesign,
+    powernet: &PowerNetConfig,
+    train: &PowerNetTrainConfig,
+) -> Table3 {
+    let thr = eval.prepared.grid.spec().hotspot_threshold();
+
+    // --- PowerNet: same vectors, same ground truth, same split ---
+    let ds = PowerNetDataset::build(
+        &eval.prepared.grid,
+        &eval.prepared.vectors,
+        &eval.prepared.reports,
+        powernet,
+    );
+    let mut net = PowerNet::new(*powernet);
+    let _losses = net.train(&ds, &eval.split.train, train);
+
+    let start = Instant::now();
+    let pn_pairs: Vec<(TileMap, TileMap)> = eval
+        .test_indices
+        .iter()
+        .map(|&idx| (net.predict_sample(&ds, idx), ds.raw_targets[idx].clone()))
+        .collect();
+    let pn_runtime = start.elapsed() / eval.test_indices.len().max(1) as u32;
+    let pn_stats = pooled_error_stats(&pn_pairs);
+    let pn_auc = pooled_auc(&pn_pairs, thr);
+
+    // --- proposed model: reuse the evaluated design's test predictions ---
+    let our_stats = pooled_error_stats(&eval.test_pairs);
+    let our_auc = pooled_auc(&eval.test_pairs, thr);
+
+    Table3 {
+        rows: vec![
+            Table3Row {
+                model: "PowerNet".to_string(),
+                mae: pn_stats.mean_ae,
+                mean_re: pn_stats.mean_re,
+                max_re: pn_stats.max_re,
+                auc: pn_auc,
+                runtime: pn_runtime,
+            },
+            Table3Row {
+                model: "Ours".to_string(),
+                mae: our_stats.mean_ae,
+                mean_re: our_stats.mean_re,
+                max_re: our_stats.max_re,
+                auc: our_auc,
+                runtime: eval.predict_time_per_vector,
+            },
+        ],
+    }
+}
+
+impl std::fmt::Display for Table3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut t =
+            TextTable::new(vec!["Model", "MAE (mV)", "Mean RE", "Max RE", "AUC", "runtime (s)"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.model.clone(),
+                format!("{:.2}", r.mae * 1e3),
+                format!("{:.2}%", r.mean_re * 100.0),
+                format!("{:.2}%", r.max_re * 100.0),
+                format!("{:.3}", r.auc),
+                format!("{:.3}", r.runtime.as_secs_f64()),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ExperimentConfig;
+    use pdn_grid::design::DesignPreset;
+
+    #[test]
+    fn quick_comparison_runs_and_favors_ours() {
+        let cfg = ExperimentConfig::quick();
+        let eval = EvaluatedDesign::evaluate(DesignPreset::D4, &cfg).unwrap();
+        let pn_cfg = PowerNetConfig { time_windows: 5, window: 7, channels: 4, seed: 1 };
+        let train = PowerNetTrainConfig {
+            epochs: 3,
+            tiles_per_epoch: 300,
+            batch_size: 16,
+            learning_rate: 2e-3,
+            seed: 2,
+        };
+        let table = run(&eval, &pn_cfg, &train);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0].model, "PowerNet");
+        assert_eq!(table.rows[1].model, "Ours");
+        for r in &table.rows {
+            assert!(r.mae.is_finite() && r.mae >= 0.0);
+            assert!((0.0..=1.0).contains(&r.auc));
+        }
+        let rendered = table.to_string();
+        assert!(rendered.contains("PowerNet"));
+        assert!(rendered.contains("Ours"));
+    }
+}

@@ -1,0 +1,260 @@
+//! The shared experiment pipeline.
+//!
+//! Every experiment needs the same expensive prefix — build the design,
+//! generate a vector group, simulate the ground truth, train the model —
+//! so it lives here once and each table/figure driver consumes the results.
+
+use pdn_compress::temporal::TemporalCompressor;
+use pdn_core::map::TileMap;
+use pdn_features::dataset::{Dataset, SplitIndices};
+use pdn_grid::build::PowerGrid;
+use pdn_grid::design::{DesignPreset, DesignScale};
+use pdn_model::model::{ModelConfig, Predictor, WnvModel};
+use pdn_model::trainer::{TrainConfig, TrainHistory, Trainer};
+use pdn_sim::wnv::{NoiseReport, WnvRunner};
+use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+use pdn_vectors::vector::TestVector;
+use std::time::{Duration, Instant};
+
+/// Configuration of a full experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Design scale (Tiny for tests, Ci for the reported numbers, Paper for
+    /// full-size runs).
+    pub scale: DesignScale,
+    /// Vectors per design (the paper uses 500; CI default is 48).
+    pub vectors: usize,
+    /// Time stamps per vector.
+    pub steps: usize,
+    /// Temporal compression rate `r` (the paper's knee is ≈ 0.3).
+    pub compression_rate: f64,
+    /// Sweep step `Δr` of Algorithm 1.
+    pub rate_step: f64,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// Model kernel counts.
+    pub model: ModelConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The configuration used for the reported (CI-scale) numbers.
+    pub fn ci() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: DesignScale::Ci,
+            vectors: 48,
+            steps: 240,
+            compression_rate: 0.3,
+            rate_step: 0.05,
+            train: TrainConfig {
+                epochs: 150,
+                batch_size: 4,
+                learning_rate: 2.5e-3,
+                seed: 0,
+                lr_decay: 0.985,
+            },
+            model: ModelConfig::default(),
+            seed: 2022,
+        }
+    }
+
+    /// A seconds-scale configuration for unit/integration tests.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            scale: DesignScale::Tiny,
+            vectors: 10,
+            steps: 60,
+            compression_rate: 0.4,
+            rate_step: 0.05,
+            train: TrainConfig { epochs: 40, batch_size: 2, learning_rate: 4e-3, seed: 0, lr_decay: 0.99 },
+            model: ModelConfig { c1: 4, c2: 4, c3: 8 },
+            seed: 7,
+        }
+    }
+
+    /// The temporal compressor configured by this run.
+    pub fn compressor(&self) -> TemporalCompressor {
+        TemporalCompressor::new(self.compression_rate, self.rate_step)
+            .expect("experiment rates validated at construction")
+    }
+}
+
+/// A design with its vector group and simulated ground truth — everything
+/// up to (but not including) learning.
+#[derive(Debug)]
+pub struct PreparedDesign {
+    /// Which of D1–D4 this is.
+    pub preset: DesignPreset,
+    /// The elaborated grid.
+    pub grid: PowerGrid,
+    /// The generated test vectors.
+    pub vectors: Vec<TestVector>,
+    /// Ground-truth reports, one per vector.
+    pub reports: Vec<NoiseReport>,
+    /// Mean simulator wall-clock per vector (the "Commercial (s)" column).
+    pub sim_time_per_vector: Duration,
+}
+
+impl PreparedDesign {
+    /// Builds the design, generates `config.vectors` random vectors and
+    /// simulates all of them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn prepare(
+        preset: DesignPreset,
+        config: &ExperimentConfig,
+    ) -> Result<PreparedDesign, pdn_sim::error::SimError> {
+        let spec = preset.spec(config.scale);
+        let grid = spec.build(config.seed).expect("preset specs are valid");
+        let gen = VectorGenerator::new(
+            &grid,
+            GeneratorConfig { steps: config.steps, ..Default::default() },
+        );
+        let vectors = gen.generate_group(config.vectors, config.seed);
+        let runner = WnvRunner::new(&grid)?;
+        let reports = runner.run_group(&vectors)?;
+        let total: Duration = reports.iter().map(|r| r.elapsed).sum();
+        let sim_time_per_vector = total / reports.len().max(1) as u32;
+        Ok(PreparedDesign { preset, grid, vectors, reports, sim_time_per_vector })
+    }
+
+    /// The union (max over vectors) worst-noise map — Table 1's per-design
+    /// noise summary.
+    pub fn union_worst_noise(&self) -> TileMap {
+        let mut worst = self.reports[0].worst_noise.clone();
+        for r in &self.reports[1..] {
+            worst.max_assign(&r.worst_noise);
+        }
+        worst
+    }
+}
+
+/// A fully evaluated design: trained model + test-set predictions.
+#[derive(Debug)]
+pub struct EvaluatedDesign {
+    /// The simulation stage this evaluation was built on.
+    pub prepared: PreparedDesign,
+    /// The assembled dataset.
+    pub dataset: Dataset,
+    /// The expansion split used.
+    pub split: SplitIndices,
+    /// Training-loss history.
+    pub history: TrainHistory,
+    /// The trained predictor (reusable for further queries).
+    pub predictor: Predictor,
+    /// `(prediction, ground truth)` per test sample, in volts.
+    pub test_pairs: Vec<(TileMap, TileMap)>,
+    /// Indices (into the vector group) of the test samples.
+    pub test_indices: Vec<usize>,
+    /// Mean end-to-end prediction wall-clock per vector (the
+    /// "Proposed (s)" column): tiling + compression + CNN.
+    pub predict_time_per_vector: Duration,
+}
+
+impl EvaluatedDesign {
+    /// Runs the full pipeline for one design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures from the preparation stage.
+    pub fn evaluate(
+        preset: DesignPreset,
+        config: &ExperimentConfig,
+    ) -> Result<EvaluatedDesign, pdn_sim::error::SimError> {
+        let prepared = PreparedDesign::prepare(preset, config)?;
+        Ok(Self::evaluate_prepared(prepared, config))
+    }
+
+    /// Runs dataset assembly, training and test-set prediction on an
+    /// already-simulated design.
+    pub fn evaluate_prepared(
+        prepared: PreparedDesign,
+        config: &ExperimentConfig,
+    ) -> EvaluatedDesign {
+        Self::evaluate_prepared_with(prepared, config, false)
+    }
+
+    /// Like [`EvaluatedDesign::evaluate_prepared`], optionally zeroing the
+    /// distance feature (the `no-distance` ablation).
+    pub fn evaluate_prepared_with(
+        prepared: PreparedDesign,
+        config: &ExperimentConfig,
+        zero_distance: bool,
+    ) -> EvaluatedDesign {
+        let compressor = config.compressor();
+        let mut dataset =
+            Dataset::build(&prepared.grid, &prepared.vectors, &prepared.reports, Some(&compressor));
+        if zero_distance {
+            dataset.distance.zero();
+        }
+        let split = dataset.split(0.6, config.seed);
+        let mut model =
+            WnvModel::new(prepared.grid.bumps().len(), config.model, config.seed);
+        let trainer = Trainer::new(config.train);
+        let history = trainer.train(&mut model, &dataset, &split);
+        let mut predictor = Predictor::new(model, &dataset, Some(compressor));
+
+        let mut test_pairs = Vec::with_capacity(split.test.len());
+        let start = Instant::now();
+        for &idx in &split.test {
+            let pred = predictor.predict(&prepared.grid, &prepared.vectors[idx]);
+            test_pairs.push((pred, prepared.reports[idx].worst_noise.clone()));
+        }
+        let predict_time_per_vector = start.elapsed() / split.test.len().max(1) as u32;
+        EvaluatedDesign {
+            prepared,
+            dataset,
+            split: split.clone(),
+            history,
+            predictor,
+            test_pairs,
+            test_indices: split.test,
+            predict_time_per_vector,
+        }
+    }
+
+    /// Simulator-time / predictor-time — the "Speedup" column of Table 2.
+    pub fn speedup(&self) -> f64 {
+        self.prepared.sim_time_per_vector.as_secs_f64()
+            / self.predict_time_per_vector.as_secs_f64().max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_pipeline_end_to_end() {
+        let cfg = ExperimentConfig::quick();
+        let eval = EvaluatedDesign::evaluate(DesignPreset::D1, &cfg).unwrap();
+        assert_eq!(eval.prepared.vectors.len(), 10);
+        assert_eq!(eval.split.total(), 10);
+        assert!(!eval.test_pairs.is_empty());
+        // Predictions are physical: non-negative, below vdd.
+        for (pred, truth) in &eval.test_pairs {
+            assert!(pred.min() >= 0.0);
+            assert!(pred.max() < 1.0);
+            assert_eq!(pred.shape(), truth.shape());
+        }
+        // Training actually descended.
+        assert!(eval.history.final_train_loss() < eval.history.epochs[0].train_loss);
+        // Prediction is faster than simulation even at tiny scale.
+        assert!(eval.speedup() > 1.0, "speedup {}", eval.speedup());
+    }
+
+    #[test]
+    fn union_worst_noise_dominates_members() {
+        let cfg = ExperimentConfig::quick();
+        let prep = PreparedDesign::prepare(DesignPreset::D2, &cfg).unwrap();
+        let union = prep.union_worst_noise();
+        for r in &prep.reports {
+            for (u, v) in union.as_slice().iter().zip(r.worst_noise.as_slice()) {
+                assert!(u + 1e-15 >= *v);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Metrics and experiment drivers reproducing every table and figure of the
+//! paper's evaluation (§4).
+//!
+//! * [`metrics`] — AE/RE statistics (mean, 99th percentile, max), hotspot
+//!   missing rate at the 10 % V<sub>nom</sub> threshold, and ROC-AUC over
+//!   hotspot classification — exactly the columns of Tables 2 and 3;
+//! * [`harness`] — the shared pipeline (build design → generate vectors →
+//!   simulate ground truth → dataset → train → predict test set) that every
+//!   experiment reuses;
+//! * [`experiments`] — one driver per paper artifact:
+//!   [`experiments::table1`], [`experiments::table2`],
+//!   [`experiments::table3`] (PowerNet comparison),
+//!   [`experiments::fig4`] (noise-map comparisons, D1–D3),
+//!   [`experiments::fig5`] (D4 error analysis),
+//!   [`experiments::fig6`] (temporal-compression sweep);
+//! * [`render`] — ASCII heat maps and CSV export for the figure artifacts;
+//! * [`report`] — plain-text table formatting.
+//!
+//! The `experiments` binary (`cargo run -p pdn-eval --release --bin
+//! experiments`) runs the full suite and writes artifacts under
+//! `target/experiments/`.
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod render;
+pub mod report;
+
+pub use harness::{EvaluatedDesign, ExperimentConfig, PreparedDesign};
+pub use metrics::ErrorStats;

@@ -1,0 +1,277 @@
+//! Accuracy metrics of the paper's evaluation.
+
+use pdn_core::map::TileMap;
+use pdn_core::stats;
+use pdn_core::units::Volts;
+
+/// Floor applied to ground-truth noise when computing relative errors, so a
+/// zero-noise tile cannot produce an infinite RE. 0.1 mV is far below any
+/// noise of interest.
+pub const RE_FLOOR: f64 = 1e-4;
+
+/// Absolute/relative error statistics over a set of tiles — the accuracy
+/// columns of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorStats {
+    /// Mean absolute error, volts.
+    pub mean_ae: f64,
+    /// 99th-percentile absolute error, volts.
+    pub p99_ae: f64,
+    /// Maximum absolute error, volts.
+    pub max_ae: f64,
+    /// Mean relative error (fraction).
+    pub mean_re: f64,
+    /// 99th-percentile relative error (fraction).
+    pub p99_re: f64,
+    /// Maximum relative error (fraction).
+    pub max_re: f64,
+}
+
+impl ErrorStats {
+    /// Computes the statistics from parallel slices of absolute errors and
+    /// relative errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or of different lengths.
+    pub fn from_errors(aes: &[f64], res: &[f64]) -> ErrorStats {
+        assert!(!aes.is_empty(), "no errors to aggregate");
+        assert_eq!(aes.len(), res.len(), "ae/re length mismatch");
+        ErrorStats {
+            mean_ae: stats::mean(aes),
+            p99_ae: stats::percentile(aes, 99.0),
+            max_ae: aes.iter().copied().fold(0.0, f64::max),
+            mean_re: stats::mean(res),
+            p99_re: stats::percentile(res, 99.0),
+            max_re: res.iter().copied().fold(0.0, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.2}mV/{:.2}%  99% {:.2}mV/{:.2}%  max {:.2}mV/{:.2}%",
+            self.mean_ae * 1e3,
+            self.mean_re * 100.0,
+            self.p99_ae * 1e3,
+            self.p99_re * 100.0,
+            self.max_ae * 1e3,
+            self.max_re * 100.0
+        )
+    }
+}
+
+/// Per-tile AE and RE between a prediction and the ground truth.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn tile_errors(pred: &TileMap, truth: &TileMap) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(pred.shape(), truth.shape(), "prediction/truth shape mismatch");
+    let mut aes = Vec::with_capacity(pred.len());
+    let mut res = Vec::with_capacity(pred.len());
+    for (p, t) in pred.as_slice().iter().zip(truth.as_slice()) {
+        let ae = (p - t).abs();
+        aes.push(ae);
+        res.push(ae / t.abs().max(RE_FLOOR));
+    }
+    (aes, res)
+}
+
+/// Error statistics for one `(prediction, truth)` pair.
+pub fn error_stats(pred: &TileMap, truth: &TileMap) -> ErrorStats {
+    let (aes, res) = tile_errors(pred, truth);
+    ErrorStats::from_errors(&aes, &res)
+}
+
+/// Error statistics pooled over many pairs (every tile of every test vector
+/// counts once, as in the paper's per-design rows).
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty.
+pub fn pooled_error_stats(pairs: &[(TileMap, TileMap)]) -> ErrorStats {
+    assert!(!pairs.is_empty(), "no pairs to pool");
+    let mut aes = Vec::new();
+    let mut res = Vec::new();
+    for (p, t) in pairs {
+        let (a, r) = tile_errors(p, t);
+        aes.extend(a);
+        res.extend(r);
+    }
+    ErrorStats::from_errors(&aes, &res)
+}
+
+/// Fraction of true hotspots (truth > threshold) the prediction missed
+/// (predicted ≤ threshold). Returns `None` when the truth has no hotspots.
+pub fn hotspot_missing_rate(pred: &TileMap, truth: &TileMap, threshold: Volts) -> Option<f64> {
+    assert_eq!(pred.shape(), truth.shape(), "prediction/truth shape mismatch");
+    let mut hot = 0usize;
+    let mut missed = 0usize;
+    for (p, t) in pred.as_slice().iter().zip(truth.as_slice()) {
+        if *t > threshold.0 {
+            hot += 1;
+            if *p <= threshold.0 {
+                missed += 1;
+            }
+        }
+    }
+    if hot == 0 {
+        None
+    } else {
+        Some(missed as f64 / hot as f64)
+    }
+}
+
+/// Missing rate pooled over many pairs (hotspots counted across all pairs).
+pub fn pooled_missing_rate(pairs: &[(TileMap, TileMap)], threshold: Volts) -> f64 {
+    let mut hot = 0usize;
+    let mut missed = 0usize;
+    for (p, t) in pairs {
+        for (pv, tv) in p.as_slice().iter().zip(t.as_slice()) {
+            if *tv > threshold.0 {
+                hot += 1;
+                if *pv <= threshold.0 {
+                    missed += 1;
+                }
+            }
+        }
+    }
+    if hot == 0 {
+        0.0
+    } else {
+        missed as f64 / hot as f64
+    }
+}
+
+/// Area under the ROC curve for scores against boolean labels, computed via
+/// the rank statistic (Mann–Whitney U). Ties share ranks. Returns 0.5 when
+/// either class is empty (no discrimination measurable).
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|l| **l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Ranks with tie averaging.
+    let order = stats::argsort(scores);
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 =
+        ranks.iter().zip(labels).filter(|(_, l)| **l).map(|(r, _)| *r).sum();
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    u / (pos * neg) as f64
+}
+
+/// ROC-AUC of hotspot classification pooled over pairs: the prediction is
+/// the score, `truth > threshold` the label (the AUC column of Table 3).
+pub fn pooled_auc(pairs: &[(TileMap, TileMap)], threshold: Volts) -> f64 {
+    let mut scores = Vec::new();
+    let mut labels = Vec::new();
+    for (p, t) in pairs {
+        scores.extend_from_slice(p.as_slice());
+        labels.extend(t.as_slice().iter().map(|v| *v > threshold.0));
+    }
+    roc_auc(&scores, &labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(v: &[f64]) -> TileMap {
+        TileMap::from_vec(1, v.len(), v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn perfect_prediction_zero_error() {
+        let t = map(&[0.1, 0.2, 0.3]);
+        let s = error_stats(&t, &t);
+        assert_eq!(s.mean_ae, 0.0);
+        assert_eq!(s.max_re, 0.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let truth = map(&[0.1, 0.2]);
+        let pred = map(&[0.11, 0.18]);
+        let s = error_stats(&pred, &truth);
+        assert!((s.mean_ae - 0.015).abs() < 1e-12);
+        assert!((s.max_ae - 0.02).abs() < 1e-12);
+        assert!((s.mean_re - (0.1 + 0.1) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn re_floor_prevents_infinity() {
+        let truth = map(&[0.0]);
+        let pred = map(&[0.05]);
+        let s = error_stats(&pred, &truth);
+        assert!(s.max_re.is_finite());
+        assert_eq!(s.max_re, 0.05 / RE_FLOOR);
+    }
+
+    #[test]
+    fn missing_rate_counts_missed_hotspots() {
+        let truth = map(&[0.15, 0.12, 0.05]);
+        let pred = map(&[0.14, 0.08, 0.2]); // second hotspot missed
+        let r = hotspot_missing_rate(&pred, &truth, Volts(0.1)).unwrap();
+        assert!((r - 0.5).abs() < 1e-12);
+        assert_eq!(hotspot_missing_rate(&pred, &map(&[0.0, 0.0, 0.0]), Volts(0.1)), None);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        let inverted = [false, false, true, true];
+        assert_eq!(roc_auc(&scores, &inverted), 0.0);
+        // Single-class degenerate case.
+        assert_eq!(roc_auc(&scores, &[true; 4]), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_ties() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn pooled_stats_combine_pairs() {
+        let a = (map(&[0.11]), map(&[0.1]));
+        let b = (map(&[0.3]), map(&[0.2]));
+        let s = pooled_error_stats(&[a, b]);
+        assert!((s.mean_ae - 0.055).abs() < 1e-12);
+        assert!((s.max_ae - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_millivolts() {
+        let s = ErrorStats {
+            mean_ae: 0.001,
+            p99_ae: 0.002,
+            max_ae: 0.003,
+            mean_re: 0.01,
+            p99_re: 0.02,
+            max_re: 0.03,
+        };
+        let out = s.to_string();
+        assert!(out.contains("1.00mV"));
+        assert!(out.contains("1.00%"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Map rendering: ASCII heat maps for the terminal and CSV for plotting.
+//!
+//! The paper's Figs. 4–5 are color maps; the harness regenerates their data
+//! as CSV (one file per map) and prints ASCII previews so the side-by-side
+//! comparison is visible directly in the experiment log.
+
+use pdn_core::map::TileMap;
+use std::io::Write as _;
+use std::path::Path;
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+/// Renders a tile map as an ASCII heat map. `lo`/`hi` fix the color scale so
+/// two maps (ground truth vs prediction) can share it.
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::map::TileMap;
+/// use pdn_eval::render::ascii_map;
+///
+/// let m = TileMap::from_fn(2, 4, |r, c| (r * 4 + c) as f64);
+/// let s = ascii_map(&m, 0.0, 7.0);
+/// assert_eq!(s.lines().count(), 2);
+/// ```
+pub fn ascii_map(map: &TileMap, lo: f64, hi: f64) -> String {
+    let span = (hi - lo).max(1e-12);
+    let mut out = String::with_capacity((map.cols() + 1) * map.rows());
+    for r in (0..map.rows()).rev() {
+        for c in 0..map.cols() {
+            let v = map.get(r, c).expect("in range");
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders two maps side by side with a shared scale and captions.
+pub fn ascii_side_by_side(left: &TileMap, right: &TileMap, caption_left: &str, caption_right: &str) -> String {
+    let lo = left.min().min(right.min());
+    let hi = left.max().max(right.max());
+    let a = ascii_map(left, lo, hi);
+    let b = ascii_map(right, lo, hi);
+    let mut out = format!(
+        "{:<width$}   {}\n",
+        caption_left,
+        caption_right,
+        width = left.cols().max(caption_left.len())
+    );
+    for (la, lb) in a.lines().zip(b.lines()) {
+        out.push_str(la);
+        out.push_str("   ");
+        out.push_str(lb);
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a tile map as CSV (row 0 first, comma-separated columns).
+///
+/// # Errors
+///
+/// Propagates I/O errors from file creation and writing.
+pub fn write_csv(map: &TileMap, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    for r in 0..map.rows() {
+        let row: Vec<String> = (0..map.cols())
+            .map(|c| format!("{:.6e}", map.get(r, c).expect("in range")))
+            .collect();
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes `(x, y)` series as a two-column CSV with a header.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_series_csv(
+    header: (&str, &str),
+    points: &[(f64, f64)],
+    path: &Path,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{},{}", header.0, header.1)?;
+    for (x, y) in points {
+        writeln!(f, "{x},{y}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_scales_to_shades() {
+        let m = TileMap::from_vec(1, 3, vec![0.0, 0.5, 1.0]).unwrap();
+        let s = ascii_map(&m, 0.0, 1.0);
+        assert_eq!(s.trim_end().len(), 3);
+        assert!(s.starts_with(' ') || s.starts_with(SHADES[0] as char));
+        assert!(s.trim_end().ends_with('@'));
+    }
+
+    #[test]
+    fn side_by_side_aligns_rows() {
+        let a = TileMap::filled(3, 4, 1.0);
+        let b = TileMap::filled(3, 4, 0.0);
+        let s = ascii_side_by_side(&a, &b, "gt", "pred");
+        assert_eq!(s.lines().count(), 4); // caption + 3 rows
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let m = TileMap::from_fn(2, 2, |r, c| (r * 2 + c) as f64);
+        let dir = std::env::temp_dir().join("pdn_eval_render_test");
+        let path = dir.join("map.csv");
+        write_csv(&m, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("3.000000e0"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn series_csv_has_header() {
+        let dir = std::env::temp_dir().join("pdn_eval_render_test2");
+        let path = dir.join("series.csv");
+        write_series_csv(("rate", "re"), &[(0.1, 0.02)], &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("rate,re"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

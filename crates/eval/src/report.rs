@@ -1,0 +1,98 @@
+//! Plain-text table formatting for the experiment logs.
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use pdn_eval::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["design", "nodes"]);
+/// t.row(vec!["D1".into(), "5328".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("design"));
+/// assert!(s.contains("D1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> TextTable {
+        TextTable { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                write!(f, "{:<width$}", cell, width = w)?;
+                if i + 1 < cols {
+                    write!(f, "  ")?;
+                }
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = TextTable::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxx".into(), "y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Header and row share column positions.
+        assert_eq!(lines[0].find("bbbb"), lines[2].find('y'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Conversions between the simulator's `f64` tile maps and the CNN's
+//! `f32` tensors.
+
+use pdn_core::map::TileMap;
+use pdn_nn::tensor::Tensor;
+
+/// Converts a tile map into a `[1, m, n]` tensor.
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::map::TileMap;
+/// use pdn_features::convert::{map_to_tensor, tensor_to_map};
+///
+/// let m = TileMap::from_fn(2, 3, |r, c| (r + c) as f64);
+/// let t = map_to_tensor(&m);
+/// assert_eq!(t.shape(), &[1, 2, 3]);
+/// let back = tensor_to_map(&t);
+/// assert_eq!(back, m);
+/// ```
+pub fn map_to_tensor(map: &TileMap) -> Tensor {
+    let data: Vec<f32> = map.as_slice().iter().map(|v| *v as f32).collect();
+    Tensor::from_vec(&[1, map.rows(), map.cols()], data)
+}
+
+/// Converts a single-channel `[1, m, n]` (or `[m, n]`) tensor back into a
+/// tile map.
+///
+/// # Panics
+///
+/// Panics if the tensor has more than one channel or is not rank 2/3.
+pub fn tensor_to_map(t: &Tensor) -> TileMap {
+    let (rows, cols) = match t.shape() {
+        [1, h, w] => (*h, *w),
+        [h, w] => (*h, *w),
+        other => panic!("tensor_to_map expects [1, m, n] or [m, n], got {other:?}"),
+    };
+    let data: Vec<f64> = t.as_slice().iter().map(|v| *v as f64).collect();
+    TileMap::from_vec(rows, cols, data).expect("shape consistent by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let m = TileMap::from_fn(4, 5, |r, c| (r * 10 + c) as f64 / 3.0);
+        let back = tensor_to_map(&map_to_tensor(&m));
+        for (a, b) in back.as_slice().iter().zip(m.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rank2_accepted() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let m = tensor_to_map(&t);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m.get(1, 0), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects [1, m, n]")]
+    fn multichannel_rejected() {
+        let t = Tensor::zeros(&[2, 2, 2]);
+        let _ = tensor_to_map(&t);
+    }
+}

@@ -1,0 +1,99 @@
+//! The distance-to-bump feature `D ∈ R^{B×m×n}` (paper §3.3).
+//!
+//! "We choose the center point of a tile as representation and then compute
+//! the Euclidean distance between the center point and all the power
+//! bumps." Distances are normalized by the die diagonal so the feature is
+//! scale-free across designs.
+
+use pdn_grid::build::PowerGrid;
+use pdn_nn::tensor::Tensor;
+
+/// Assembles the `[B, m, n]` distance tensor for a grid, normalized to the
+/// die diagonal (values in `[0, 1]`).
+///
+/// # Example
+///
+/// ```
+/// use pdn_grid::design::{DesignPreset, DesignScale};
+/// use pdn_features::distance::distance_tensor;
+///
+/// let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+/// let d = distance_tensor(&grid);
+/// assert!(d.min() >= 0.0 && d.max() <= 1.0);
+/// ```
+pub fn distance_tensor(grid: &PowerGrid) -> Tensor {
+    let tiles = grid.tile_grid();
+    let (m, n) = (tiles.rows(), tiles.cols());
+    let bumps = grid.bumps();
+    let diag = (tiles.die_width().powi(2) + tiles.die_height().powi(2)).sqrt();
+    let mut t = Tensor::zeros(&[bumps.len(), m, n]);
+    for (b, bump) in bumps.iter().enumerate() {
+        for r in 0..m {
+            for c in 0..n {
+                let center = tiles.tile_center(pdn_core::geom::TileIndex::new(r, c));
+                t.set3(b, r, c, (center.distance_to(bump.position) / diag) as f32);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_grid::design::{DesignPreset, DesignScale};
+
+    fn grid() -> PowerGrid {
+        DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap()
+    }
+
+    #[test]
+    fn shape_matches_bumps_and_tiles() {
+        let g = grid();
+        let d = distance_tensor(&g);
+        assert_eq!(d.shape(), &[g.bumps().len(), 8, 8]);
+    }
+
+    #[test]
+    fn minimum_is_at_tile_under_bump() {
+        let g = grid();
+        let d = distance_tensor(&g);
+        let tiles = g.tile_grid();
+        for (b, bump) in g.bumps().iter().enumerate() {
+            let home = tiles.tile_of(bump.position);
+            let home_val = d.at3(b, home.row, home.col);
+            // No tile is closer than (roughly) the bump's own tile: allow
+            // half-a-tile slack because the bump need not sit at the center.
+            for r in 0..tiles.rows() {
+                for c in 0..tiles.cols() {
+                    let v = d.at3(b, r, c);
+                    assert!(
+                        v + 1e-6 >= home_val - 0.5 * (tiles.tile_width().max(tiles.tile_height())) as f32 / 300.0,
+                        "bump {b}: tile ({r},{c}) value {v} below home {home_val}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_increase_away_from_bump() {
+        let g = grid();
+        let d = distance_tensor(&g);
+        let tiles = g.tile_grid();
+        let bump = &g.bumps()[0];
+        let home = tiles.tile_of(bump.position);
+        // Compare the home tile to the farthest corner tile.
+        let far = pdn_core::geom::TileIndex::new(
+            if home.row < tiles.rows() / 2 { tiles.rows() - 1 } else { 0 },
+            if home.col < tiles.cols() / 2 { tiles.cols() - 1 } else { 0 },
+        );
+        assert!(d.at3(0, far.row, far.col) > d.at3(0, home.row, home.col));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = grid();
+        assert_eq!(distance_tensor(&g), distance_tensor(&g));
+    }
+}

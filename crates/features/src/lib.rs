@@ -1,0 +1,40 @@
+//! Feature extraction and dataset assembly (paper §3.3, §3.4.4).
+//!
+//! The paper deliberately avoids instance-level features that would require
+//! extra simulations; its two inputs are directly available from the
+//! sign-off flow:
+//!
+//! * **load-current maps** — the same current vector fed to the simulator,
+//!   aggregated per tile ([`pdn_compress::spatial`]) and temporally
+//!   compressed (Algorithm 1);
+//! * **distance-to-bump maps** — the Euclidean distance from each tile
+//!   center to each power bump, assembled as `D ∈ R^{B×m×n}`
+//!   ([`distance::distance_tensor`]).
+//!
+//! [`dataset`] turns simulated `(vector, noise map)` pairs into normalized
+//! training tensors and implements the paper's **training-set expansion**
+//! split: candidates join the training set only if sufficiently distant
+//! from every existing member, with the threshold tuned so the training
+//! share is ≈ 60 %; the remainder splits 3 : 7 into validation and test.
+//!
+//! # Example
+//!
+//! ```
+//! use pdn_grid::design::{DesignPreset, DesignScale};
+//! use pdn_features::distance::distance_tensor;
+//!
+//! let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+//! let d = distance_tensor(&grid);
+//! assert_eq!(d.shape()[0], grid.bumps().len());
+//! assert_eq!(&d.shape()[1..], &[8, 8]);
+//! ```
+
+pub mod convert;
+pub mod dataset;
+pub mod distance;
+pub mod normalize;
+
+pub use convert::{map_to_tensor, tensor_to_map};
+pub use dataset::{Dataset, Sample, SplitIndices};
+pub use distance::distance_tensor;
+pub use normalize::Normalizer;

@@ -1,0 +1,112 @@
+//! Input/target normalization.
+//!
+//! The raw features span wildly different scales (amperes ~1e-3, volts
+//! ~1e-1); training behaves far better when both are brought to O(1).
+//! A [`Normalizer`] is a simple scale factor fitted on the training data and
+//! inverted at inference time, stored with the dataset so train/infer always
+//! agree.
+
+/// A multiplicative normalizer: `normalized = raw · scale`.
+///
+/// # Example
+///
+/// ```
+/// use pdn_features::normalize::Normalizer;
+///
+/// let n = Normalizer::fit_to_unit_max(&[0.0, 2.0, 4.0]);
+/// assert_eq!(n.apply(4.0), 1.0);
+/// assert_eq!(n.invert(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalizer {
+    scale: f64,
+}
+
+impl Normalizer {
+    /// Identity normalizer.
+    pub fn identity() -> Normalizer {
+        Normalizer { scale: 1.0 }
+    }
+
+    /// Creates a normalizer with an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale is not finite and positive.
+    pub fn with_scale(scale: f64) -> Normalizer {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive");
+        Normalizer { scale }
+    }
+
+    /// Fits a scale so the maximum of `values` maps to 1.0. Degenerate
+    /// all-zero inputs produce the identity.
+    pub fn fit_to_unit_max(values: &[f64]) -> Normalizer {
+        let max = values.iter().copied().fold(0.0_f64, |a, b| a.max(b.abs()));
+        if max > 0.0 {
+            Normalizer { scale: 1.0 / max }
+        } else {
+            Normalizer::identity()
+        }
+    }
+
+    /// The scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Applies the normalization.
+    pub fn apply(&self, raw: f64) -> f64 {
+        raw * self.scale
+    }
+
+    /// Inverts the normalization.
+    pub fn invert(&self, normalized: f64) -> f64 {
+        normalized / self.scale
+    }
+
+    /// Applies to an `f32` (tensor element).
+    pub fn apply_f32(&self, raw: f32) -> f32 {
+        (raw as f64 * self.scale) as f32
+    }
+
+    /// Inverts an `f32` (tensor element).
+    pub fn invert_f32(&self, normalized: f32) -> f32 {
+        (normalized as f64 / self.scale) as f32
+    }
+}
+
+impl Default for Normalizer {
+    fn default() -> Normalizer {
+        Normalizer::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let n = Normalizer::with_scale(4.0);
+        assert_eq!(n.invert(n.apply(2.5)), 2.5);
+        assert!((n.invert_f32(n.apply_f32(0.3)) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_handles_all_zero() {
+        let n = Normalizer::fit_to_unit_max(&[0.0, 0.0]);
+        assert_eq!(n.scale(), 1.0);
+    }
+
+    #[test]
+    fn fit_uses_absolute_max() {
+        let n = Normalizer::fit_to_unit_max(&[-8.0, 2.0]);
+        assert_eq!(n.apply(-8.0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_bad_scale() {
+        let _ = Normalizer::with_scale(0.0);
+    }
+}

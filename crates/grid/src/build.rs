@@ -1,0 +1,450 @@
+//! Concrete power-grid graph construction.
+
+use crate::error::GridResult;
+use crate::layer::RoutingDirection;
+use crate::spec::PdnSpec;
+use pdn_core::geom::{Point, TileGrid, TileIndex};
+use pdn_core::rng;
+use pdn_core::units::{Farads, Henries, Ohms};
+use rand::Rng as _;
+
+/// Identifier of a grid node. Node ids are dense (`0..node_count`) and
+/// ordered layer by layer, bottom layer first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Creates a node id from a dense index. The caller is responsible for
+    /// the index being within `0..node_count` of the grid it is used with.
+    pub fn new(index: usize) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The dense index of this node, usable as a matrix row/column.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A two-terminal resistor segment (wire segment or via).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Resistor {
+    /// First terminal.
+    pub a: NodeId,
+    /// Second terminal.
+    pub b: NodeId,
+    /// Series resistance.
+    pub resistance: Ohms,
+}
+
+/// A C4 bump: a top-layer node tied to the ideal supply through a series
+/// R + L package branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bump {
+    /// Top-layer node the bump lands on.
+    pub node: NodeId,
+    /// Package branch series resistance.
+    pub resistance: Ohms,
+    /// Package branch series inductance.
+    pub inductance: Henries,
+    /// Die location of the bump (used for the distance feature).
+    pub position: Point,
+}
+
+/// A switching-current load (an instance or instance group) attached to a
+/// bottom-layer node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Load {
+    /// Bottom-layer node the load draws from.
+    pub node: NodeId,
+    /// Die location.
+    pub position: Point,
+    /// Activity cluster this load belongs to (the vector generator
+    /// correlates switching within a cluster).
+    pub cluster: usize,
+    /// Tile containing the load.
+    pub tile: TileIndex,
+}
+
+/// The fully elaborated PDN graph: nodes with positions, resistor segments,
+/// per-node capacitance, bumps and loads.
+///
+/// Built by [`PdnSpec::build`]; consumed by `pdn-sim` for simulation and by
+/// `pdn-features` for feature extraction.
+#[derive(Debug, Clone)]
+pub struct PowerGrid {
+    spec: PdnSpec,
+    layer_offsets: Vec<usize>,
+    positions: Vec<Point>,
+    node_tiles: Vec<TileIndex>,
+    resistors: Vec<Resistor>,
+    capacitance: Vec<Farads>,
+    bumps: Vec<Bump>,
+    loads: Vec<Load>,
+}
+
+impl PowerGrid {
+    /// Builds the graph from a validated spec. `seed` controls load
+    /// placement and decap jitter, so two builds with the same seed are
+    /// identical.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated specs; the `Result` is kept so
+    /// future structural checks can fail without breaking the API.
+    pub fn build(spec: &PdnSpec, seed: u64) -> GridResult<PowerGrid> {
+        let mut rng = rng::derived(seed, &format!("grid::{}", spec.name()));
+        let tiles = spec.tile_grid();
+        let (die_w, die_h) = spec.die_size();
+
+        // --- node numbering: layer by layer, row-major within a layer ---
+        let mut layer_offsets = Vec::with_capacity(spec.layers().len() + 1);
+        let mut total = 0usize;
+        for layer in spec.layers() {
+            layer_offsets.push(total);
+            total += layer.node_count();
+        }
+        layer_offsets.push(total);
+
+        let node_id = |layer: usize, ix: usize, iy: usize| {
+            let l = &spec.layers()[layer];
+            NodeId(layer_offsets[layer] + iy * l.nx() + ix)
+        };
+        // Lattice spacing of a layer; nx >= 2 is guaranteed by MetalLayer.
+        let spacing = |layer: usize| {
+            let l = &spec.layers()[layer];
+            (die_w / (l.nx() - 1) as f64, die_h / (l.ny() - 1) as f64)
+        };
+
+        let mut positions = vec![Point::default(); total];
+        for (li, layer) in spec.layers().iter().enumerate() {
+            let (dx, dy) = spacing(li);
+            for iy in 0..layer.ny() {
+                for ix in 0..layer.nx() {
+                    positions[node_id(li, ix, iy).0] =
+                        Point::new(ix as f64 * dx, iy as f64 * dy);
+                }
+            }
+        }
+        let node_tiles: Vec<TileIndex> = positions.iter().map(|p| tiles.tile_of(*p)).collect();
+
+        // --- wire segments along each layer's routing direction ---
+        let mut resistors = Vec::new();
+        for (li, layer) in spec.layers().iter().enumerate() {
+            let r = layer.segment_resistance();
+            match layer.direction() {
+                RoutingDirection::Horizontal => {
+                    for iy in 0..layer.ny() {
+                        for ix in 0..layer.nx() - 1 {
+                            resistors.push(Resistor {
+                                a: node_id(li, ix, iy),
+                                b: node_id(li, ix + 1, iy),
+                                resistance: r,
+                            });
+                        }
+                    }
+                }
+                RoutingDirection::Vertical => {
+                    for ix in 0..layer.nx() {
+                        for iy in 0..layer.ny() - 1 {
+                            resistors.push(Resistor {
+                                a: node_id(li, ix, iy),
+                                b: node_id(li, ix, iy + 1),
+                                resistance: r,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- vias at wire crossings of each adjacent layer pair ---
+        // A horizontal layer's wires are its rows; a vertical layer's wires
+        // are its columns. Every crossing gets a via between the nearest
+        // lattice nodes on each layer, which guarantees every wire of both
+        // layers is tied into the stack (no floating subgraphs).
+        for li in 0..spec.layers().len() - 1 {
+            let (lo, hi) = (li, li + 1);
+            let lo_layer = &spec.layers()[lo];
+            let (lo_dx, lo_dy) = spacing(lo);
+            let (hi_dx, hi_dy) = spacing(hi);
+            // Identify which of the pair runs horizontally.
+            let (h_idx, v_idx) = match lo_layer.direction() {
+                RoutingDirection::Horizontal => (lo, hi),
+                RoutingDirection::Vertical => (hi, lo),
+            };
+            let h_layer = &spec.layers()[h_idx];
+            let v_layer = &spec.layers()[v_idx];
+            let (_, h_dy) = spacing(h_idx);
+            let (v_dx, _) = spacing(v_idx);
+            for wy in 0..h_layer.ny() {
+                let y = wy as f64 * h_dy;
+                for wx in 0..v_layer.nx() {
+                    let x = wx as f64 * v_dx;
+                    let near = |layer: usize, dx: f64, dy: f64| {
+                        let l = &spec.layers()[layer];
+                        let ix = ((x / dx).round() as usize).min(l.nx() - 1);
+                        let iy = ((y / dy).round() as usize).min(l.ny() - 1);
+                        node_id(layer, ix, iy)
+                    };
+                    resistors.push(Resistor {
+                        a: near(lo, lo_dx, lo_dy),
+                        b: near(hi, hi_dx, hi_dy),
+                        resistance: spec.via_resistance(),
+                    });
+                }
+            }
+        }
+
+        // --- bumps on the top layer, every bump_pitch-th lattice node ---
+        let top = spec.layers().len() - 1;
+        let top_layer = &spec.layers()[top];
+        let pitch = spec.bump_pitch();
+        let mut bumps = Vec::new();
+        let start = pitch / 2; // offset so bumps do not hug the die edge
+        let mut iy = start;
+        while iy < top_layer.ny() {
+            let mut ix = start;
+            while ix < top_layer.nx() {
+                let node = node_id(top, ix, iy);
+                bumps.push(Bump {
+                    node,
+                    resistance: spec.bump_resistance(),
+                    inductance: spec.bump_inductance(),
+                    position: positions[node.0],
+                });
+                ix += pitch;
+            }
+            iy += pitch;
+        }
+
+        // --- per-node capacitance: intrinsic everywhere, decap (with ±20 %
+        //     jitter) on the bottom layer where instances live ---
+        let mut capacitance = vec![spec.node_capacitance(); total];
+        let bottom = &spec.layers()[0];
+        for i in 0..bottom.node_count() {
+            let jitter = 1.0 + rng.gen_range(-0.2..0.2);
+            capacitance[i] = Farads(capacitance[i].0 + spec.decap_per_node().0 * jitter);
+        }
+
+        // --- loads scattered around cluster centers on the bottom layer ---
+        let clusters: Vec<Point> = (0..spec.load_cluster_count())
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.1 * die_w..0.9 * die_w),
+                    rng.gen_range(0.1 * die_h..0.9 * die_h),
+                )
+            })
+            .collect();
+        let (b_dx, b_dy) = spacing(0);
+        let sigma = spec.load_cluster_sigma();
+        let mut loads = Vec::with_capacity(spec.load_count());
+        for k in 0..spec.load_count() {
+            let cluster = k % clusters.len();
+            let center = clusters[cluster];
+            // Box–Muller normal scatter, clamped to the die.
+            let (u1, u2): (f64, f64) = (rng.gen_range(1e-9..1.0), rng.gen_range(0.0..1.0));
+            let mag = (-2.0 * u1.ln()).sqrt() * sigma;
+            let ang = 2.0 * std::f64::consts::PI * u2;
+            let pos = Point::new(
+                (center.x + mag * ang.cos()).clamp(0.0, die_w),
+                (center.y + mag * ang.sin()).clamp(0.0, die_h),
+            );
+            let ix = ((pos.x / b_dx).round() as usize).min(bottom.nx() - 1);
+            let iy = ((pos.y / b_dy).round() as usize).min(bottom.ny() - 1);
+            let node = node_id(0, ix, iy);
+            loads.push(Load { node, position: positions[node.0], cluster, tile: tiles.tile_of(positions[node.0]) });
+        }
+
+        Ok(PowerGrid {
+            spec: spec.clone(),
+            layer_offsets,
+            positions,
+            node_tiles,
+            resistors,
+            capacitance,
+            bumps,
+            loads,
+        })
+    }
+
+    /// The spec this grid was built from.
+    pub fn spec(&self) -> &PdnSpec {
+        &self.spec
+    }
+
+    /// Total node count (the paper's `#Node`).
+    pub fn node_count(&self) -> usize {
+        *self.layer_offsets.last().expect("offsets non-empty")
+    }
+
+    /// Node-id range `[start, end)` of one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn layer_nodes(&self, layer: usize) -> std::ops::Range<usize> {
+        assert!(layer + 1 < self.layer_offsets.len(), "layer out of range");
+        self.layer_offsets[layer]..self.layer_offsets[layer + 1]
+    }
+
+    /// Node-id range of the bottom (load/observation) layer.
+    pub fn bottom_nodes(&self) -> std::ops::Range<usize> {
+        self.layer_nodes(0)
+    }
+
+    /// Die position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_position(&self, node: NodeId) -> Point {
+        self.positions[node.0]
+    }
+
+    /// Tile containing a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node_tile(&self, node: NodeId) -> TileIndex {
+        self.node_tiles[node.0]
+    }
+
+    /// All resistor segments (wires + vias).
+    pub fn resistors(&self) -> &[Resistor] {
+        &self.resistors
+    }
+
+    /// Per-node capacitance to ground.
+    pub fn capacitance(&self) -> &[Farads] {
+        &self.capacitance
+    }
+
+    /// The bump array.
+    pub fn bumps(&self) -> &[Bump] {
+        &self.bumps
+    }
+
+    /// The current loads (`#I_load` of Table 1).
+    pub fn loads(&self) -> &[Load] {
+        &self.loads
+    }
+
+    /// The tile grid of the design.
+    pub fn tile_grid(&self) -> TileGrid {
+        self.spec.tile_grid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::MetalLayer;
+    use crate::spec::PdnSpec;
+
+    fn small_spec() -> PdnSpec {
+        PdnSpec::builder("t")
+            .die(100.0, 100.0)
+            .layer(MetalLayer::new("M1", RoutingDirection::Horizontal, 8, 8, Ohms(1.0)))
+            .layer(MetalLayer::new("M2", RoutingDirection::Vertical, 8, 8, Ohms(0.5)))
+            .layer(MetalLayer::new("M3", RoutingDirection::Horizontal, 4, 4, Ohms(0.2)))
+            .bump_pitch(2)
+            .load_count(30)
+            .tile_grid(4, 4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn node_counts_and_layers() {
+        let g = small_spec().build(1).unwrap();
+        assert_eq!(g.node_count(), 64 + 64 + 16);
+        assert_eq!(g.layer_nodes(0), 0..64);
+        assert_eq!(g.layer_nodes(1), 64..128);
+        assert_eq!(g.layer_nodes(2), 128..144);
+        assert_eq!(g.bottom_nodes(), 0..64);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let spec = small_spec();
+        let a = spec.build(7).unwrap();
+        let b = spec.build(7).unwrap();
+        assert_eq!(a.loads(), b.loads());
+        assert_eq!(a.capacitance(), b.capacitance());
+        let c = spec.build(8).unwrap();
+        assert_ne!(a.loads(), c.loads());
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        // Union-find over resistors: every node must reach node 0.
+        let g = small_spec().build(3).unwrap();
+        let n = g.node_count();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for r in g.resistors() {
+            let (a, b) = (find(&mut parent, r.a.index()), find(&mut parent, r.b.index()));
+            parent[a] = b;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..n {
+            assert_eq!(find(&mut parent, i), root, "node {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn bumps_on_top_layer_with_positive_parasitics() {
+        let g = small_spec().build(3).unwrap();
+        assert!(!g.bumps().is_empty());
+        for b in g.bumps() {
+            assert!(g.layer_nodes(2).contains(&b.node.index()));
+            assert!(b.resistance.0 > 0.0);
+            assert!(b.inductance.0 > 0.0);
+        }
+    }
+
+    #[test]
+    fn loads_on_bottom_layer_with_valid_tiles() {
+        let g = small_spec().build(3).unwrap();
+        assert_eq!(g.loads().len(), 30);
+        let tiles = g.tile_grid();
+        for l in g.loads() {
+            assert!(g.bottom_nodes().contains(&l.node.index()));
+            assert!(l.tile.row < tiles.rows() && l.tile.col < tiles.cols());
+            assert_eq!(g.node_tile(l.node), l.tile);
+            assert!(l.cluster < 4);
+        }
+    }
+
+    #[test]
+    fn capacitance_positive_everywhere_larger_on_bottom() {
+        let g = small_spec().build(3).unwrap();
+        let caps = g.capacitance();
+        for c in caps {
+            assert!(c.0 > 0.0);
+        }
+        let bottom_min =
+            g.bottom_nodes().map(|i| caps[i].0).fold(f64::INFINITY, f64::min);
+        let top_max =
+            g.layer_nodes(2).map(|i| caps[i].0).fold(0.0_f64, f64::max);
+        assert!(bottom_min > top_max, "decap should dominate on the bottom layer");
+    }
+
+    #[test]
+    fn positions_within_die() {
+        let g = small_spec().build(3).unwrap();
+        for i in 0..g.node_count() {
+            let p = g.node_position(NodeId(i));
+            assert!((0.0..=100.0).contains(&p.x));
+            assert!((0.0..=100.0).contains(&p.y));
+        }
+    }
+}

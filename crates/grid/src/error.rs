@@ -1,0 +1,45 @@
+//! Error types for PDN construction.
+
+use std::fmt;
+
+/// Result alias for grid construction.
+pub type GridResult<T> = std::result::Result<T, GridError>;
+
+/// Errors produced while validating a spec or building a grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// The spec is internally inconsistent.
+    InvalidSpec {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A layer stack must contain at least two layers (loads attach at the
+    /// bottom, bumps at the top).
+    TooFewLayers {
+        /// Number of layers provided.
+        count: usize,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::InvalidSpec { detail } => write!(f, "invalid PDN spec: {detail}"),
+            GridError::TooFewLayers { count } => {
+                write!(f, "layer stack needs at least 2 layers, got {count}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GridError::TooFewLayers { count: 1 }.to_string().contains("got 1"));
+    }
+}

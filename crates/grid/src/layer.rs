@@ -1,0 +1,135 @@
+//! Metal-layer descriptions.
+
+use pdn_core::units::Ohms;
+
+/// Routing direction of a metal layer. Real power grids alternate direction
+/// layer by layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingDirection {
+    /// Wires run left–right; resistor segments connect horizontal neighbors.
+    Horizontal,
+    /// Wires run bottom–top; resistor segments connect vertical neighbors.
+    Vertical,
+}
+
+impl RoutingDirection {
+    /// The perpendicular direction.
+    pub fn flipped(self) -> RoutingDirection {
+        match self {
+            RoutingDirection::Horizontal => RoutingDirection::Vertical,
+            RoutingDirection::Vertical => RoutingDirection::Horizontal,
+        }
+    }
+}
+
+/// One metal layer of the on-die grid, discretized as an `nx × ny` lattice
+/// of nodes with resistor segments along [`MetalLayer::direction`].
+///
+/// Lower layers are finer (smaller pitch, higher resistance); upper layers
+/// are coarse, wide and low-resistance — matching the stack sketched in the
+/// paper's Fig. 1.
+///
+/// # Example
+///
+/// ```
+/// use pdn_grid::layer::{MetalLayer, RoutingDirection};
+/// use pdn_core::units::Ohms;
+///
+/// let m1 = MetalLayer::new("M1", RoutingDirection::Horizontal, 32, 32, Ohms(2.0));
+/// assert_eq!(m1.node_count(), 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetalLayer {
+    name: String,
+    direction: RoutingDirection,
+    nx: usize,
+    ny: usize,
+    segment_resistance: Ohms,
+}
+
+impl MetalLayer {
+    /// Creates a layer.
+    ///
+    /// `nx × ny` is the node lattice resolution; `segment_resistance` is the
+    /// resistance of one wire segment between adjacent nodes along the
+    /// routing direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resolution is < 2 or the resistance is not positive.
+    pub fn new(
+        name: impl Into<String>,
+        direction: RoutingDirection,
+        nx: usize,
+        ny: usize,
+        segment_resistance: Ohms,
+    ) -> MetalLayer {
+        assert!(nx >= 2 && ny >= 2, "layer lattice must be at least 2x2");
+        assert!(segment_resistance.0 > 0.0, "segment resistance must be positive");
+        MetalLayer { name: name.into(), direction, nx, ny, segment_resistance }
+    }
+
+    /// Layer name (e.g. `"M1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Routing direction.
+    pub fn direction(&self) -> RoutingDirection {
+        self.direction
+    }
+
+    /// Lattice resolution in x (number of node columns).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Lattice resolution in y (number of node rows).
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of nodes on this layer.
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Resistance of one segment between adjacent nodes along the routing
+    /// direction.
+    pub fn segment_resistance(&self) -> Ohms {
+        self.segment_resistance
+    }
+
+    /// Number of resistor segments this layer contributes.
+    pub fn segment_count(&self) -> usize {
+        match self.direction {
+            RoutingDirection::Horizontal => (self.nx - 1) * self.ny,
+            RoutingDirection::Vertical => self.nx * (self.ny - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flipped_alternates() {
+        assert_eq!(RoutingDirection::Horizontal.flipped(), RoutingDirection::Vertical);
+        assert_eq!(RoutingDirection::Vertical.flipped(), RoutingDirection::Horizontal);
+    }
+
+    #[test]
+    fn segment_counts() {
+        let h = MetalLayer::new("M1", RoutingDirection::Horizontal, 4, 3, Ohms(1.0));
+        assert_eq!(h.segment_count(), 9); // (4-1) * 3
+        let v = MetalLayer::new("M2", RoutingDirection::Vertical, 4, 3, Ohms(1.0));
+        assert_eq!(v.segment_count(), 8); // 4 * (3-1)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn rejects_degenerate_lattice() {
+        let _ = MetalLayer::new("M1", RoutingDirection::Horizontal, 1, 3, Ohms(1.0));
+    }
+}

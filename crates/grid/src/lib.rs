@@ -1,0 +1,47 @@
+//! Parameterized on-die power-distribution-network (PDN) generator.
+//!
+//! The paper evaluates on four proprietary commercial PDNs (D1–D4, Table 1).
+//! Those netlists are not public, so this crate builds synthetic equivalents
+//! with the same structure a commercial extraction would produce (paper §1,
+//! Fig. 1):
+//!
+//! * a stack of [`layer::MetalLayer`]s, each a set of parallel wires in one
+//!   routing direction, discretized into resistor segments;
+//! * via resistances between vertically adjacent layers;
+//! * a C4 **bump** array on the top layer, each bump reaching the ideal
+//!   supply through a package branch (series R + L — the package inductance
+//!   is what makes *dynamic* noise exceed static IR drop through RLC
+//!   resonance with the on-die decap);
+//! * on-die **decoupling capacitance** spread over the bottom layer;
+//! * **current loads** (switching instances) attached to bottom-layer nodes.
+//!
+//! [`design::DesignPreset`] provides D1–D4 presets at two scales
+//! ([`design::DesignScale::Ci`] for laptop-class runs, `Paper` for the
+//! original tile grids), and [`build::PowerGrid`] is the concrete node graph
+//! that `pdn-sim` stamps and solves.
+//!
+//! # Example
+//!
+//! ```
+//! use pdn_grid::design::{DesignPreset, DesignScale};
+//!
+//! let spec = DesignPreset::D1.spec(DesignScale::Ci);
+//! let grid = spec.build(42).unwrap();
+//! assert!(grid.node_count() > 1000);
+//! assert!(!grid.bumps().is_empty());
+//! assert!(!grid.loads().is_empty());
+//! ```
+
+pub mod build;
+pub mod design;
+pub mod error;
+pub mod layer;
+pub mod netlist;
+pub mod spec;
+pub mod stamp;
+
+pub use build::{Bump, Load, NodeId, PowerGrid};
+pub use design::{DesignPreset, DesignScale};
+pub use error::{GridError, GridResult};
+pub use layer::{MetalLayer, RoutingDirection};
+pub use spec::PdnSpec;

@@ -1,0 +1,434 @@
+//! Full parameterization of a synthetic PDN design.
+
+use crate::build::PowerGrid;
+use crate::error::{GridError, GridResult};
+use crate::layer::MetalLayer;
+use pdn_core::geom::TileGrid;
+use pdn_core::units::{Amps, Farads, Henries, Ohms, Seconds, Volts};
+
+/// Complete description of a PDN design: geometry, electrical parameters,
+/// load placement statistics and the tile grid used for spatial compression.
+///
+/// Construct via [`PdnSpec::builder`]; presets for the paper's D1–D4 live in
+/// [`crate::design::DesignPreset`].
+///
+/// # Example
+///
+/// ```
+/// use pdn_grid::spec::PdnSpec;
+/// use pdn_grid::layer::{MetalLayer, RoutingDirection};
+/// use pdn_core::units::Ohms;
+///
+/// let spec = PdnSpec::builder("tiny")
+///     .die(200.0, 200.0)
+///     .layer(MetalLayer::new("M1", RoutingDirection::Horizontal, 8, 8, Ohms(1.0)))
+///     .layer(MetalLayer::new("M2", RoutingDirection::Vertical, 8, 8, Ohms(0.5)))
+///     .tile_grid(4, 4)
+///     .load_count(20)
+///     .build()
+///     .unwrap();
+/// assert_eq!(spec.tile_grid().len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdnSpec {
+    pub(crate) name: String,
+    pub(crate) die_width: f64,
+    pub(crate) die_height: f64,
+    pub(crate) layers: Vec<MetalLayer>,
+    pub(crate) via_resistance: Ohms,
+    pub(crate) bump_pitch: usize,
+    pub(crate) bump_resistance: Ohms,
+    pub(crate) bump_inductance: Henries,
+    pub(crate) vdd: Volts,
+    pub(crate) decap_per_node: Farads,
+    pub(crate) node_capacitance: Farads,
+    pub(crate) load_count: usize,
+    pub(crate) load_cluster_count: usize,
+    pub(crate) load_cluster_sigma: f64,
+    pub(crate) nominal_load_peak: Amps,
+    pub(crate) time_step: Seconds,
+    pub(crate) tile_rows: usize,
+    pub(crate) tile_cols: usize,
+    pub(crate) hotspot_fraction: f64,
+}
+
+impl PdnSpec {
+    /// Starts building a spec with the given design name.
+    pub fn builder(name: impl Into<String>) -> PdnSpecBuilder {
+        PdnSpecBuilder::new(name)
+    }
+
+    /// Design name (e.g. `"D1"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die dimensions in µm.
+    pub fn die_size(&self) -> (f64, f64) {
+        (self.die_width, self.die_height)
+    }
+
+    /// The metal-layer stack, bottom (load layer) first.
+    pub fn layers(&self) -> &[MetalLayer] {
+        &self.layers
+    }
+
+    /// Via resistance between adjacent layers.
+    pub fn via_resistance(&self) -> Ohms {
+        self.via_resistance
+    }
+
+    /// Bumps are placed every `bump_pitch`-th node of the top layer lattice.
+    pub fn bump_pitch(&self) -> usize {
+        self.bump_pitch
+    }
+
+    /// Package branch series resistance per bump.
+    pub fn bump_resistance(&self) -> Ohms {
+        self.bump_resistance
+    }
+
+    /// Package branch series inductance per bump.
+    pub fn bump_inductance(&self) -> Henries {
+        self.bump_inductance
+    }
+
+    /// Nominal supply voltage (the paper normalizes to 1 V).
+    pub fn vdd(&self) -> Volts {
+        self.vdd
+    }
+
+    /// Explicit decap at each bottom-layer node.
+    pub fn decap_per_node(&self) -> Farads {
+        self.decap_per_node
+    }
+
+    /// Intrinsic capacitance at every grid node.
+    pub fn node_capacitance(&self) -> Farads {
+        self.node_capacitance
+    }
+
+    /// Number of current loads (the paper's `#I_load`).
+    pub fn load_count(&self) -> usize {
+        self.load_count
+    }
+
+    /// Number of activity clusters the loads are grouped into.
+    pub fn load_cluster_count(&self) -> usize {
+        self.load_cluster_count
+    }
+
+    /// Standard deviation (µm) of load scatter around a cluster center.
+    pub fn load_cluster_sigma(&self) -> f64 {
+        self.load_cluster_sigma
+    }
+
+    /// Reference peak current per load, used by the vector generator.
+    pub fn nominal_load_peak(&self) -> Amps {
+        self.nominal_load_peak
+    }
+
+    /// Transient time step (the paper uses 1 ps).
+    pub fn time_step(&self) -> Seconds {
+        self.time_step
+    }
+
+    /// The `m × n` tile grid used for spatial compression (paper Table 2).
+    pub fn tile_grid(&self) -> TileGrid {
+        TileGrid::new(self.tile_rows, self.tile_cols, self.die_width, self.die_height)
+    }
+
+    /// Hotspot threshold as a fraction of `vdd` (the paper uses 10 %).
+    pub fn hotspot_fraction(&self) -> f64 {
+        self.hotspot_fraction
+    }
+
+    /// Hotspot threshold in volts.
+    pub fn hotspot_threshold(&self) -> Volts {
+        Volts(self.vdd.0 * self.hotspot_fraction)
+    }
+
+    /// Builds the concrete node graph for this spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the builder (the spec itself is
+    /// already validated, so this only fails for pathological layer stacks).
+    pub fn build(&self, seed: u64) -> GridResult<PowerGrid> {
+        PowerGrid::build(self, seed)
+    }
+}
+
+/// Builder for [`PdnSpec`]. All parameters have physically plausible
+/// defaults; only the layer stack must be provided.
+#[derive(Debug, Clone)]
+pub struct PdnSpecBuilder {
+    name: String,
+    die_width: f64,
+    die_height: f64,
+    layers: Vec<MetalLayer>,
+    via_resistance: Ohms,
+    bump_pitch: usize,
+    bump_resistance: Ohms,
+    bump_inductance: Henries,
+    vdd: Volts,
+    decap_per_node: Farads,
+    node_capacitance: Farads,
+    load_count: usize,
+    load_cluster_count: usize,
+    load_cluster_sigma: f64,
+    nominal_load_peak: Amps,
+    time_step: Seconds,
+    tile_rows: usize,
+    tile_cols: usize,
+    hotspot_fraction: f64,
+}
+
+impl PdnSpecBuilder {
+    fn new(name: impl Into<String>) -> PdnSpecBuilder {
+        PdnSpecBuilder {
+            name: name.into(),
+            die_width: 1000.0,
+            die_height: 1000.0,
+            layers: Vec::new(),
+            via_resistance: Ohms(0.5),
+            bump_pitch: 4,
+            bump_resistance: Ohms(0.05),
+            bump_inductance: Henries(30e-12),
+            vdd: Volts(1.0),
+            decap_per_node: Farads(1e-12),
+            node_capacitance: Farads(5e-15),
+            load_count: 100,
+            load_cluster_count: 4,
+            load_cluster_sigma: 100.0,
+            nominal_load_peak: Amps(1e-3),
+            time_step: Seconds::from_picos(1.0),
+            tile_rows: 10,
+            tile_cols: 10,
+            hotspot_fraction: 0.10,
+        }
+    }
+
+    /// Sets the die dimensions in µm.
+    pub fn die(mut self, width: f64, height: f64) -> Self {
+        self.die_width = width;
+        self.die_height = height;
+        self
+    }
+
+    /// Appends a metal layer (call bottom-up).
+    pub fn layer(mut self, layer: MetalLayer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Sets the via resistance between adjacent layers.
+    pub fn via_resistance(mut self, r: Ohms) -> Self {
+        self.via_resistance = r;
+        self
+    }
+
+    /// Bumps every `pitch`-th top-layer node (both directions).
+    pub fn bump_pitch(mut self, pitch: usize) -> Self {
+        self.bump_pitch = pitch;
+        self
+    }
+
+    /// Package branch per bump: series resistance and inductance.
+    pub fn bump_rl(mut self, r: Ohms, l: Henries) -> Self {
+        self.bump_resistance = r;
+        self.bump_inductance = l;
+        self
+    }
+
+    /// Nominal supply voltage.
+    pub fn vdd(mut self, v: Volts) -> Self {
+        self.vdd = v;
+        self
+    }
+
+    /// Explicit decap per bottom-layer node and intrinsic per-node cap.
+    pub fn capacitance(mut self, decap: Farads, intrinsic: Farads) -> Self {
+        self.decap_per_node = decap;
+        self.node_capacitance = intrinsic;
+        self
+    }
+
+    /// Number of current loads.
+    pub fn load_count(mut self, n: usize) -> Self {
+        self.load_count = n;
+        self
+    }
+
+    /// Load clustering: number of clusters and scatter σ in µm.
+    pub fn load_clusters(mut self, clusters: usize, sigma: f64) -> Self {
+        self.load_cluster_count = clusters;
+        self.load_cluster_sigma = sigma;
+        self
+    }
+
+    /// Reference peak current per load.
+    pub fn nominal_load_peak(mut self, i: Amps) -> Self {
+        self.nominal_load_peak = i;
+        self
+    }
+
+    /// Transient time step.
+    pub fn time_step(mut self, dt: Seconds) -> Self {
+        self.time_step = dt;
+        self
+    }
+
+    /// Tile grid (`m` rows × `n` cols) for spatial compression.
+    pub fn tile_grid(mut self, rows: usize, cols: usize) -> Self {
+        self.tile_rows = rows;
+        self.tile_cols = cols;
+        self
+    }
+
+    /// Hotspot threshold as a fraction of `vdd`.
+    pub fn hotspot_fraction(mut self, f: f64) -> Self {
+        self.hotspot_fraction = f;
+        self
+    }
+
+    /// Validates and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::TooFewLayers`] for stacks shorter than 2 and
+    /// [`GridError::InvalidSpec`] for inconsistent parameters (non-positive
+    /// dimensions, zero loads, non-alternating layer directions, bump pitch
+    /// that produces no bumps, …).
+    pub fn build(self) -> GridResult<PdnSpec> {
+        if self.layers.len() < 2 {
+            return Err(GridError::TooFewLayers { count: self.layers.len() });
+        }
+        for pair in self.layers.windows(2) {
+            if pair[0].direction() == pair[1].direction() {
+                return Err(GridError::InvalidSpec {
+                    detail: format!(
+                        "adjacent layers {} and {} share a routing direction; stacks must alternate",
+                        pair[0].name(),
+                        pair[1].name()
+                    ),
+                });
+            }
+        }
+        if !(self.die_width > 0.0 && self.die_height > 0.0) {
+            return Err(GridError::InvalidSpec { detail: "die dimensions must be positive".into() });
+        }
+        if self.load_count == 0 {
+            return Err(GridError::InvalidSpec { detail: "load_count must be non-zero".into() });
+        }
+        if self.load_cluster_count == 0 {
+            return Err(GridError::InvalidSpec {
+                detail: "load_cluster_count must be non-zero".into(),
+            });
+        }
+        if self.tile_rows == 0 || self.tile_cols == 0 {
+            return Err(GridError::InvalidSpec { detail: "tile grid must be non-empty".into() });
+        }
+        let top = self.layers.last().expect("stack verified non-empty");
+        if self.bump_pitch == 0 || self.bump_pitch >= top.nx() || self.bump_pitch >= top.ny() {
+            return Err(GridError::InvalidSpec {
+                detail: format!(
+                    "bump pitch {} incompatible with top layer lattice {}x{}",
+                    self.bump_pitch,
+                    top.nx(),
+                    top.ny()
+                ),
+            });
+        }
+        if !(self.time_step.0 > 0.0) {
+            return Err(GridError::InvalidSpec { detail: "time step must be positive".into() });
+        }
+        if !(0.0 < self.hotspot_fraction && self.hotspot_fraction < 1.0) {
+            return Err(GridError::InvalidSpec {
+                detail: "hotspot fraction must be in (0, 1)".into(),
+            });
+        }
+        Ok(PdnSpec {
+            name: self.name,
+            die_width: self.die_width,
+            die_height: self.die_height,
+            layers: self.layers,
+            via_resistance: self.via_resistance,
+            bump_pitch: self.bump_pitch,
+            bump_resistance: self.bump_resistance,
+            bump_inductance: self.bump_inductance,
+            vdd: self.vdd,
+            decap_per_node: self.decap_per_node,
+            node_capacitance: self.node_capacitance,
+            load_count: self.load_count,
+            load_cluster_count: self.load_cluster_count,
+            load_cluster_sigma: self.load_cluster_sigma,
+            nominal_load_peak: self.nominal_load_peak,
+            time_step: self.time_step,
+            tile_rows: self.tile_rows,
+            tile_cols: self.tile_cols,
+            hotspot_fraction: self.hotspot_fraction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::RoutingDirection;
+
+    fn two_layers() -> PdnSpecBuilder {
+        PdnSpec::builder("t")
+            .layer(MetalLayer::new("M1", RoutingDirection::Horizontal, 8, 8, Ohms(1.0)))
+            .layer(MetalLayer::new("M2", RoutingDirection::Vertical, 8, 8, Ohms(0.5)))
+    }
+
+    #[test]
+    fn valid_spec_builds() {
+        let spec = two_layers().build().unwrap();
+        assert_eq!(spec.layers().len(), 2);
+        assert_eq!(spec.hotspot_threshold(), Volts(0.1));
+    }
+
+    #[test]
+    fn rejects_single_layer() {
+        let err = PdnSpec::builder("t")
+            .layer(MetalLayer::new("M1", RoutingDirection::Horizontal, 8, 8, Ohms(1.0)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GridError::TooFewLayers { count: 1 }));
+    }
+
+    #[test]
+    fn rejects_parallel_adjacent_layers() {
+        let err = PdnSpec::builder("t")
+            .layer(MetalLayer::new("M1", RoutingDirection::Horizontal, 8, 8, Ohms(1.0)))
+            .layer(MetalLayer::new("M2", RoutingDirection::Horizontal, 8, 8, Ohms(1.0)))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GridError::InvalidSpec { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_bump_pitch() {
+        assert!(two_layers().bump_pitch(0).build().is_err());
+        assert!(two_layers().bump_pitch(8).build().is_err());
+        assert!(two_layers().bump_pitch(3).build().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_loads_and_bad_fraction() {
+        assert!(two_layers().load_count(0).build().is_err());
+        assert!(two_layers().hotspot_fraction(0.0).build().is_err());
+        assert!(two_layers().hotspot_fraction(1.5).build().is_err());
+    }
+
+    #[test]
+    fn tile_grid_dimensions() {
+        let spec = two_layers().tile_grid(3, 5).die(300.0, 600.0).build().unwrap();
+        let g = spec.tile_grid();
+        assert_eq!((g.rows(), g.cols()), (3, 5));
+        assert_eq!(g.tile_width(), 60.0);
+        assert_eq!(g.tile_height(), 200.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! MNA stamping of the grid into sparse matrices.
+//!
+//! The simulator needs two operators (paper §2): the conductance matrix `G`
+//! of all resistive elements and the (diagonal) capacitance matrix `C`. The
+//! Δt-dependent bump companion conductances are added by `pdn-sim`, so the
+//! stamps here depend only on the grid itself and can be reused across time
+//! steps and test vectors.
+
+use crate::build::PowerGrid;
+use pdn_sparse::coo::CooMatrix;
+
+/// Stamps the wire/via conductance matrix (no bump branches, no loads).
+///
+/// The result is symmetric and weakly diagonally dominant; on its own it is
+/// singular (a floating network) until the bump conductances pin it to the
+/// supply.
+///
+/// # Example
+///
+/// ```
+/// use pdn_grid::design::{DesignPreset, DesignScale};
+/// use pdn_grid::stamp;
+///
+/// let grid = DesignPreset::D1.spec(DesignScale::Ci).build(1).unwrap();
+/// let g = stamp::conductance_coo(&grid).to_csr();
+/// assert!(g.is_symmetric(1e-12));
+/// assert!(g.is_diagonally_dominant(1e-9));
+/// ```
+pub fn conductance_coo(grid: &PowerGrid) -> CooMatrix {
+    let n = grid.node_count();
+    let mut coo = CooMatrix::with_capacity(n, n, grid.resistors().len() * 4);
+    for r in grid.resistors() {
+        let g = 1.0 / r.resistance.0;
+        coo.stamp_conductance(Some(r.a.index()), Some(r.b.index()), g);
+    }
+    coo
+}
+
+/// The diagonal of the capacitance matrix, in farads per node.
+pub fn capacitance_vector(grid: &PowerGrid) -> Vec<f64> {
+    grid.capacitance().iter().map(|c| c.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{MetalLayer, RoutingDirection};
+    use crate::spec::PdnSpec;
+    use pdn_core::units::Ohms;
+
+    fn grid() -> PowerGrid {
+        PdnSpec::builder("t")
+            .die(100.0, 100.0)
+            .layer(MetalLayer::new("M1", RoutingDirection::Horizontal, 6, 6, Ohms(2.0)))
+            .layer(MetalLayer::new("M2", RoutingDirection::Vertical, 6, 6, Ohms(1.0)))
+            .bump_pitch(2)
+            .load_count(10)
+            .tile_grid(3, 3)
+            .build()
+            .unwrap()
+            .build(0)
+            .unwrap()
+    }
+
+    #[test]
+    fn stamp_is_symmetric_and_row_sums_vanish() {
+        let g = grid();
+        let csr = conductance_coo(&g).to_csr();
+        assert!(csr.is_symmetric(1e-12));
+        // A pure wire network has zero row sums (no ground connection).
+        let ones = vec![1.0; csr.n_cols()];
+        for v in csr.mul_vec(&ones) {
+            assert!(v.abs() < 1e-9, "row sum {v}");
+        }
+    }
+
+    #[test]
+    fn capacitance_matches_grid() {
+        let g = grid();
+        let c = capacitance_vector(&g);
+        assert_eq!(c.len(), g.node_count());
+        assert!(c.iter().all(|v| *v > 0.0));
+    }
+}

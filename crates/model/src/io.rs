@@ -1,0 +1,252 @@
+//! Saving and loading trained predictors.
+//!
+//! The on-disk bundle contains everything inference needs: the model
+//! configuration, the bump count (fixing the distance subnet's input
+//! width), the fitted normalizer scales, the compressor settings, the
+//! design's distance tensor, and all network weights. Restoring yields a
+//! [`Predictor`] that answers sign-off queries bit-identically to the one
+//! that was saved.
+
+use crate::model::{ModelConfig, Predictor, WnvModel};
+use pdn_compress::temporal::TemporalCompressor;
+use pdn_features::normalize::Normalizer;
+use pdn_nn::serialize::{read_params, write_params};
+use pdn_nn::tensor::Tensor;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PDNWNV01";
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+impl Predictor {
+    /// Writes the complete inference bundle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save<W: Write>(&mut self, mut writer: W) -> io::Result<()> {
+        writer.write_all(MAGIC)?;
+        let config = self.model_config();
+        write_u32(&mut writer, config.c1 as u32)?;
+        write_u32(&mut writer, config.c2 as u32)?;
+        write_u32(&mut writer, config.c3 as u32)?;
+        let distance = self.distance_tensor().clone();
+        write_u32(&mut writer, distance.shape()[0] as u32)?;
+        write_u32(&mut writer, distance.shape()[1] as u32)?;
+        write_u32(&mut writer, distance.shape()[2] as u32)?;
+        for v in distance.as_slice() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+        write_f64(&mut writer, self.current_norm_scale())?;
+        write_f64(&mut writer, self.target_norm_scale())?;
+        match self.compressor_settings() {
+            Some((rate, step)) => {
+                write_u32(&mut writer, 1)?;
+                write_f64(&mut writer, rate)?;
+                write_f64(&mut writer, step)?;
+            }
+            None => write_u32(&mut writer, 0)?,
+        }
+        self.model_mut().write_weights(&mut writer)
+    }
+
+    /// Saves to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_to(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.save(io::BufWriter::new(f))
+    }
+
+    /// Restores a predictor bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for corrupt bundles; propagates I/O errors.
+    pub fn load<R: Read>(mut reader: R) -> io::Result<Predictor> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad predictor-bundle magic"));
+        }
+        let c1 = read_u32(&mut reader)? as usize;
+        let c2 = read_u32(&mut reader)? as usize;
+        let c3 = read_u32(&mut reader)? as usize;
+        let bumps = read_u32(&mut reader)? as usize;
+        let m = read_u32(&mut reader)? as usize;
+        let n = read_u32(&mut reader)? as usize;
+        if bumps == 0 || m == 0 || n == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "degenerate distance tensor"));
+        }
+        let count = bumps * m * n;
+        let mut data = vec![0.0f32; count];
+        let mut b4 = [0u8; 4];
+        for v in &mut data {
+            reader.read_exact(&mut b4)?;
+            *v = f32::from_le_bytes(b4);
+        }
+        let distance = Tensor::from_vec(&[bumps, m, n], data);
+        let current_scale = read_f64(&mut reader)?;
+        let target_scale = read_f64(&mut reader)?;
+        let has_compressor = read_u32(&mut reader)? != 0;
+        let compressor = if has_compressor {
+            let rate = read_f64(&mut reader)?;
+            let step = read_f64(&mut reader)?;
+            Some(TemporalCompressor::new(rate, step).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad compressor settings: {e}"))
+            })?)
+        } else {
+            None
+        };
+        let mut model = WnvModel::new(bumps, ModelConfig { c1, c2, c3 }, 0);
+        model.read_weights(&mut reader)?;
+        Ok(Predictor::from_parts(
+            model,
+            distance,
+            Normalizer::with_scale(current_scale),
+            Normalizer::with_scale(target_scale),
+            compressor,
+        ))
+    }
+
+    /// Loads from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn load_from(path: impl AsRef<Path>) -> io::Result<Predictor> {
+        let f = std::fs::File::open(path)?;
+        Predictor::load(io::BufReader::new(f))
+    }
+}
+
+impl WnvModel {
+    /// Writes the three subnets' weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_weights<W: Write>(&mut self, writer: &mut W) -> io::Result<()> {
+        struct Visitor<'a>(&'a mut WnvModel);
+        impl pdn_nn::layer::Layer for Visitor<'_> {
+            fn forward(&mut self, _input: &Tensor) -> Tensor {
+                unreachable!("serialization-only adapter")
+            }
+            fn backward(&mut self, _grad: &Tensor) -> Tensor {
+                unreachable!("serialization-only adapter")
+            }
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut pdn_nn::layer::Param)) {
+                self.0.visit_params(f);
+            }
+        }
+        write_params(&mut Visitor(self), writer)
+    }
+
+    /// Restores the three subnets' weights from [`WnvModel::write_weights`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for structurally mismatched weight files.
+    pub fn read_weights<R: Read>(&mut self, reader: &mut R) -> io::Result<()> {
+        struct Visitor<'a>(&'a mut WnvModel);
+        impl pdn_nn::layer::Layer for Visitor<'_> {
+            fn forward(&mut self, _input: &Tensor) -> Tensor {
+                unreachable!("serialization-only adapter")
+            }
+            fn backward(&mut self, _grad: &Tensor) -> Tensor {
+                unreachable!("serialization-only adapter")
+            }
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut pdn_nn::layer::Param)) {
+                self.0.visit_params(f);
+            }
+        }
+        read_params(&mut Visitor(self), reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_compress::temporal::TemporalCompressor;
+    use pdn_features::dataset::Dataset;
+    use pdn_grid::design::{DesignPreset, DesignScale};
+    use pdn_sim::wnv::WnvRunner;
+    use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+
+    fn trained_predictor() -> (pdn_grid::build::PowerGrid, Predictor, pdn_vectors::vector::TestVector)
+    {
+        let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+        let gen =
+            VectorGenerator::new(&grid, GeneratorConfig { steps: 40, ..Default::default() });
+        let vectors = gen.generate_group(4, 51);
+        let runner = WnvRunner::new(&grid).unwrap();
+        let reports = runner.run_group(&vectors).unwrap();
+        let comp = TemporalCompressor::new(0.4, 0.05).unwrap();
+        let ds = Dataset::build(&grid, &vectors, &reports, Some(&comp));
+        let model =
+            WnvModel::new(grid.bumps().len(), ModelConfig { c1: 2, c2: 2, c3: 2 }, 3);
+        let predictor = Predictor::new(model, &ds, Some(comp));
+        let query = gen.generate(999);
+        (grid, predictor, query)
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let (grid, mut predictor, query) = trained_predictor();
+        let before = predictor.predict(&grid, &query);
+        let mut buf = Vec::new();
+        predictor.save(&mut buf).unwrap();
+        let mut restored = Predictor::load(&mut buf.as_slice()).unwrap();
+        let after = restored.predict(&grid, &query);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (grid, mut predictor, query) = trained_predictor();
+        let dir = std::env::temp_dir().join("pdn_model_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("predictor.pdnwnv");
+        predictor.save_to(&path).unwrap();
+        let mut restored = Predictor::load_from(&path).unwrap();
+        assert_eq!(predictor.predict(&grid, &query), restored.predict(&grid, &query));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_bundle_rejected() {
+        let err = Predictor::load(&mut b"garbage!".as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_bundle_rejected() {
+        let (_, mut predictor, _) = trained_predictor();
+        let mut buf = Vec::new();
+        predictor.save(&mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(Predictor::load(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! The assembled three-subnet model and the end-user predictor.
+
+use crate::fusion::FusionNet;
+use crate::pad::{crop_to, pad_to_multiple4, uncrop_grad};
+use crate::stats::TemporalStats;
+use crate::unet::UNet;
+use pdn_compress::temporal::TemporalCompressor;
+use pdn_core::map::TileMap;
+use pdn_features::convert::{map_to_tensor, tensor_to_map};
+use pdn_features::dataset::Dataset;
+use pdn_features::normalize::Normalizer;
+use pdn_grid::build::PowerGrid;
+use pdn_nn::layer::{Layer, Param};
+use pdn_nn::tensor::Tensor;
+use pdn_vectors::vector::TestVector;
+use rayon::prelude::*;
+
+/// Kernel counts of the three subnets. The paper's setting is
+/// `C1 = C2 = 8`, `C3 = 16` (§4.1) — the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Kernels in the distance-reduction U-Net.
+    pub c1: usize,
+    /// Kernels in the current-fusion encoder–decoder.
+    pub c2: usize,
+    /// Kernels in the noise-prediction U-Net.
+    pub c3: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> ModelConfig {
+        ModelConfig { c1: 8, c2: 8, c3: 16 }
+    }
+}
+
+struct ForwardCache {
+    fused: Vec<Tensor>,
+    padded_currents: Vec<Tensor>,
+    stats: TemporalStats,
+    out_rows: usize,
+    out_cols: usize,
+    padded_rows: usize,
+    padded_cols: usize,
+}
+
+/// The worst-case dynamic PDN noise prediction model (paper Fig. 3).
+///
+/// Inputs: the design's distance tensor `[B, m, n]` and a (compressed)
+/// sequence of current maps `[1, m, n]`. Output: the predicted worst-case
+/// noise map `[1, m, n]` — the whole die in one pass.
+pub struct WnvModel {
+    distance_net: UNet,
+    fusion_net: FusionNet,
+    prediction_net: UNet,
+    config: ModelConfig,
+    cache: Option<ForwardCache>,
+}
+
+impl std::fmt::Debug for WnvModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WnvModel").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl WnvModel {
+    /// Creates a model for a design with `bumps` power bumps.
+    pub fn new(bumps: usize, config: ModelConfig, seed: u64) -> WnvModel {
+        WnvModel {
+            distance_net: UNet::new(bumps, config.c1, 1, seed.wrapping_add(100)),
+            fusion_net: FusionNet::new(config.c2, seed.wrapping_add(200)),
+            prediction_net: UNet::new(4, config.c3, 1, seed.wrapping_add(300)),
+            config,
+            cache: None,
+        }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> ModelConfig {
+        self.config
+    }
+
+    /// Total trainable parameter count across the three subnets.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+
+    /// Full forward pass: distance tensor + current-map sequence →
+    /// predicted (normalized) noise map `[1, m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `currents` is empty or spatial shapes disagree.
+    pub fn forward(&mut self, distance: &Tensor, currents: &[Tensor]) -> Tensor {
+        assert!(!currents.is_empty(), "model needs at least one current map");
+        let (m, n) = (distance.shape()[1], distance.shape()[2]);
+        for c in currents {
+            assert_eq!(&c.shape()[1..], &[m, n], "current map shape mismatch");
+        }
+        let padded_distance = pad_to_multiple4(distance);
+        let (mp, np) = (padded_distance.shape()[1], padded_distance.shape()[2]);
+
+        let d_tilde = self.distance_net.forward(&padded_distance);
+        let padded_currents: Vec<Tensor> = currents.iter().map(pad_to_multiple4).collect();
+        // The fusion subnet runs once per time sample with shared weights;
+        // the samples are independent, so run them in parallel on clones.
+        let fused: Vec<Tensor> = if padded_currents.len() >= 8 {
+            let proto = self.fusion_net.clone();
+            padded_currents
+                .par_iter()
+                .map_init(|| proto.clone(), |net, c| net.forward(c))
+                .collect()
+        } else {
+            padded_currents.iter().map(|c| self.fusion_net.forward(c)).collect()
+        };
+        let stats = TemporalStats::forward(&fused);
+        let cat = Tensor::concat_channels(&[&d_tilde, &stats.max, &stats.mean_extreme, &stats.msd]);
+        let out = self.prediction_net.forward(&cat);
+        let cropped = crop_to(&out, m, n);
+        self.cache = Some(ForwardCache {
+            fused,
+            padded_currents,
+            stats,
+            out_rows: m,
+            out_cols: n,
+            padded_rows: mp,
+            padded_cols: np,
+        });
+        cropped
+    }
+
+    /// Backward pass from the loss gradient w.r.t. the predicted map.
+    /// Accumulates parameter gradients in all three subnets. Input
+    /// gradients are discarded (the features are data, not parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`WnvModel::forward`].
+    pub fn backward(&mut self, grad_out: &Tensor) {
+        let cache = self.cache.take().expect("backward before forward");
+        assert_eq!(
+            grad_out.shape(),
+            &[1, cache.out_rows, cache.out_cols],
+            "grad shape mismatch"
+        );
+        let g = uncrop_grad(grad_out, cache.padded_rows, cache.padded_cols);
+        let gcat = self.prediction_net.backward(&g);
+        let parts = gcat.split_channels(&[1, 1, 1, 1]);
+        let (g_d, g_max, g_mean, g_msd) = (&parts[0], &parts[1], &parts[2], &parts[3]);
+
+        // Distance subnet still holds this sample's forward cache.
+        let _ = self.distance_net.backward(g_d);
+
+        // Fusion subnet: its cache only covers the last map, so re-run the
+        // forward per map before its backward (recompute-instead-of-store).
+        // Like the forward pass, the per-map work is independent: process
+        // chunks on zero-grad clones and merge the accumulated gradients.
+        let per_map = cache.stats.backward(&cache.fused, g_max, g_mean, g_msd);
+        let pairs: Vec<(&Tensor, &Tensor)> =
+            cache.padded_currents.iter().zip(&per_map).collect();
+        if pairs.len() >= 8 {
+            let proto = {
+                let mut p = self.fusion_net.clone();
+                p.zero_grad();
+                p
+            };
+            let threads = rayon::current_num_threads().max(1);
+            let chunk = pairs.len().div_ceil(threads);
+            let grad_sets: Vec<Vec<Tensor>> = pairs
+                .par_chunks(chunk)
+                .map(|chunk| {
+                    let mut net = proto.clone();
+                    for (map, gmap) in chunk {
+                        let _ = net.forward(map);
+                        let _ = net.backward(gmap);
+                    }
+                    let mut grads = Vec::new();
+                    net.visit_params(&mut |p| grads.push(p.grad.clone()));
+                    grads
+                })
+                .collect();
+            for gs in grad_sets {
+                let mut i = 0;
+                self.fusion_net.visit_params(&mut |p| {
+                    p.grad.add_assign(&gs[i]);
+                    i += 1;
+                });
+            }
+        } else {
+            for (map, gmap) in pairs {
+                let _ = self.fusion_net.forward(map);
+                let _ = self.fusion_net.backward(gmap);
+            }
+        }
+    }
+
+    /// Visits all trainable parameters of the three subnets.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.distance_net.visit_params(f);
+        self.fusion_net.visit_params(f);
+        self.prediction_net.visit_params(f);
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+/// A trained model bundled with everything needed to answer a sign-off
+/// query end to end: the design's distance tensor, the normalizers fitted
+/// at training time, and the temporal compressor.
+///
+/// This is the object whose [`Predictor::predict`] runtime is compared to
+/// the simulator in Table 2.
+pub struct Predictor {
+    model: WnvModel,
+    distance: Tensor,
+    current_norm: Normalizer,
+    target_norm: Normalizer,
+    compressor: Option<TemporalCompressor>,
+}
+
+impl std::fmt::Debug for Predictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Predictor").field("compressor", &self.compressor).finish_non_exhaustive()
+    }
+}
+
+impl Predictor {
+    /// Bundles a trained model with its dataset's preprocessing state.
+    pub fn new(model: WnvModel, dataset: &Dataset, compressor: Option<TemporalCompressor>) -> Predictor {
+        Predictor {
+            model,
+            distance: dataset.distance.clone(),
+            current_norm: dataset.current_norm,
+            target_norm: dataset.target_norm,
+            compressor,
+        }
+    }
+
+    /// Predicts the worst-case noise map (in volts) for a raw test vector:
+    /// spatial aggregation → temporal compression → normalization → CNN →
+    /// denormalization. One pass for the whole die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's load count differs from the grid's.
+    pub fn predict(&mut self, grid: &PowerGrid, vector: &TestVector) -> TileMap {
+        let maps = pdn_compress::spatial::tile_current_maps(grid, vector);
+        let maps = match &self.compressor {
+            Some(c) => c.compress_maps(&maps).0,
+            None => maps,
+        };
+        let currents: Vec<Tensor> = maps
+            .iter()
+            .map(|m| {
+                let mut t = map_to_tensor(m);
+                for v in t.as_mut_slice() {
+                    *v = self.current_norm.apply_f32(*v);
+                }
+                t
+            })
+            .collect();
+        let mut out = self.model.forward(&self.distance, &currents);
+        for v in out.as_mut_slice() {
+            *v = self.target_norm.invert_f32(v.max(0.0));
+        }
+        tensor_to_map(&out)
+    }
+
+    /// Borrow the inner model (e.g. for parameter counting).
+    pub fn model_mut(&mut self) -> &mut WnvModel {
+        &mut self.model
+    }
+
+    /// Reassembles a predictor from its stored parts (see [`crate::io`]).
+    pub fn from_parts(
+        model: WnvModel,
+        distance: Tensor,
+        current_norm: Normalizer,
+        target_norm: Normalizer,
+        compressor: Option<TemporalCompressor>,
+    ) -> Predictor {
+        Predictor { model, distance, current_norm, target_norm, compressor }
+    }
+
+    /// The inner model's kernel configuration.
+    pub fn model_config(&self) -> ModelConfig {
+        self.model.config()
+    }
+
+    /// The design's distance tensor the predictor was built with.
+    pub fn distance_tensor(&self) -> &Tensor {
+        &self.distance
+    }
+
+    /// Scale factor of the current normalizer.
+    pub fn current_norm_scale(&self) -> f64 {
+        self.current_norm.scale()
+    }
+
+    /// Scale factor of the target normalizer.
+    pub fn target_norm_scale(&self) -> f64 {
+        self.target_norm.scale()
+    }
+
+    /// `(rate, rate_step)` of the temporal compressor, if any.
+    pub fn compressor_settings(&self) -> Option<(f64, f64)> {
+        self.compressor.as_ref().map(|c| (c.rate(), c.rate_step()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_nn::loss;
+
+    #[test]
+    fn forward_shapes_any_tile_grid() {
+        for (m, n) in [(8, 8), (10, 14), (5, 7)] {
+            let mut model = WnvModel::new(4, ModelConfig { c1: 2, c2: 2, c3: 2 }, 1);
+            let d = Tensor::filled(&[4, m, n], 0.5);
+            let cur = vec![Tensor::filled(&[1, m, n], 0.1); 3];
+            let y = model.forward(&d, &cur);
+            assert_eq!(y.shape(), &[1, m, n], "tile grid {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn variable_length_sequences_accepted() {
+        let mut model = WnvModel::new(2, ModelConfig { c1: 2, c2: 2, c3: 2 }, 2);
+        let d = Tensor::filled(&[2, 8, 8], 0.3);
+        for len in [1usize, 4, 9] {
+            let cur = vec![Tensor::filled(&[1, 8, 8], 0.2); len];
+            let y = model.forward(&d, &cur);
+            assert_eq!(y.shape(), &[1, 8, 8]);
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_gradients_everywhere() {
+        let mut model = WnvModel::new(3, ModelConfig { c1: 2, c2: 2, c3: 2 }, 3);
+        let d = Tensor::from_fn3(3, 8, 8, |c, h, w| ((c + h + w) % 4) as f32 * 0.2);
+        let cur: Vec<Tensor> = (0..3)
+            .map(|t| Tensor::from_fn3(1, 8, 8, |_, h, w| ((t + h * w) % 5) as f32 * 0.1))
+            .collect();
+        let y = model.forward(&d, &cur);
+        let target = Tensor::filled(&[1, 8, 8], 0.5);
+        let (_, g) = loss::l1(&y, &target);
+        model.zero_grad();
+        let _ = model.forward(&d, &cur);
+        model.backward(&g);
+        // Every subnet should have some non-zero gradient.
+        let mut zero_params = 0;
+        let mut total_params = 0;
+        model.visit_params(&mut |p| {
+            total_params += 1;
+            if p.grad.as_slice().iter().all(|v| *v == 0.0) {
+                zero_params += 1;
+            }
+        });
+        assert!(total_params > 20);
+        assert!(
+            zero_params < total_params / 3,
+            "{zero_params}/{total_params} params with zero grad"
+        );
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        use pdn_nn::optim::Adam;
+        let mut model = WnvModel::new(2, ModelConfig { c1: 2, c2: 2, c3: 4 }, 4);
+        let d = Tensor::from_fn3(2, 8, 8, |c, h, w| ((c * h + w) % 3) as f32 * 0.3);
+        let cur: Vec<Tensor> =
+            (0..2).map(|t| Tensor::filled(&[1, 8, 8], 0.1 * (t + 1) as f32)).collect();
+        let target = Tensor::from_fn3(1, 8, 8, |_, h, w| ((h * w) % 7) as f32 / 7.0);
+        let mut adam = Adam::new(2e-3);
+        let mut losses = Vec::new();
+        for _ in 0..60 {
+            let y = model.forward(&d, &cur);
+            let (l, g) = loss::l1(&y, &target);
+            losses.push(l);
+            model.zero_grad();
+            let _ = model.forward(&d, &cur);
+            model.backward(&g);
+            adam.begin_step();
+            model.visit_params(&mut |p| adam.update_param(p));
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "loss {} -> {}",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut model = WnvModel::new(2, ModelConfig::default(), 5);
+        model.backward(&Tensor::zeros(&[1, 8, 8]));
+    }
+}

@@ -1,0 +1,84 @@
+//! Activation functions.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, the activation of every non-output layer in the
+/// paper's three subnets.
+///
+/// # Example
+///
+/// ```
+/// use pdn_nn::activation::Relu;
+/// use pdn_nn::layer::Layer;
+/// use pdn_nn::tensor::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]));
+/// assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Relu {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        let mask: Vec<bool> = input.as_slice().iter().map(|v| *v > 0.0).collect();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.len(), mask.len(), "grad shape mismatch");
+        let mut g = grad_out.clone();
+        for (v, &m) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new();
+        let y = r.forward(&Tensor::from_vec(&[4], vec![-2.0, -0.0, 0.5, 3.0]));
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new();
+        let _ = r.forward(&Tensor::from_vec(&[4], vec![-2.0, 1.0, -1.0, 3.0]));
+        let g = r.backward(&Tensor::from_vec(&[4], vec![1.0, 1.0, 1.0, 1.0]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn no_params() {
+        let mut r = Relu::new();
+        assert_eq!(r.param_count(), 0);
+    }
+}

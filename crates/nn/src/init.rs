@@ -1,0 +1,67 @@
+//! Weight initialization.
+
+use crate::tensor::Tensor;
+use pdn_core::rng;
+use rand::Rng as _;
+
+/// Kaiming (He) normal initialization for a convolution weight of shape
+/// `[out, in, kh, kw]`: `N(0, √(2 / fan_in))`, the standard choice for
+/// ReLU networks.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Example
+///
+/// ```
+/// let w = pdn_nn::init::kaiming_conv(8, 4, 3, 1);
+/// assert_eq!(w.shape(), &[8, 4, 3, 3]);
+/// // Spread should be on the order of sqrt(2 / (4*9)) ≈ 0.24.
+/// assert!(w.max() < 2.0 && w.min() > -2.0);
+/// ```
+pub fn kaiming_conv(out_ch: usize, in_ch: usize, ksize: usize, seed: u64) -> Tensor {
+    let fan_in = (in_ch * ksize * ksize) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    let mut rng = rng::derived(seed, "kaiming");
+    let n = out_ch * in_ch * ksize * ksize;
+    let data: Vec<f32> = (0..n).map(|_| normal(&mut rng) * std).collect();
+    Tensor::from_vec(&[out_ch, in_ch, ksize, ksize], data)
+}
+
+/// One sample from the standard normal distribution via Box–Muller.
+fn normal(rng: &mut rng::Rng) -> f32 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = kaiming_conv(4, 2, 3, 7);
+        let b = kaiming_conv(4, 2, 3, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.shape(), &[4, 2, 3, 3]);
+        let c = kaiming_conv(4, 2, 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scale_tracks_fan_in() {
+        // Larger fan-in → smaller weights. Compare RMS over many samples.
+        let rms = |t: &Tensor| {
+            (t.as_slice().iter().map(|v| v * v).sum::<f32>() / t.len() as f32).sqrt()
+        };
+        let small_fan = kaiming_conv(8, 1, 3, 1);
+        let large_fan = kaiming_conv(8, 16, 3, 1);
+        assert!(rms(&small_fan) > 2.0 * rms(&large_fan));
+    }
+
+    #[test]
+    fn mean_near_zero() {
+        let w = kaiming_conv(16, 8, 3, 3);
+        assert!(w.mean().abs() < 0.02, "mean {}", w.mean());
+    }
+}

@@ -1,0 +1,146 @@
+//! Small dense `f32` kernels backing the convolution layers.
+
+use rayon::prelude::*;
+
+/// `C[m×n] = A[m×k] · B[k×n]`, row-major, parallel over rows of `A`.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(b.len(), k * n, "gemm: B length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    let body = |(row, c_row): (usize, &mut [f32])| {
+        c_row.fill(0.0);
+        let a_row = &a[row * k..(row + 1) * k];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    };
+    if m * k * n >= 1 << 18 {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `C[m×n] = Aᵀ[m×k] · B[k×n]` where `A` is stored as `k×m` row-major.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the dimensions.
+pub fn gemm_at(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "gemm_at: A length");
+    assert_eq!(b.len(), k * n, "gemm_at: B length");
+    assert_eq!(c.len(), m * n, "gemm_at: C length");
+    let body = |(row, c_row): (usize, &mut [f32])| {
+        c_row.fill(0.0);
+        for kk in 0..k {
+            let av = a[kk * m + row];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    };
+    if m * k * n >= 1 << 18 {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// `C[m×n] = A[m×k] · Bᵀ[k×n]` where `B` is stored as `n×k` row-major.
+///
+/// # Panics
+///
+/// Panics if buffer lengths do not match the dimensions.
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_bt: A length");
+    assert_eq!(b.len(), n * k, "gemm_bt: B length");
+    assert_eq!(c.len(), m * n, "gemm_bt: C length");
+    let body = |(row, c_row): (usize, &mut [f32])| {
+        let a_row = &a[row * k..(row + 1) * k];
+        for (col, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[col * k..(col + 1) * k];
+            *cv = a_row.iter().zip(b_row).map(|(x, y)| x * y).sum();
+        }
+    };
+    if m * k * n >= 1 << 18 {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn transpose(rows: usize, cols: usize, x: &[f32]) -> Vec<f32> {
+        let mut t = vec![0.0; x.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                t[c * rows + r] = x[r * cols + c];
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32) * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.25 - 1.0).collect();
+        let mut c = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut c);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn gemm_at_matches() {
+        let (m, k, n) = (3, 4, 2);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect(); // logical m×k
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) - 3.0).collect();
+        let a_stored = transpose(m, k, &a); // stored as k×m
+        let mut c = vec![0.0; m * n];
+        gemm_at(m, k, n, &a_stored, &b, &mut c);
+        assert_eq!(c, naive(m, k, n, &a, &b));
+    }
+
+    #[test]
+    fn gemm_bt_matches() {
+        let (m, k, n) = (2, 3, 4);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| i as f32 - 5.0).collect(); // logical k×n
+        let b_stored = transpose(k, n, &b); // stored as n×k
+        let mut c = vec![0.0; m * n];
+        gemm_bt(m, k, n, &a, &b_stored, &mut c);
+        let expect = naive(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Training losses.
+
+use crate::tensor::Tensor;
+
+/// L1 loss, the paper's training objective (Eq. (3)):
+/// `L = Σ_i |v_i − v̂_i|` over all map pixels.
+///
+/// Returns the loss value and the gradient w.r.t. the prediction.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+///
+/// # Example
+///
+/// ```
+/// use pdn_nn::loss;
+/// use pdn_nn::tensor::Tensor;
+///
+/// let pred = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+/// let target = Tensor::from_vec(&[3], vec![2.0, 2.0, 1.0]);
+/// let (l, g) = loss::l1(&pred, &target);
+/// assert_eq!(l, 3.0);
+/// assert_eq!(g.as_slice(), &[-1.0, 0.0, 1.0]);
+/// ```
+pub fn l1(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "l1: shape mismatch");
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut loss = 0.0f32;
+    for ((g, p), t) in grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
+    {
+        let d = p - t;
+        loss += d.abs();
+        *g = if d > 0.0 {
+            1.0
+        } else if d < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+    }
+    (loss, grad)
+}
+
+/// Mean-squared error, used for diagnostics and ablations.
+///
+/// Returns the loss value and the gradient w.r.t. the prediction.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    let n = pred.len() as f32;
+    let mut grad = Tensor::zeros(pred.shape());
+    let mut loss = 0.0f32;
+    for ((g, p), t) in grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
+    {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_zero_at_match() {
+        let t = Tensor::from_vec(&[2], vec![1.0, -1.0]);
+        let (l, g) = l1(&t, &t);
+        assert_eq!(l, 0.0);
+        assert_eq!(g.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let p = Tensor::from_vec(&[2], vec![3.0, 0.0]);
+        let t = Tensor::from_vec(&[2], vec![1.0, 0.0]);
+        let (l, g) = mse(&p, &t);
+        assert_eq!(l, 2.0); // (4 + 0) / 2
+        assert_eq!(g.as_slice(), &[2.0, 0.0]); // 2*2/2
+    }
+
+    #[test]
+    fn l1_gradient_is_descent_direction() {
+        let p = Tensor::from_vec(&[3], vec![5.0, -5.0, 0.0]);
+        let t = Tensor::zeros(&[3]);
+        let (l0, g) = l1(&p, &t);
+        // Step against the gradient reduces the loss.
+        let stepped = Tensor::from_vec(
+            &[3],
+            p.as_slice().iter().zip(g.as_slice()).map(|(x, gg)| x - 0.5 * gg).collect(),
+        );
+        let (l1v, _) = l1(&stepped, &t);
+        assert!(l1v < l0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Parameter serialization.
+//!
+//! A trained network's parameters are written in a minimal self-describing
+//! binary format (magic, parameter count, then per parameter the shape and
+//! little-endian `f32` data). Parameters are visited in the layer's
+//! deterministic `visit_params` order, so any structurally identical layer
+//! can be restored.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"PDNNWT01";
+
+/// Writes all parameters of a layer (or composed network).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use pdn_nn::conv::{Conv2d, Padding};
+/// use pdn_nn::serialize::{read_params, write_params};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let mut a = Conv2d::new(1, 2, 3, 1, Padding::Zero, 7);
+/// let mut buf = Vec::new();
+/// write_params(&mut a, &mut buf)?;
+/// let mut b = Conv2d::new(1, 2, 3, 1, Padding::Zero, 99); // different init
+/// read_params(&mut b, &mut buf.as_slice())?;
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_params<L: Layer + ?Sized, W: Write>(layer: &mut L, mut writer: W) -> io::Result<()> {
+    let mut params: Vec<Tensor> = Vec::new();
+    layer.visit_params(&mut |p| params.push(p.value.clone()));
+    writer.write_all(MAGIC)?;
+    writer.write_all(&(params.len() as u32).to_le_bytes())?;
+    for t in &params {
+        writer.write_all(&(t.shape().len() as u32).to_le_bytes())?;
+        for &d in t.shape() {
+            writer.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for v in t.as_slice() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores all parameters of a structurally matching layer. Gradients and
+/// optimizer moments are reset to zero.
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the magic, parameter count or any shape does
+/// not match the receiving layer; propagates reader I/O errors.
+pub fn read_params<L: Layer + ?Sized, R: Read>(layer: &mut L, mut reader: R) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad weight-file magic"));
+    }
+    let mut u32buf = [0u8; 4];
+    reader.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+
+    let mut loaded: Vec<Tensor> = Vec::with_capacity(count);
+    for _ in 0..count {
+        reader.read_exact(&mut u32buf)?;
+        let rank = u32::from_le_bytes(u32buf) as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            reader.read_exact(&mut u32buf)?;
+            shape.push(u32::from_le_bytes(u32buf) as usize);
+        }
+        let n: usize = shape.iter().product();
+        let mut data = vec![0.0f32; n];
+        for v in &mut data {
+            reader.read_exact(&mut u32buf)?;
+            *v = f32::from_le_bytes(u32buf);
+        }
+        loaded.push(Tensor::from_vec(&shape, data));
+    }
+
+    // Validate against the receiving layer before mutating anything.
+    let mut shapes: Vec<Vec<usize>> = Vec::new();
+    layer.visit_params(&mut |p| shapes.push(p.value.shape().to_vec()));
+    if shapes.len() != count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("weight file has {count} parameters, layer has {}", shapes.len()),
+        ));
+    }
+    for (i, (s, t)) in shapes.iter().zip(&loaded).enumerate() {
+        if s != t.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("parameter {i} shape mismatch: file {:?}, layer {:?}", t.shape(), s),
+            ));
+        }
+    }
+    let mut iter = loaded.into_iter();
+    layer.visit_params(&mut |p| {
+        let t = iter.next().expect("count validated");
+        p.value = t;
+        p.grad.zero();
+        p.m.zero();
+        p.v.zero();
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv2d, Padding};
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn round_trip_restores_outputs() {
+        let mut a = Conv2d::new(2, 3, 3, 1, Padding::Replication, 5);
+        let x = Tensor::from_fn3(2, 6, 6, |c, h, w| ((c + h * w) % 5) as f32 * 0.2);
+        let ya = a.forward(&x);
+        let mut buf = Vec::new();
+        write_params(&mut a, &mut buf).unwrap();
+
+        let mut b = Conv2d::new(2, 3, 3, 1, Padding::Replication, 1234);
+        assert_ne!(b.forward(&x), ya, "different init should differ");
+        read_params(&mut b, &mut buf.as_slice()).unwrap();
+        assert_eq!(b.forward(&x), ya, "restored layer must reproduce outputs");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut a = Conv2d::new(1, 2, 3, 1, Padding::Zero, 0);
+        let mut buf = Vec::new();
+        write_params(&mut a, &mut buf).unwrap();
+        let mut wrong = Conv2d::new(1, 4, 3, 1, Padding::Zero, 0);
+        let err = read_params(&mut wrong, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut a = Conv2d::new(1, 1, 1, 1, Padding::Zero, 0);
+        let buf = b"NOTMAGIC\0\0\0\0".to_vec();
+        let err = read_params(&mut a, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn moments_reset_on_load() {
+        let mut a = Conv2d::new(1, 1, 3, 1, Padding::Zero, 0);
+        let mut buf = Vec::new();
+        write_params(&mut a, &mut buf).unwrap();
+        let mut b = Conv2d::new(1, 1, 3, 1, Padding::Zero, 0);
+        b.visit_params(&mut |p| {
+            p.m = Tensor::filled(p.m.shape(), 1.0);
+            p.grad = Tensor::filled(p.grad.shape(), 2.0);
+        });
+        read_params(&mut b, &mut buf.as_slice()).unwrap();
+        b.visit_params(&mut |p| {
+            assert_eq!(p.m.sum(), 0.0);
+            assert_eq!(p.grad.sum(), 0.0);
+        });
+    }
+}

@@ -1,0 +1,82 @@
+//! Time decomposition of a current-map sequence.
+//!
+//! PowerNet does not consume raw per-picosecond maps; it averages the trace
+//! into `N` equal time windows ("time-decomposed power maps") and lets the
+//! maximum structure pick the worst window.
+
+use pdn_core::map::TileMap;
+
+/// Averages a sequence of tile maps into `windows` equal (±1 stamp) chunks.
+/// If there are fewer maps than windows, each map becomes its own window.
+///
+/// # Panics
+///
+/// Panics if `maps` is empty or `windows` is zero.
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::map::TileMap;
+/// use pdn_powernet::decompose::time_decompose;
+///
+/// let maps: Vec<TileMap> = (0..6).map(|k| TileMap::filled(2, 2, k as f64)).collect();
+/// let d = time_decompose(&maps, 3);
+/// assert_eq!(d.len(), 3);
+/// assert_eq!(d[0].get(0, 0), Some(0.5)); // mean of 0, 1
+/// assert_eq!(d[2].get(0, 0), Some(4.5)); // mean of 4, 5
+/// ```
+pub fn time_decompose(maps: &[TileMap], windows: usize) -> Vec<TileMap> {
+    assert!(!maps.is_empty(), "cannot decompose an empty sequence");
+    assert!(windows > 0, "need at least one time window");
+    let windows = windows.min(maps.len());
+    let (rows, cols) = maps[0].shape();
+    let mut out = Vec::with_capacity(windows);
+    let per = maps.len() as f64 / windows as f64;
+    for w in 0..windows {
+        let lo = (w as f64 * per).round() as usize;
+        let hi = (((w + 1) as f64 * per).round() as usize).min(maps.len());
+        let hi = hi.max(lo + 1);
+        let mut acc = TileMap::zeros(rows, cols);
+        for m in &maps[lo..hi] {
+            acc += m;
+        }
+        out.push(&acc * (1.0 / (hi - lo) as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_total_mean() {
+        let maps: Vec<TileMap> = (0..10).map(|k| TileMap::filled(2, 2, k as f64)).collect();
+        let d = time_decompose(&maps, 5);
+        let original_mean: f64 = maps.iter().map(|m| m.mean()).sum::<f64>() / 10.0;
+        let decomposed_mean: f64 = d.iter().map(|m| m.mean()).sum::<f64>() / 5.0;
+        assert!((original_mean - decomposed_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fewer_maps_than_windows() {
+        let maps = vec![TileMap::filled(2, 2, 1.0); 3];
+        let d = time_decompose(&maps, 10);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn single_window_is_global_average() {
+        let maps: Vec<TileMap> =
+            (0..4).map(|k| TileMap::filled(1, 1, k as f64)).collect();
+        let d = time_decompose(&maps, 1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].get(0, 0), Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_rejected() {
+        let _: Vec<TileMap> = time_decompose(&[], 4);
+    }
+}

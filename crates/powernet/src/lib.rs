@@ -1,0 +1,37 @@
+//! Re-implementation of **PowerNet** (Xie et al., ASP-DAC 2020) — the
+//! state-of-the-art baseline the paper compares against in Table 3.
+//!
+//! PowerNet predicts dynamic IR drop *tile by tile*: the trace is decomposed
+//! into `N` time windows of power maps; for every tile, a CNN reads a
+//! `w × w` spatial window around the tile from each time-decomposed map, and
+//! the tile's prediction is the **maximum** CNN output over the time windows
+//! (the "maximum convolutional neural network" structure). The paper's
+//! experiment uses `N = 40` time-decomposed maps and an input window of 15,
+//! on the same 180 × 180 tiling as the proposed model.
+//!
+//! This per-tile scanning is precisely why PowerNet is slower and less
+//! accurate at whole-map prediction than the proposed one-shot model —
+//! the effect Table 3 quantifies.
+//!
+//! The original uses instance power/toggle-rate features from a power
+//! analysis tool we do not have; the substitution (documented in DESIGN.md)
+//! feeds the same per-tile load-current maps used everywhere else in this
+//! workspace, plus the trace-average map as a second channel.
+//!
+//! # Example
+//!
+//! ```
+//! use pdn_powernet::{PowerNet, PowerNetConfig};
+//!
+//! let config = PowerNetConfig { time_windows: 4, window: 7, channels: 4, seed: 1 };
+//! let net = PowerNet::new(config);
+//! assert_eq!(net.config().window, 7);
+//! ```
+
+pub mod decompose;
+pub mod model;
+pub mod net;
+
+pub use decompose::time_decompose;
+pub use model::{PowerNet, PowerNetConfig, PowerNetDataset};
+pub use net::PowerNetCore;

@@ -1,0 +1,64 @@
+//! Error types for the simulation engine.
+
+use pdn_sparse::error::SolveError;
+use std::fmt;
+
+/// Result alias for simulator operations.
+pub type SimResult<T> = std::result::Result<T, SimError>;
+
+/// Errors produced while assembling or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The underlying linear solver failed (non-SPD stamp, non-convergence).
+    Solve(SolveError),
+    /// The test vector does not match the grid (wrong load count).
+    VectorMismatch {
+        /// Loads in the grid.
+        expected: usize,
+        /// Loads in the vector.
+        actual: usize,
+    },
+    /// The grid has no bumps, so the network floats and has no DC solution.
+    NoBumps,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Solve(e) => write!(f, "linear solve failed: {e}"),
+            SimError::VectorMismatch { expected, actual } => {
+                write!(f, "test vector has {actual} loads but the grid has {expected}")
+            }
+            SimError::NoBumps => write!(f, "grid has no bumps; network is floating"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SimError {
+    fn from(e: SolveError) -> SimError {
+        SimError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SimError::from(SolveError::NotConverged { iterations: 3, residual: 1.0 });
+        assert!(e.to_string().contains("linear solve failed"));
+        assert!(e.source().is_some());
+        assert!(SimError::NoBumps.source().is_none());
+    }
+}

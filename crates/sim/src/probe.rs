@@ -1,0 +1,242 @@
+//! Waveform probes: record selected node/tile voltages over a transient.
+//!
+//! The WNV flow only keeps the worst-case reduction, but debugging a PDN
+//! (or explaining a hotspot to a designer) needs the actual waveforms.
+//! [`ProbeSet`] records droop traces at chosen tiles during a run and
+//! exports them as CSV — the data behind plots like the paper's Fig. 1
+//! current/voltage traces.
+
+use crate::error::SimResult;
+use crate::transient::{TransientSimulator, TransientStats};
+use pdn_core::geom::TileIndex;
+use pdn_core::map::TileMap;
+use pdn_grid::build::{NodeId, PowerGrid};
+use pdn_vectors::vector::TestVector;
+use std::io::{self, Write};
+
+/// A set of probed tiles; each probe records the worst droop *within its
+/// tile* (over bottom-layer nodes) at every time stamp.
+#[derive(Debug, Clone)]
+pub struct ProbeSet {
+    tiles: Vec<TileIndex>,
+    /// Bottom-layer node ids per probed tile.
+    nodes_per_tile: Vec<Vec<usize>>,
+    vdd: f64,
+    dt: f64,
+}
+
+/// The recorded waveforms of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeTrace {
+    /// Probed tiles, in the order given to [`ProbeSet::new`].
+    pub tiles: Vec<TileIndex>,
+    /// `waveforms[p][k]` = droop (volts) of probe `p` at stamp `k`.
+    pub waveforms: Vec<Vec<f64>>,
+    /// Time step in seconds.
+    pub dt: f64,
+    /// Solver statistics of the run.
+    pub stats: TransientStats,
+}
+
+impl ProbeSet {
+    /// Creates probes at the given tiles of a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tile index lies outside the grid's tiling or contains no
+    /// bottom-layer nodes.
+    pub fn new(grid: &PowerGrid, tiles: Vec<TileIndex>) -> ProbeSet {
+        let tiling = grid.tile_grid();
+        let nodes_per_tile: Vec<Vec<usize>> = tiles
+            .iter()
+            .map(|&t| {
+                assert!(
+                    t.row < tiling.rows() && t.col < tiling.cols(),
+                    "probe tile {t:?} outside the {}x{} tiling",
+                    tiling.rows(),
+                    tiling.cols()
+                );
+                let nodes: Vec<usize> = grid
+                    .bottom_nodes()
+                    .filter(|&n| grid.node_tile(NodeId::new(n)) == t)
+                    .collect();
+                assert!(!nodes.is_empty(), "probe tile {t:?} contains no bottom-layer nodes");
+                nodes
+            })
+            .collect();
+        ProbeSet {
+            tiles,
+            nodes_per_tile,
+            vdd: grid.spec().vdd().0,
+            dt: grid.spec().time_step().0,
+        }
+    }
+
+    /// Convenience: probes at the hotspots of a worst-case noise map
+    /// (every tile above `threshold` volts), capped at `max_probes`.
+    pub fn at_hotspots(
+        grid: &PowerGrid,
+        worst_noise: &TileMap,
+        threshold: f64,
+        max_probes: usize,
+    ) -> ProbeSet {
+        let mut hot: Vec<(TileIndex, f64)> =
+            worst_noise.iter().filter(|(_, v)| *v > threshold).collect();
+        hot.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite noise"));
+        let tiles = hot.into_iter().take(max_probes).map(|(t, _)| t).collect();
+        ProbeSet::new(grid, tiles)
+    }
+
+    /// Number of probes.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the set has no probes.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Runs the transient and records the probe waveforms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn record(
+        &self,
+        sim: &TransientSimulator,
+        vector: &TestVector,
+    ) -> SimResult<ProbeTrace> {
+        let mut waveforms: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(vector.step_count()); self.tiles.len()];
+        let stats = sim.run_with(vector, |_, volts| {
+            for (p, nodes) in self.nodes_per_tile.iter().enumerate() {
+                let worst =
+                    nodes.iter().map(|&n| self.vdd - volts[n]).fold(f64::NEG_INFINITY, f64::max);
+                waveforms[p].push(worst);
+            }
+        })?;
+        Ok(ProbeTrace { tiles: self.tiles.clone(), waveforms, dt: self.dt, stats })
+    }
+}
+
+impl ProbeTrace {
+    /// Peak droop of one probe over the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe index is out of range.
+    pub fn peak(&self, probe: usize) -> f64 {
+        self.waveforms[probe].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Time stamp (index) of one probe's peak droop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe index is out of range.
+    pub fn peak_time(&self, probe: usize) -> usize {
+        let w = &self.waveforms[probe];
+        (0..w.len()).max_by(|&a, &b| w[a].partial_cmp(&w[b]).expect("finite")).unwrap_or(0)
+    }
+
+    /// Writes the waveforms as CSV: a `time_s` column followed by one
+    /// `droop_r<r>_c<c>` column per probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let headers: Vec<String> = std::iter::once("time_s".to_string())
+            .chain(self.tiles.iter().map(|t| format!("droop_r{}_c{}", t.row, t.col)))
+            .collect();
+        writeln!(w, "{}", headers.join(","))?;
+        let steps = self.waveforms.first().map_or(0, Vec::len);
+        for k in 0..steps {
+            let mut row = vec![format!("{:e}", k as f64 * self.dt)];
+            for wf in &self.waveforms {
+                row.push(format!("{:e}", wf[k]));
+            }
+            writeln!(w, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wnv::WnvRunner;
+    use pdn_grid::design::{DesignPreset, DesignScale};
+    use pdn_vectors::scenario::Scenario;
+
+    fn grid() -> PowerGrid {
+        DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap()
+    }
+
+    #[test]
+    fn probe_peak_matches_wnv_tile_value() {
+        // The probe's recorded peak must equal the WNV report's per-tile
+        // worst-case value — same reduction, two code paths.
+        let g = grid();
+        let v = Scenario::IdleThenBurst.render(&g, 50);
+        let runner = WnvRunner::new(&g).unwrap();
+        let report = runner.run(&v).unwrap();
+        let worst_tile = report.worst_noise.argmax();
+
+        let sim = TransientSimulator::new(&g).unwrap();
+        let probes = ProbeSet::new(&g, vec![worst_tile]);
+        let trace = probes.record(&sim, &v).unwrap();
+        assert_eq!(trace.waveforms[0].len(), 50);
+        assert!(
+            (trace.peak(0) - report.worst_noise[worst_tile]).abs() < 1e-12,
+            "probe {} vs report {}",
+            trace.peak(0),
+            report.worst_noise[worst_tile]
+        );
+    }
+
+    #[test]
+    fn hotspot_probes_ranked_by_noise() {
+        let g = grid();
+        let v = Scenario::IdleThenBurst.render(&g, 50);
+        let report = WnvRunner::new(&g).unwrap().run(&v).unwrap();
+        let probes = ProbeSet::at_hotspots(&g, &report.worst_noise, report.worst_noise.mean(), 3);
+        assert!(probes.len() <= 3);
+        assert!(!probes.is_empty());
+        // First probe is the global argmax.
+        assert_eq!(probes.tiles[0], report.worst_noise.argmax());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let g = grid();
+        let v = Scenario::UniformSteady.render(&g, 10);
+        let sim = TransientSimulator::new(&g).unwrap();
+        let probes = ProbeSet::new(&g, vec![TileIndex::new(0, 0), TileIndex::new(4, 4)]);
+        let trace = probes.record(&sim, &v).unwrap();
+        let mut buf = Vec::new();
+        trace.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("time_s,droop_r0_c0,droop_r4_c4"));
+        assert_eq!(text.lines().count(), 11);
+    }
+
+    #[test]
+    fn peak_time_is_during_burst() {
+        let g = grid();
+        let v = Scenario::IdleThenBurst.render(&g, 60);
+        let sim = TransientSimulator::new(&g).unwrap();
+        let report = WnvRunner::new(&g).unwrap().run(&v).unwrap();
+        let probes = ProbeSet::new(&g, vec![report.worst_noise.argmax()]);
+        let trace = probes.record(&sim, &v).unwrap();
+        assert!(trace.peak_time(0) >= 30, "peak at {} before the burst began", trace.peak_time(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_tile_rejected() {
+        let g = grid();
+        let _ = ProbeSet::new(&g, vec![TileIndex::new(99, 0)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Worst-case noise validation (WNV): the paper's Eq. (1)/(2).
+//!
+//! Runs the full transient for a test vector and reduces node voltages to
+//! the per-tile worst-case (max over bottom-layer nodes and over time) droop
+//! map — the ground truth the CNN is trained to predict, and the runtime
+//! baseline for the speedup columns of Table 2.
+
+use crate::error::SimResult;
+use crate::transient::{TransientSimulator, TransientStats};
+use pdn_core::geom::TileIndex;
+use pdn_core::map::TileMap;
+use pdn_core::units::Volts;
+use pdn_grid::build::{NodeId, PowerGrid};
+use pdn_vectors::vector::TestVector;
+use std::time::{Duration, Instant};
+
+/// Result of one WNV run.
+#[derive(Debug, Clone)]
+pub struct NoiseReport {
+    /// Per-tile worst-case droop, in volts:
+    /// `max_{t} max_{i ∈ T_j} (vdd − v_i(t))` over bottom-layer nodes.
+    pub worst_noise: TileMap,
+    /// The single worst droop across the die (Eq. (1) left-hand side).
+    pub max_noise: Volts,
+    /// Wall-clock time of the simulation.
+    pub elapsed: Duration,
+    /// Solver statistics.
+    pub stats: TransientStats,
+}
+
+impl NoiseReport {
+    /// Tiles whose worst-case noise exceeds `threshold` — the paper's
+    /// hotspots (threshold = 10 % of V<sub>nom</sub>).
+    pub fn hotspots(&self, threshold: Volts) -> Vec<TileIndex> {
+        self.worst_noise.iter().filter(|(_, v)| *v > threshold.0).map(|(t, _)| t).collect()
+    }
+
+    /// Hotspot ratio: hotspot tiles / all tiles (Table 1's last column).
+    pub fn hotspot_ratio(&self, threshold: Volts) -> f64 {
+        self.hotspots(threshold).len() as f64 / self.worst_noise.len() as f64
+    }
+
+    /// Mean worst-case noise across tiles, in volts (Table 1's "Mean WN").
+    pub fn mean_noise(&self) -> Volts {
+        Volts(self.worst_noise.mean())
+    }
+}
+
+/// A prepared WNV engine for one grid.
+///
+/// # Example
+///
+/// ```
+/// use pdn_grid::design::{DesignPreset, DesignScale};
+/// use pdn_sim::wnv::WnvRunner;
+/// use pdn_vectors::scenario::Scenario;
+///
+/// let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+/// let runner = WnvRunner::new(&grid).unwrap();
+/// let report = runner.run(&Scenario::IdleThenBurst.render(&grid, 40)).unwrap();
+/// assert_eq!(report.worst_noise.shape(), (8, 8));
+/// ```
+#[derive(Debug)]
+pub struct WnvRunner {
+    sim: TransientSimulator,
+    bottom: std::ops::Range<usize>,
+    node_tile_flat: Vec<usize>,
+    tile_shape: (usize, usize),
+    vdd: f64,
+}
+
+impl WnvRunner {
+    /// Prepares the engine (stamping + factorization).
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors from [`TransientSimulator::new`].
+    pub fn new(grid: &PowerGrid) -> SimResult<WnvRunner> {
+        let tiles = grid.tile_grid();
+        let node_tile_flat = (0..grid.node_count())
+            .map(|i| tiles.flat_index(grid.node_tile(NodeId::new(i))))
+            .collect();
+        Ok(WnvRunner {
+            sim: TransientSimulator::new(grid)?,
+            bottom: grid.bottom_nodes(),
+            node_tile_flat,
+            tile_shape: (tiles.rows(), tiles.cols()),
+            vdd: grid.spec().vdd().0,
+        })
+    }
+
+    /// Access to the underlying transient simulator.
+    pub fn simulator(&self) -> &TransientSimulator {
+        &self.sim
+    }
+
+    /// Runs WNV for one vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures (vector mismatch, non-convergence).
+    pub fn run(&self, vector: &TestVector) -> SimResult<NoiseReport> {
+        let start = Instant::now();
+        let mut worst = TileMap::zeros(self.tile_shape.0, self.tile_shape.1);
+        let vdd = self.vdd;
+        let bottom = self.bottom.clone();
+        let tiles = &self.node_tile_flat;
+        let stats = {
+            let data = worst.as_mut_slice();
+            self.sim.run_with(vector, |_, v| {
+                for n in bottom.clone() {
+                    let droop = vdd - v[n];
+                    let t = tiles[n];
+                    if droop > data[t] {
+                        data[t] = droop;
+                    }
+                }
+            })?
+        };
+        let max_noise = Volts(worst.max());
+        Ok(NoiseReport { worst_noise: worst, max_noise, elapsed: start.elapsed(), stats })
+    }
+
+    /// Runs WNV for a group of vectors, returning one report per vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first vector that fails.
+    pub fn run_group(&self, vectors: &[TestVector]) -> SimResult<Vec<NoiseReport>> {
+        vectors.iter().map(|v| self.run(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_grid::design::{DesignPreset, DesignScale};
+    use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+    use pdn_vectors::scenario::Scenario;
+
+    fn grid() -> PowerGrid {
+        DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap()
+    }
+
+    #[test]
+    fn tiling_identity_eq2() {
+        // Eq. (2): the max over the tile map equals the global max over
+        // nodes and time. Track both independently.
+        let g = grid();
+        let runner = WnvRunner::new(&g).unwrap();
+        let v = Scenario::IdleThenBurst.render(&g, 60);
+        let report = runner.run(&v).unwrap();
+
+        let mut global = 0.0_f64;
+        runner
+            .sim
+            .run_with(&v, |_, volts| {
+                for n in g.bottom_nodes() {
+                    global = global.max(1.0 - volts[n]);
+                }
+            })
+            .unwrap();
+        assert!((report.max_noise.0 - global).abs() < 1e-12);
+        assert!((report.worst_noise.max() - global).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_noise_nonnegative() {
+        let g = grid();
+        let runner = WnvRunner::new(&g).unwrap();
+        let gen = VectorGenerator::new(&g, GeneratorConfig { steps: 80, ..Default::default() });
+        let report = runner.run(&gen.generate(3)).unwrap();
+        assert!(report.worst_noise.min() >= 0.0);
+    }
+
+    #[test]
+    fn hotspot_extraction_consistent() {
+        let g = grid();
+        let runner = WnvRunner::new(&g).unwrap();
+        let report = runner.run(&Scenario::IdleThenBurst.render(&g, 80)).unwrap();
+        let thr = Volts(report.worst_noise.mean());
+        let hs = report.hotspots(thr);
+        assert_eq!(hs.len(), report.worst_noise.count_above(thr.0));
+        let ratio = report.hotspot_ratio(thr);
+        assert!((0.0..=1.0).contains(&ratio));
+        for t in hs {
+            assert!(report.worst_noise[t] > thr.0);
+        }
+    }
+
+    #[test]
+    fn more_current_more_noise() {
+        let g = grid();
+        let runner = WnvRunner::new(&g).unwrap();
+        let burst = runner.run(&Scenario::IdleThenBurst.render(&g, 80)).unwrap();
+        let steady = runner.run(&Scenario::UniformSteady.render(&g, 80)).unwrap();
+        assert!(burst.max_noise.0 > steady.max_noise.0);
+    }
+
+    #[test]
+    fn group_run_matches_individual_runs() {
+        let g = grid();
+        let runner = WnvRunner::new(&g).unwrap();
+        let gen = VectorGenerator::new(&g, GeneratorConfig { steps: 40, ..Default::default() });
+        let vectors = gen.generate_group(2, 5);
+        let group = runner.run_group(&vectors).unwrap();
+        let solo0 = runner.run(&vectors[0]).unwrap();
+        assert_eq!(group[0].worst_noise, solo0.worst_noise);
+        assert_eq!(group.len(), 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Preconditioned conjugate gradient.
+//!
+//! The transient engine solves `(G + C/Δt) v = b_k` for hundreds of right
+//! hand sides with a constant matrix; CG with an IC(0) preconditioner and a
+//! warm start from the previous time step keeps each solve to a handful of
+//! iterations.
+
+use crate::csr::CsrMatrix;
+use crate::error::{SolveError, SparseResult};
+use crate::vecops::{axpy, dot, norm2, xpby};
+
+/// A symmetric preconditioner: computes `z = M⁻¹ r`.
+pub trait Preconditioner {
+    /// Applies the preconditioner, writing the result into `z`.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// No preconditioning (`M = I`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityPreconditioner;
+
+impl Preconditioner for IdentityPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Diagonal (Jacobi) preconditioning: `z_i = r_i / A_ii`.
+#[derive(Debug, Clone)]
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Builds the preconditioner from the matrix diagonal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotPositiveDefinite`] if any diagonal entry is
+    /// not strictly positive.
+    pub fn new(a: &CsrMatrix) -> SparseResult<JacobiPreconditioner> {
+        let diag = a.diagonal();
+        for (i, &d) in diag.iter().enumerate() {
+            if d <= 0.0 {
+                return Err(SolveError::NotPositiveDefinite { row: i, pivot: d });
+            }
+        }
+        Ok(JacobiPreconditioner { inv_diag: diag.into_iter().map(|d| 1.0 / d).collect() })
+    }
+}
+
+impl Preconditioner for JacobiPreconditioner {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+/// Options controlling the CG iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Relative residual target `‖b − A x‖ / ‖b‖`.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+}
+
+impl Default for CgOptions {
+    /// `tolerance = 1e-10`, `max_iterations = 10_000` — tight enough that the
+    /// "commercial tool" ground truth is effectively exact.
+    fn default() -> CgOptions {
+        CgOptions { tolerance: 1e-10, max_iterations: 10_000 }
+    }
+}
+
+/// Result of a converged CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgSolution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Solves `A x = b` from a zero initial guess.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotConverged`] if the iteration budget is exhausted
+/// and [`SolveError::DimensionMismatch`] for incompatible shapes.
+pub fn solve<P: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    pre: &P,
+    opts: &CgOptions,
+) -> SparseResult<CgSolution> {
+    let mut x = vec![0.0; b.len()];
+    solve_warm(a, b, &mut x, pre, opts).map(|(iterations, residual)| CgSolution {
+        x,
+        iterations,
+        residual,
+    })
+}
+
+/// Solves `A x = b` starting from the caller's initial guess, overwriting
+/// `x` with the solution. Returns `(iterations, relative_residual)`.
+///
+/// The warm start is what makes the transient loop fast: consecutive time
+/// steps have nearly identical voltage profiles.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotConverged`] if the iteration budget is exhausted
+/// and [`SolveError::DimensionMismatch`] for incompatible shapes.
+pub fn solve_warm<P: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    pre: &P,
+    opts: &CgOptions,
+) -> SparseResult<(usize, f64)> {
+    if a.n_rows() != a.n_cols() || a.n_rows() != b.len() || b.len() != x.len() {
+        return Err(SolveError::DimensionMismatch {
+            detail: format!(
+                "cg: A is {}x{}, b has {}, x has {}",
+                a.n_rows(),
+                a.n_cols(),
+                b.len(),
+                x.len()
+            ),
+        });
+    }
+    let n = b.len();
+    let norm_b = norm2(b);
+    if norm_b == 0.0 {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return Ok((0, 0.0));
+    }
+
+    // r = b - A x
+    let mut r = vec![0.0; n];
+    a.mul_vec_into(x, &mut r);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    let mut resid = norm2(&r) / norm_b;
+    if resid <= opts.tolerance {
+        return Ok((0, resid));
+    }
+
+    let mut z = vec![0.0; n];
+    pre.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    for it in 1..=opts.max_iterations {
+        a.mul_vec_into(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Indefinite direction — matrix is not SPD.
+            return Err(SolveError::NotPositiveDefinite { row: it, pivot: pap });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, x);
+        axpy(-alpha, &ap, &mut r);
+        resid = norm2(&r) / norm_b;
+        if resid <= opts.tolerance {
+            return Ok((it, resid));
+        }
+        pre.apply(&r, &mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        xpby(&z, beta, &mut p);
+    }
+    Err(SolveError::NotConverged { iterations: opts.max_iterations, residual: resid })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::ichol::IncompleteCholesky;
+    use proptest::prelude::*;
+
+    fn grid_laplacian(n: usize, shift: f64) -> CsrMatrix {
+        let idx = |r: usize, c: usize| r * n + c;
+        let mut coo = CooMatrix::new(n * n, n * n);
+        for r in 0..n {
+            for c in 0..n {
+                coo.push(idx(r, c), idx(r, c), shift);
+                if r + 1 < n {
+                    coo.stamp_conductance(Some(idx(r, c)), Some(idx(r + 1, c)), 1.0);
+                }
+                if c + 1 < n {
+                    coo.stamp_conductance(Some(idx(r, c)), Some(idx(r, c + 1)), 1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn converges_on_grid_with_all_preconditioners() {
+        let a = grid_laplacian(8, 0.1);
+        let x_true: Vec<f64> = (0..64).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let b = a.mul_vec(&x_true);
+        let opts = CgOptions::default();
+
+        for (name, sol) in [
+            ("identity", solve(&a, &b, &IdentityPreconditioner, &opts).unwrap()),
+            ("jacobi", solve(&a, &b, &JacobiPreconditioner::new(&a).unwrap(), &opts).unwrap()),
+            ("ic0", solve(&a, &b, &IncompleteCholesky::factor(&a).unwrap(), &opts).unwrap()),
+        ] {
+            for (xi, ti) in sol.x.iter().zip(&x_true) {
+                assert!((xi - ti).abs() < 1e-6, "{name}: {xi} vs {ti}");
+            }
+        }
+    }
+
+    #[test]
+    fn ic0_converges_faster_than_identity() {
+        let a = grid_laplacian(12, 0.05);
+        let b: Vec<f64> = (0..a.n_rows()).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let opts = CgOptions { tolerance: 1e-10, max_iterations: 5000 };
+        let plain = solve(&a, &b, &IdentityPreconditioner, &opts).unwrap();
+        let ic = solve(&a, &b, &IncompleteCholesky::factor(&a).unwrap(), &opts).unwrap();
+        assert!(
+            ic.iterations < plain.iterations,
+            "IC(0) ({}) should beat identity ({})",
+            ic.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let a = grid_laplacian(10, 0.1);
+        let b: Vec<f64> = (0..a.n_rows()).map(|i| (i as f64).sin()).collect();
+        let pre = IncompleteCholesky::factor(&a).unwrap();
+        let opts = CgOptions::default();
+        let cold = solve(&a, &b, &pre, &opts).unwrap();
+        // Perturb b slightly; warm-start from the previous solution.
+        let b2: Vec<f64> = b.iter().map(|v| v * 1.001).collect();
+        let mut x = cold.x.clone();
+        let (iters, _) = solve_warm(&a, &b2, &mut x, &pre, &opts).unwrap();
+        assert!(iters <= cold.iterations, "warm {iters} vs cold {}", cold.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = grid_laplacian(3, 1.0);
+        let sol = solve(&a, &vec![0.0; 9], &IdentityPreconditioner, &CgOptions::default()).unwrap();
+        assert_eq!(sol.x, vec![0.0; 9]);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let a = grid_laplacian(8, 0.01);
+        // Not an eigenvector, so CG cannot terminate exactly in 2 steps.
+        let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+        let opts = CgOptions { tolerance: 0.0, max_iterations: 2 };
+        assert!(matches!(
+            solve(&a, &b, &IdentityPreconditioner, &opts),
+            Err(SolveError::NotConverged { iterations: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let a = grid_laplacian(2, 1.0);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0], &IdentityPreconditioner, &CgOptions::default()),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn random_spd_systems_converge(n in 2usize..20, seed in 0u64..200) {
+            use rand::{Rng as _, SeedableRng as _};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            // Random sparse SPD: diagonally dominant symmetric.
+            let mut coo = CooMatrix::new(n, n);
+            let mut row_sums = vec![0.0; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        let g = rng.gen_range(0.1..2.0);
+                        coo.push(i, j, -g);
+                        coo.push(j, i, -g);
+                        row_sums[i] += g;
+                        row_sums[j] += g;
+                    }
+                }
+            }
+            for i in 0..n {
+                coo.push(i, i, row_sums[i] + rng.gen_range(0.1..1.0));
+            }
+            let a = coo.to_csr();
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b = a.mul_vec(&x_true);
+            let pre = IncompleteCholesky::factor(&a).unwrap();
+            let sol = solve(&a, &b, &pre, &CgOptions::default()).unwrap();
+            for (xi, ti) in sol.x.iter().zip(&x_true) {
+                prop_assert!((xi - ti).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Coordinate-format (triplet) matrix assembly.
+//!
+//! MNA stamping naturally produces a stream of `(row, col, value)` triplets
+//! with duplicates (several elements stamp the same node pair); [`CooMatrix`]
+//! collects them and [`CooMatrix::to_csr`] sums duplicates while converting
+//! to the solver format.
+
+use crate::csr::CsrMatrix;
+
+/// A matrix under assembly, stored as unsorted triplets.
+///
+/// # Example
+///
+/// ```
+/// use pdn_sparse::coo::CooMatrix;
+///
+/// let mut m = CooMatrix::new(2, 2);
+/// m.push(0, 0, 1.0);
+/// m.push(0, 0, 2.0); // duplicate: summed during conversion
+/// m.push(1, 1, 5.0);
+/// let csr = m.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `n_rows × n_cols` assembly buffer.
+    pub fn new(n_rows: usize, n_cols: usize) -> CooMatrix {
+        CooMatrix { n_rows, n_cols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates a buffer with preallocated capacity for `nnz` triplets.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, nnz: usize) -> CooMatrix {
+        CooMatrix {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of triplets recorded so far (duplicates counted separately).
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether no triplets have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Records a triplet. Zero values are skipped; duplicates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows && col < self.n_cols, "triplet index out of range");
+        if value == 0.0 {
+            return;
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Stamps a two-terminal conductance `g` between nodes `a` and `b`
+    /// (`None` = the reference/ground node): the classic
+    /// `+g` on both diagonals, `−g` off-diagonal pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn stamp_conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
+        match (a, b) {
+            (Some(i), Some(j)) => {
+                self.push(i, i, g);
+                self.push(j, j, g);
+                self.push(i, j, -g);
+                self.push(j, i, -g);
+            }
+            (Some(i), None) | (None, Some(i)) => self.push(i, i, g),
+            (None, None) => {}
+        }
+    }
+
+    /// Converts to CSR, summing duplicate entries and dropping entries whose
+    /// accumulated value is exactly zero.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort each row's slice by column and
+        // merge duplicates. O(nnz log nnz_row) overall.
+        let mut counts = vec![0usize; self.n_rows + 1];
+        for &r in &self.rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order: Vec<usize> = vec![0; self.vals.len()];
+        let mut next = counts.clone();
+        for (t, &r) in self.rows.iter().enumerate() {
+            order[next[r]] = t;
+            next[r] += 1;
+        }
+
+        let mut indptr = Vec::with_capacity(self.n_rows + 1);
+        let mut indices = Vec::with_capacity(self.vals.len());
+        let mut values = Vec::with_capacity(self.vals.len());
+        indptr.push(0);
+        let mut row_buf: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.n_rows {
+            row_buf.clear();
+            for &t in &order[counts[r]..counts[r + 1]] {
+                row_buf.push((self.cols[t], self.vals[t]));
+            }
+            row_buf.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row_buf.len() {
+                let c = row_buf[i].0;
+                let mut v = 0.0;
+                while i < row_buf.len() && row_buf[i].0 == c {
+                    v += row_buf[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    indices.push(c);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix::from_raw(self.n_rows, self.n_cols, indptr, indices, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(1, 2, 1.5);
+        m.push(1, 2, 2.5);
+        m.push(0, 0, 1.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.get(1, 2), 4.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn zero_values_skipped_and_cancellation_dropped() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 0.0);
+        m.push(1, 1, 1.0);
+        m.push(1, 1, -1.0);
+        assert_eq!(m.len(), 2);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn stamp_conductance_pattern() {
+        let mut m = CooMatrix::new(2, 2);
+        m.stamp_conductance(Some(0), Some(1), 2.0);
+        m.stamp_conductance(Some(0), None, 1.0);
+        m.stamp_conductance(None, None, 9.0); // no-op
+        let csr = m.to_csr();
+        assert_eq!(csr.get(0, 0), 3.0);
+        assert_eq!(csr.get(1, 1), 2.0);
+        assert_eq!(csr.get(0, 1), -2.0);
+        assert_eq!(csr.get(1, 0), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "triplet index out of range")]
+    fn push_checks_bounds() {
+        let mut m = CooMatrix::new(1, 1);
+        m.push(1, 0, 1.0);
+    }
+
+    #[test]
+    fn columns_sorted_within_rows() {
+        let mut m = CooMatrix::new(1, 4);
+        m.push(0, 3, 3.0);
+        m.push(0, 1, 1.0);
+        m.push(0, 2, 2.0);
+        let csr = m.to_csr();
+        let (cols, vals) = csr.row(0);
+        assert_eq!(cols, &[1, 2, 3]);
+        assert_eq!(vals, &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Small dense matrices with Cholesky factorization.
+//!
+//! Used as the direct solver for small systems (package macro-models, tiny
+//! test grids) and as the reference implementation the sparse paths are
+//! cross-checked against.
+
+use crate::error::{SolveError, SparseResult};
+
+/// A dense row-major square-or-rectangular matrix.
+///
+/// # Example
+///
+/// ```
+/// use pdn_sparse::dense::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+/// let chol = a.cholesky().unwrap();
+/// let x = chol.solve(&[1.0, 2.0]);
+/// assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+/// assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> DenseMatrix {
+        assert!(n_rows > 0 && n_cols > 0, "dense matrix must be non-empty");
+        DenseMatrix { n_rows, n_cols, data: vec![0.0; n_rows * n_cols] }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> DenseMatrix {
+        assert!(!rows.is_empty(), "dense matrix must be non-empty");
+        let n_cols = rows[0].len();
+        assert!(n_cols > 0, "dense matrix must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        DenseMatrix { n_rows: rows.len(), n_cols, data }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n_rows && c < self.n_cols, "dense index out of range");
+        self.data[r * self.n_cols + c]
+    }
+
+    /// Sets the value at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n_rows && c < self.n_cols, "dense index out of range");
+        self.data[r * self.n_cols + c] = v;
+    }
+
+    /// Adds `v` at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n_rows && c < self.n_cols, "dense index out of range");
+        self.data[r * self.n_cols + c] += v;
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n_cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_cols, "mul_vec: length mismatch");
+        (0..self.n_rows)
+            .map(|r| {
+                let row = &self.data[r * self.n_cols..(r + 1) * self.n_cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+    /// matrix. Only the lower triangle of `self` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotPositiveDefinite`] if a pivot is not
+    /// strictly positive and [`SolveError::DimensionMismatch`] if the matrix
+    /// is not square.
+    pub fn cholesky(&self) -> SparseResult<DenseCholesky> {
+        if self.n_rows != self.n_cols {
+            return Err(SolveError::DimensionMismatch {
+                detail: format!("cholesky of {}x{} matrix", self.n_rows, self.n_cols),
+            });
+        }
+        let n = self.n_rows;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self.get(i, j);
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(SolveError::NotPositiveDefinite { row: i, pivot: s });
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        Ok(DenseCholesky { n, l })
+    }
+}
+
+/// A dense Cholesky factor, produced by [`DenseMatrix::cholesky`].
+#[derive(Debug, Clone)]
+pub struct DenseCholesky {
+    n: usize,
+    l: Vec<f64>,
+}
+
+impl DenseCholesky {
+    /// Solves `A x = b` via forward/backward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the factor size.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "solve: length mismatch");
+        let n = self.n;
+        let mut y = b.to_vec();
+        // Forward: L y = b
+        for i in 0..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.l[i * n + k] * y[k];
+            }
+            y[i] = s / self.l[i * n + i];
+        }
+        // Backward: Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= self.l[k * n + i] * y[k];
+            }
+            y[i] = s / self.l[i * n + i];
+        }
+        y
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cholesky_known_answer() {
+        // A = [[25, 15, -5], [15, 18, 0], [-5, 0, 11]]
+        // L = [[5,0,0],[3,3,0],[-1,1,3]]
+        let a = DenseMatrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
+        let c = a.cholesky().unwrap();
+        assert!((c.l[0] - 5.0).abs() < 1e-12);
+        assert!((c.l[3] - 3.0).abs() < 1e-12);
+        assert!((c.l[4] - 3.0).abs() < 1e-12);
+        assert!((c.l[6] + 1.0).abs() < 1e-12);
+        assert!((c.l[7] - 1.0).abs() < 1e-12);
+        assert!((c.l[8] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let a = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let c = a.cholesky().unwrap();
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true);
+        let x = c.solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_spd_rejected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // indefinite
+        assert!(matches!(a.cholesky(), Err(SolveError::NotPositiveDefinite { .. })));
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.cholesky(), Err(SolveError::DimensionMismatch { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn random_spd_round_trip(n in 1usize..8, seed in 0u64..500) {
+            use rand::{Rng as _, SeedableRng as _};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            // Build SPD as B Bᵀ + n I.
+            let b: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    let mut s = 0.0;
+                    for k in 0..n {
+                        s += b[i][k] * b[j][k];
+                    }
+                    a.set(i, j, s + if i == j { n as f64 } else { 0.0 });
+                }
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let rhs = a.mul_vec(&x_true);
+            let x = a.cholesky().unwrap().solve(&rhs);
+            for (xi, ti) in x.iter().zip(&x_true) {
+                prop_assert!((xi - ti).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Zero-fill incomplete Cholesky — IC(0) — preconditioner.
+//!
+//! For the M-matrices produced by PDN stamping, IC(0) never breaks down and
+//! reduces conjugate-gradient iteration counts by an order of magnitude
+//! compared to Jacobi, which is what makes repeated transient solves (one per
+//! time stamp, paper §2) affordable.
+
+use crate::cg::Preconditioner;
+use crate::csr::CsrMatrix;
+use crate::error::{SolveError, SparseResult};
+
+/// The IC(0) factor `L` (lower triangular, same sparsity as the lower
+/// triangle of `A`), applied as the preconditioner `M⁻¹ = (L Lᵀ)⁻¹`.
+///
+/// # Example
+///
+/// ```
+/// use pdn_sparse::coo::CooMatrix;
+/// use pdn_sparse::ichol::IncompleteCholesky;
+/// use pdn_sparse::cg::Preconditioner;
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 4.0);
+/// coo.push(1, 1, 9.0);
+/// let a = coo.to_csr();
+/// // For a diagonal matrix, IC(0) is exact: M⁻¹ r = A⁻¹ r.
+/// let pre = IncompleteCholesky::factor(&a).unwrap();
+/// let mut z = vec![0.0; 2];
+/// pre.apply(&[4.0, 9.0], &mut z);
+/// assert_eq!(z, vec![1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncompleteCholesky {
+    n: usize,
+    // L in CSR (row-major, columns ascending, diagonal last in each row).
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+    // Lᵀ in CSR (i.e. L in CSC), for the backward solve.
+    t_indptr: Vec<usize>,
+    t_indices: Vec<usize>,
+    t_values: Vec<f64>,
+}
+
+impl IncompleteCholesky {
+    /// Computes the IC(0) factorization of a symmetric positive-definite
+    /// matrix. Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotPositiveDefinite`] on pivot breakdown and
+    /// [`SolveError::DimensionMismatch`] for non-square input.
+    pub fn factor(a: &CsrMatrix) -> SparseResult<IncompleteCholesky> {
+        if a.n_rows() != a.n_cols() {
+            return Err(SolveError::DimensionMismatch {
+                detail: format!("ichol of {}x{} matrix", a.n_rows(), a.n_cols()),
+            });
+        }
+        let n = a.n_rows();
+        // Build the lower-triangle sparsity row by row; values computed with
+        // the standard row-oriented IC(0) update:
+        //   L[i][j] = (A[i][j] - Σ_k<j L[i][k] L[j][k]) / L[j][j]
+        //   L[i][i] = sqrt(A[i][i] - Σ_k<i L[i][k]²)
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut indices: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0);
+
+        // For the dot products we need fast access to "row j of L" for j < i;
+        // rows are finalized in order, so we can scan them via indptr.
+        for i in 0..n {
+            let (a_cols, a_vals) = a.row(i);
+            let row_start = indices.len();
+            for (&j, &aij) in a_cols.iter().zip(a_vals) {
+                if j > i {
+                    break;
+                }
+                // Σ_k L[i][k] L[j][k] for k < j: merge-scan the two rows.
+                let mut s = 0.0;
+                {
+                    let (mut p, mut q) = (row_start, indptr[j]);
+                    let p_end = indices.len();
+                    let q_end = if j == i { indices.len() } else { indptr[j + 1] };
+                    while p < p_end && q < q_end {
+                        let (cp, cq) = (indices[p], indices[q]);
+                        if cp >= j || cq >= j {
+                            break;
+                        }
+                        match cp.cmp(&cq) {
+                            std::cmp::Ordering::Less => p += 1,
+                            std::cmp::Ordering::Greater => q += 1,
+                            std::cmp::Ordering::Equal => {
+                                s += values[p] * values[q];
+                                p += 1;
+                                q += 1;
+                            }
+                        }
+                    }
+                }
+                if j == i {
+                    let pivot = aij - s;
+                    if pivot <= 0.0 {
+                        return Err(SolveError::NotPositiveDefinite { row: i, pivot });
+                    }
+                    indices.push(i);
+                    values.push(pivot.sqrt());
+                } else {
+                    // Diagonal of row j is its last stored entry.
+                    let ljj = values[indptr[j + 1] - 1];
+                    indices.push(j);
+                    values.push((aij - s) / ljj);
+                }
+            }
+            indptr.push(indices.len());
+        }
+
+        // Transpose L for the backward substitution.
+        let nnz = values.len();
+        let mut t_indptr = vec![0usize; n + 1];
+        for &c in &indices {
+            t_indptr[c + 1] += 1;
+        }
+        for i in 0..n {
+            t_indptr[i + 1] += t_indptr[i];
+        }
+        let mut t_indices = vec![0usize; nnz];
+        let mut t_values = vec![0.0; nnz];
+        let mut next = t_indptr.clone();
+        for r in 0..n {
+            for k in indptr[r]..indptr[r + 1] {
+                let c = indices[k];
+                t_indices[next[c]] = r;
+                t_values[next[c]] = values[k];
+                next[c] += 1;
+            }
+        }
+
+        Ok(IncompleteCholesky { n, indptr, indices, values, t_indptr, t_indices, t_values })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `L Lᵀ z = r` (forward then backward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths do not match the factor size.
+    pub fn solve_into(&self, r: &[f64], z: &mut [f64]) {
+        assert_eq!(r.len(), self.n, "solve: r length mismatch");
+        assert_eq!(z.len(), self.n, "solve: z length mismatch");
+        // Forward: L y = r, row-oriented; diagonal is last entry of each row.
+        for i in 0..self.n {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            let mut s = r[i];
+            for k in lo..hi - 1 {
+                s -= self.values[k] * z[self.indices[k]];
+            }
+            z[i] = s / self.values[hi - 1];
+        }
+        // Backward: Lᵀ x = y, using the transposed (upper-triangular) factor;
+        // in Lᵀ's row i, the diagonal is the *first* entry.
+        for i in (0..self.n).rev() {
+            let lo = self.t_indptr[i];
+            let hi = self.t_indptr[i + 1];
+            let mut s = z[i];
+            for k in lo + 1..hi {
+                s -= self.t_values[k] * z[self.t_indices[k]];
+            }
+            z[i] = s / self.t_values[lo];
+        }
+    }
+}
+
+impl Preconditioner for IncompleteCholesky {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.solve_into(r, z);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn laplacian_path(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn exact_on_tridiagonal() {
+        // IC(0) on a tridiagonal matrix has no dropped fill, so it is the
+        // exact Cholesky factorization: applying it solves the system.
+        let a = laplacian_path(6);
+        let pre = IncompleteCholesky::factor(&a).unwrap();
+        let x_true: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
+        let b = a.mul_vec(&x_true);
+        let mut z = vec![0.0; 6];
+        pre.solve_into(&b, &mut z);
+        for (zi, ti) in z.iter().zip(&x_true) {
+            assert!((zi - ti).abs() < 1e-12, "{zi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn matches_dense_cholesky_when_no_fill() {
+        let a = laplacian_path(5);
+        let pre = IncompleteCholesky::factor(&a).unwrap();
+        let dense = crate::dense::DenseMatrix::from_rows(
+            &a.to_dense().iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
+        );
+        let chol = dense.cholesky().unwrap();
+        let b = vec![1.0, 0.0, -1.0, 2.0, 0.5];
+        let mut z = vec![0.0; 5];
+        pre.solve_into(&b, &mut z);
+        let x = chol.solve(&b);
+        for (zi, xi) in z.iter().zip(&x) {
+            assert!((zi - xi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 2.0);
+        coo.push(1, 1, 1.0);
+        let a = coo.to_csr();
+        assert!(matches!(
+            IncompleteCholesky::factor(&a),
+            Err(SolveError::NotPositiveDefinite { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let coo = CooMatrix::new(2, 3);
+        assert!(matches!(
+            IncompleteCholesky::factor(&coo.to_csr()),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_on_2d_grid_is_close() {
+        // 2-D 5-point Laplacian has fill; IC(0) is inexact but should still
+        // be a decent approximation: ‖A (LLᵀ)⁻¹ b − b‖ ≪ ‖b‖.
+        let n = 4;
+        let idx = |r: usize, c: usize| r * n + c;
+        let mut coo = CooMatrix::new(n * n, n * n);
+        for r in 0..n {
+            for c in 0..n {
+                coo.push(idx(r, c), idx(r, c), 4.2);
+                if r + 1 < n {
+                    coo.stamp_conductance(Some(idx(r, c)), Some(idx(r + 1, c)), 1.0);
+                }
+                if c + 1 < n {
+                    coo.stamp_conductance(Some(idx(r, c)), Some(idx(r, c + 1)), 1.0);
+                }
+            }
+        }
+        let a = coo.to_csr();
+        let pre = IncompleteCholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 3) as f64 - 1.0).collect();
+        let mut z = vec![0.0; n * n];
+        pre.solve_into(&b, &mut z);
+        let az = a.mul_vec(&z);
+        let err: f64 = az.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(err / nb < 0.5, "IC(0) too inaccurate: {}", err / nb);
+    }
+}

@@ -1,0 +1,55 @@
+//! Sparse linear algebra for power-grid analysis.
+//!
+//! PDN sign-off reduces to solving `A v = b` where `A` is a symmetric
+//! positive-definite (SPD) conductance-like matrix with millions of unknowns
+//! (paper §2). This crate provides everything the simulator needs:
+//!
+//! * [`coo::CooMatrix`] — triplet assembly during MNA stamping;
+//! * [`csr::CsrMatrix`] — compressed-sparse-row storage with parallel
+//!   mat-vec;
+//! * [`dense::DenseMatrix`] — dense fallback with Cholesky, used for small
+//!   systems and for cross-checking the sparse paths in tests;
+//! * [`cholesky::SparseCholesky`] — elimination-tree sparse direct
+//!   Cholesky for the repeated-solve pattern of transient analysis;
+//! * [`ichol::IncompleteCholesky`] — zero-fill IC(0) preconditioner;
+//! * [`cg`] — preconditioned conjugate gradient, the workhorse solver;
+//! * [`ordering`] / [`mindeg`] — reverse Cuthill–McKee and minimum-degree
+//!   fill-reducing orderings.
+//!
+//! # Example
+//!
+//! ```
+//! use pdn_sparse::coo::CooMatrix;
+//! use pdn_sparse::cg::{self, CgOptions};
+//! use pdn_sparse::ichol::IncompleteCholesky;
+//!
+//! // 2x2 SPD system: [[4,1],[1,3]] x = [1,2]
+//! let mut coo = CooMatrix::new(2, 2);
+//! coo.push(0, 0, 4.0);
+//! coo.push(0, 1, 1.0);
+//! coo.push(1, 0, 1.0);
+//! coo.push(1, 1, 3.0);
+//! let a = coo.to_csr();
+//! let pre = IncompleteCholesky::factor(&a).unwrap();
+//! let sol = cg::solve(&a, &[1.0, 2.0], &pre, &CgOptions::default()).unwrap();
+//! assert!((sol.x[0] - 1.0 / 11.0).abs() < 1e-8);
+//! assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-8);
+//! ```
+
+pub mod cg;
+pub mod cholesky;
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod ichol;
+pub mod mindeg;
+pub mod ordering;
+pub mod vecops;
+
+pub use cg::{CgOptions, CgSolution};
+pub use cholesky::SparseCholesky;
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use error::{SolveError, SparseResult};
+pub use ichol::IncompleteCholesky;

@@ -1,0 +1,169 @@
+//! Greedy minimum-degree ordering.
+//!
+//! The second classic fill-reducing ordering next to
+//! [`crate::ordering::reverse_cuthill_mckee`]: repeatedly eliminate a
+//! minimum-degree vertex and connect its neighbors into a clique. This
+//! implementation keeps the quotient graph explicitly (no supernode
+//! absorption), which is quadratic in the worst case but entirely adequate
+//! for the grid sizes this workspace factors — and considerably better at
+//! reducing fill than bandwidth-oriented RCM on multi-layer PDN graphs.
+
+use crate::csr::CsrMatrix;
+use std::collections::BTreeSet;
+
+/// Computes a minimum-degree elimination ordering of a symmetric matrix's
+/// graph. Returns `perm` with `perm[new] = old`, directly usable with
+/// [`CsrMatrix::permute_symmetric`].
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+///
+/// # Example
+///
+/// ```
+/// use pdn_sparse::coo::CooMatrix;
+/// use pdn_sparse::mindeg::minimum_degree;
+///
+/// let mut coo = CooMatrix::new(3, 3);
+/// for i in 0..3 { coo.push(i, i, 2.0); }
+/// coo.push(0, 1, -1.0); coo.push(1, 0, -1.0);
+/// let perm = minimum_degree(&coo.to_csr());
+/// let mut sorted = perm.clone();
+/// sorted.sort();
+/// assert_eq!(sorted, vec![0, 1, 2]);
+/// ```
+pub fn minimum_degree(a: &CsrMatrix) -> Vec<usize> {
+    assert_eq!(a.n_rows(), a.n_cols(), "ordering requires a square matrix");
+    let n = a.n_rows();
+    // Adjacency sets (BTreeSet keeps the tie-breaking deterministic).
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for r in 0..n {
+        for &c in a.row(r).0 {
+            if c != r {
+                adj[r].insert(c);
+                adj[c].insert(r);
+            }
+        }
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+
+    // Bucketed degrees would be faster; a linear scan per step keeps the
+    // code obvious and is fine at our scales.
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !eliminated[v])
+            .min_by_key(|&v| (adj[v].len(), v))
+            .expect("vertices remain");
+        eliminated[v] = true;
+        order.push(v);
+        let neighbors: Vec<usize> = adj[v].iter().copied().collect();
+        // Form the elimination clique among v's remaining neighbors.
+        for (i, &x) in neighbors.iter().enumerate() {
+            adj[x].remove(&v);
+            for &y in &neighbors[i + 1..] {
+                adj[x].insert(y);
+                adj[y].insert(x);
+            }
+        }
+        adj[v].clear();
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::SparseCholesky;
+    use crate::coo::CooMatrix;
+    use crate::ordering::reverse_cuthill_mckee;
+
+    fn grid_laplacian(rows: usize, cols: usize) -> CsrMatrix {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let n = rows * cols;
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                coo.push(idx(r, c), idx(r, c), 4.5);
+                if r + 1 < rows {
+                    coo.stamp_conductance(Some(idx(r, c)), Some(idx(r + 1, c)), 1.0);
+                }
+                if c + 1 < cols {
+                    coo.stamp_conductance(Some(idx(r, c)), Some(idx(r, c + 1)), 1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn produces_a_permutation() {
+        let a = grid_laplacian(6, 7);
+        let perm = minimum_degree(&a);
+        let mut sorted = perm.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..42).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn path_graph_eliminates_inward() {
+        // On a path, minimum degree starts at the endpoints.
+        let mut coo = CooMatrix::new(5, 5);
+        for i in 0..5 {
+            coo.push(i, i, 2.0);
+        }
+        for i in 0..4 {
+            coo.stamp_conductance(Some(i), Some(i + 1), 1.0);
+        }
+        let perm = minimum_degree(&coo.to_csr());
+        assert!(perm[0] == 0 || perm[0] == 4, "first pick {} not an endpoint", perm[0]);
+    }
+
+    #[test]
+    fn reduces_fill_versus_natural_order_on_grids() {
+        let a = grid_laplacian(14, 14);
+        let natural = SparseCholesky::factor(&a).unwrap().nnz();
+        let perm = minimum_degree(&a);
+        let md = SparseCholesky::factor(&a.permute_symmetric(&perm)).unwrap().nnz();
+        assert!(md < natural, "min-degree fill {md} should beat natural {natural}");
+    }
+
+    #[test]
+    fn competitive_with_rcm_on_grids() {
+        // On 2-D grids minimum degree typically beats bandwidth reduction;
+        // assert it is at least not dramatically worse.
+        let a = grid_laplacian(12, 12);
+        let md = SparseCholesky::factor(
+            &a.permute_symmetric(&minimum_degree(&a)),
+        )
+        .unwrap()
+        .nnz();
+        let rcm = SparseCholesky::factor(
+            &a.permute_symmetric(&reverse_cuthill_mckee(&a)),
+        )
+        .unwrap()
+        .nnz();
+        assert!(md as f64 <= rcm as f64 * 1.1, "min-degree {md} vs rcm {rcm}");
+    }
+
+    #[test]
+    fn solves_agree_after_reordering() {
+        let a = grid_laplacian(8, 8);
+        let perm = minimum_degree(&a);
+        let ordered = a.permute_symmetric(&perm);
+        let chol = SparseCholesky::factor(&ordered).unwrap();
+        // Solve P A Pᵀ y = P b, then x = Pᵀ y.
+        let x_true: Vec<f64> = (0..64).map(|i| ((i * 11) % 17) as f64 - 8.0).collect();
+        let b = a.mul_vec(&x_true);
+        let pb: Vec<f64> = perm.iter().map(|&old| b[old]).collect();
+        let y = chol.solve(&pb);
+        let mut x = vec![0.0; 64];
+        for (new, &old) in perm.iter().enumerate() {
+            x[old] = y[new];
+        }
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+}

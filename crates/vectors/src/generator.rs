@@ -1,0 +1,210 @@
+//! Seeded random generation of test-vector groups.
+
+use crate::vector::TestVector;
+use crate::waveform::{clock_pulse, ActivityEnvelope};
+use pdn_core::rng;
+use pdn_grid::build::PowerGrid;
+use rand::Rng as _;
+
+/// Knobs for random vector generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Trace length in time steps (the paper simulates a few hundred ns at
+    /// 1 ps; at CI scale we default to 400 steps).
+    pub steps: usize,
+    /// Clock period in steps.
+    pub clock_period: usize,
+    /// Per-load random scaling spread around the nominal peak (±fraction).
+    pub peak_jitter: f64,
+    /// Probability that a cluster is gated off (fully idle) for the whole
+    /// vector — creates the spatial diversity between vectors.
+    pub cluster_gate_probability: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> GeneratorConfig {
+        GeneratorConfig {
+            steps: 400,
+            clock_period: 10,
+            peak_jitter: 0.3,
+            cluster_gate_probability: 0.25,
+        }
+    }
+}
+
+/// Generates random test vectors for one grid.
+///
+/// Activity is sampled per *cluster* (see
+/// [`pdn_grid::build::Load::cluster`]) and shared by the loads in it, with
+/// small per-load jitter — so noise concentrates where active clusters sit,
+/// exactly the locality the CNN has to learn.
+///
+/// # Example
+///
+/// ```
+/// use pdn_grid::design::{DesignPreset, DesignScale};
+/// use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+///
+/// let grid = DesignPreset::D2.spec(DesignScale::Tiny).build(0).unwrap();
+/// let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 50, ..Default::default() });
+/// let group = gen.generate_group(3, 99);
+/// assert_eq!(group.len(), 3);
+/// assert_ne!(group[0], group[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VectorGenerator {
+    config: GeneratorConfig,
+    design: String,
+    cluster_of: Vec<usize>,
+    cluster_count: usize,
+    nominal_peak: f64,
+    dt: pdn_core::units::Seconds,
+}
+
+impl VectorGenerator {
+    /// Creates a generator bound to one grid's load placement.
+    pub fn new(grid: &PowerGrid, config: GeneratorConfig) -> VectorGenerator {
+        let cluster_of: Vec<usize> = grid.loads().iter().map(|l| l.cluster).collect();
+        let cluster_count = cluster_of.iter().copied().max().map_or(1, |m| m + 1);
+        VectorGenerator {
+            config,
+            design: grid.spec().name().to_string(),
+            cluster_of,
+            cluster_count,
+            nominal_peak: grid.spec().nominal_load_peak().0,
+            dt: grid.spec().time_step(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates one vector. The same `(grid, config, vector_seed)` triple
+    /// always yields the same vector.
+    pub fn generate(&self, vector_seed: u64) -> TestVector {
+        let mut rng =
+            rng::derived(vector_seed, &format!("vector::{}::{}", self.design, vector_seed));
+        let steps = self.config.steps;
+        let loads = self.cluster_of.len();
+
+        // Per-cluster envelope, possibly gated off entirely.
+        let envelopes: Vec<Option<ActivityEnvelope>> = (0..self.cluster_count)
+            .map(|_| {
+                if rng.gen_bool(self.config.cluster_gate_probability) {
+                    None
+                } else {
+                    Some(ActivityEnvelope::random(steps, &mut rng))
+                }
+            })
+            .collect();
+
+        // Per-load peak scaling and clock phase offset.
+        let peaks: Vec<f64> = (0..loads)
+            .map(|_| {
+                self.nominal_peak
+                    * (1.0 + rng.gen_range(-self.config.peak_jitter..self.config.peak_jitter))
+            })
+            .collect();
+        let phases: Vec<usize> =
+            (0..loads).map(|_| rng.gen_range(0..self.config.clock_period)).collect();
+
+        let mut data = vec![0.0; steps * loads];
+        for (l, &cluster) in self.cluster_of.iter().enumerate() {
+            if let Some(env) = &envelopes[cluster] {
+                for k in 0..steps {
+                    let phase = (k + phases[l]) % self.config.clock_period;
+                    data[k * loads + l] =
+                        peaks[l] * env.level(k) * clock_pulse(phase, self.config.clock_period);
+                }
+            }
+        }
+        TestVector::from_flat(steps, loads, data, self.dt)
+    }
+
+    /// Generates `count` distinct vectors; vector `i` uses seed
+    /// `group_seed · 10⁶ + i`, so groups are reproducible and extensible.
+    pub fn generate_group(&self, count: usize, group_seed: u64) -> Vec<TestVector> {
+        (0..count).map(|i| self.generate(group_seed.wrapping_mul(1_000_000) + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_grid::design::{DesignPreset, DesignScale};
+
+    fn generator(steps: usize) -> VectorGenerator {
+        let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(0).unwrap();
+        VectorGenerator::new(&grid, GeneratorConfig { steps, ..Default::default() })
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let gen = generator(60);
+        let a = gen.generate(5);
+        let b = gen.generate(5);
+        assert_eq!(a, b);
+        assert_eq!(a.step_count(), 60);
+        let c = gen.generate(6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn currents_are_non_negative_and_bounded() {
+        let gen = generator(100);
+        let v = gen.generate(1);
+        let max_allowed = 16e-3 * 1.3001; // tiny D1 nominal peak + jitter
+        for k in 0..v.step_count() {
+            for l in 0..v.load_count() {
+                let i = v.current(k, l);
+                assert!(i >= 0.0);
+                assert!(i <= max_allowed, "current {i} exceeds jittered peak");
+            }
+        }
+    }
+
+    #[test]
+    fn group_members_distinct() {
+        let gen = generator(40);
+        let group = gen.generate_group(4, 2);
+        for i in 0..group.len() {
+            for j in i + 1..group.len() {
+                assert_ne!(group[i], group[j], "vectors {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn traces_have_idle_redundancy() {
+        // The premise of Algorithm 1: a sizable share of time stamps carry
+        // low total current.
+        let gen = generator(500);
+        let v = gen.generate(3);
+        let totals = v.totals();
+        let peak = v.peak_total();
+        assert!(peak > 0.0);
+        let quiet = totals.iter().filter(|t| **t < 0.1 * peak).count();
+        assert!(
+            quiet as f64 / totals.len() as f64 > 0.1,
+            "only {quiet}/{} quiet steps",
+            totals.len()
+        );
+    }
+
+    #[test]
+    fn cluster_gating_changes_spatial_pattern() {
+        // Across many vectors, at least two show different sets of active
+        // loads (some cluster gated in one but not the other).
+        let gen = generator(30);
+        let group = gen.generate_group(8, 7);
+        let active = |v: &TestVector| -> Vec<bool> {
+            (0..v.load_count())
+                .map(|l| (0..v.step_count()).any(|k| v.current(k, l) > 0.0))
+                .collect()
+        };
+        let patterns: Vec<Vec<bool>> = group.iter().map(active).collect();
+        assert!(patterns.iter().any(|p| *p != patterns[0]), "no spatial diversity");
+    }
+}

@@ -1,0 +1,40 @@
+//! Switching-current test-vector generation.
+//!
+//! WNV (worst-case noise validation) is run per *test vector*: a per-load
+//! current trace `i_l(t_k)` describing one application scenario (paper §1).
+//! The paper uses randomly generated vector groups for training and sign-off
+//! vectors for validation; this crate synthesizes both kinds:
+//!
+//! * [`waveform`] — per-cluster activity envelopes (idle / ramp / burst
+//!   segments) modulated by a clock-shaped pulse train, so traces contain
+//!   the steady stretches Algorithm 1 is designed to discard *and* the heavy
+//!   switching bursts that excite worst-case noise;
+//! * [`vector::TestVector`] — the dense `steps × loads` current matrix;
+//! * [`generator::VectorGenerator`] — seeded random generation of vector
+//!   groups, with activity correlated within each load cluster;
+//! * [`scenario`] — named deterministic scenarios (uniform, idle→burst,
+//!   package-resonance excitation, ramp) used by examples and ablations.
+//!
+//! # Example
+//!
+//! ```
+//! use pdn_grid::design::{DesignPreset, DesignScale};
+//! use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+//!
+//! let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+//! let gen = VectorGenerator::new(&grid, GeneratorConfig::default());
+//! let v = gen.generate(7);
+//! assert_eq!(v.load_count(), grid.loads().len());
+//! assert!(v.step_count() > 0);
+//! ```
+
+pub mod generator;
+pub mod io;
+pub mod scenario;
+pub mod vector;
+pub mod waveform;
+
+pub use generator::{GeneratorConfig, VectorGenerator};
+pub use scenario::Scenario;
+pub use vector::TestVector;
+pub use waveform::ActivityEnvelope;

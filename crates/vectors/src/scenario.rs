@@ -1,0 +1,159 @@
+//! Named deterministic workload scenarios.
+//!
+//! Examples and ablation studies need reproducible, interpretable vectors
+//! rather than fully random ones; these scenarios produce the canonical
+//! stress patterns discussed in PDN sign-off practice.
+
+use crate::vector::TestVector;
+use crate::waveform::clock_pulse;
+use pdn_grid::build::PowerGrid;
+
+/// A canonical stress scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// All loads at a constant mid activity — essentially a static IR-drop
+    /// pattern; produces little dynamic overshoot.
+    UniformSteady,
+    /// Long idle stretch followed by a full-power burst: the classic
+    /// worst-case di/dt event.
+    IdleThenBurst,
+    /// Bursts repeated at the given period (in steps). When the period is
+    /// tuned to the package-die LC resonance this maximizes dynamic noise.
+    ResonantBurst {
+        /// Burst repetition period in time steps.
+        period: usize,
+    },
+    /// Activity ramping linearly from idle to full power.
+    PowerRamp,
+    /// A DVFS-style staircase: four plateaus of increasing activity with a
+    /// sharp step between them — each step edge is a di/dt event.
+    VoltageFrequencyStaircase,
+    /// Alternating whole-chip clock gating: full activity and hard gating
+    /// in equal halves of `period` steps — the harshest repetitive di/dt
+    /// pattern a power-management unit can produce.
+    ClockGatingStorm {
+        /// Gate toggle period in time steps.
+        period: usize,
+    },
+}
+
+impl Scenario {
+    /// Renders the scenario into a test vector of `steps` steps for the
+    /// given grid (all clusters active; per-load peak = the spec nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero or a resonant period is zero.
+    pub fn render(self, grid: &PowerGrid, steps: usize) -> TestVector {
+        assert!(steps > 0, "scenario needs at least one step");
+        let loads = grid.loads().len();
+        let peak = grid.spec().nominal_load_peak().0;
+        let clock = 10usize;
+        let envelope: Vec<f64> = (0..steps)
+            .map(|k| match self {
+                Scenario::UniformSteady => 0.5,
+                Scenario::IdleThenBurst => {
+                    if k < steps / 2 {
+                        0.02
+                    } else {
+                        1.0
+                    }
+                }
+                Scenario::ResonantBurst { period } => {
+                    assert!(period > 0, "resonant period must be non-zero");
+                    if (k / (period / 2).max(1)) % 2 == 0 {
+                        1.0
+                    } else {
+                        0.05
+                    }
+                }
+                Scenario::PowerRamp => k as f64 / (steps - 1).max(1) as f64,
+                Scenario::VoltageFrequencyStaircase => {
+                    let plateau = (k * 4 / steps).min(3);
+                    0.25 + 0.25 * plateau as f64
+                }
+                Scenario::ClockGatingStorm { period } => {
+                    assert!(period > 0, "gating period must be non-zero");
+                    if (k / (period / 2).max(1)) % 2 == 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            })
+            .collect();
+        let mut data = vec![0.0; steps * loads];
+        for l in 0..loads {
+            for k in 0..steps {
+                data[k * loads + l] = peak * envelope[k] * clock_pulse(k % clock, clock);
+            }
+        }
+        TestVector::from_flat(steps, loads, data, grid.spec().time_step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_grid::design::{DesignPreset, DesignScale};
+
+    fn grid() -> PowerGrid {
+        DesignPreset::D1.spec(DesignScale::Tiny).build(0).unwrap()
+    }
+
+    #[test]
+    fn idle_then_burst_shape() {
+        let g = grid();
+        let v = Scenario::IdleThenBurst.render(&g, 40);
+        assert!(v.total_at(5) < v.total_at(25));
+        // First half nearly idle.
+        assert!(v.total_at(0) < 0.1 * v.peak_total());
+    }
+
+    #[test]
+    fn resonant_burst_alternates() {
+        let g = grid();
+        let v = Scenario::ResonantBurst { period: 20 }.render(&g, 60);
+        // Burst-on steps draw far more than burst-off steps.
+        assert!(v.total_at(0) > 5.0 * v.total_at(10));
+    }
+
+    #[test]
+    fn ramp_monotone_in_envelope() {
+        let g = grid();
+        let v = Scenario::PowerRamp.render(&g, 51);
+        // Compare at identical clock phases to isolate the envelope.
+        assert!(v.total_at(0) < v.total_at(10));
+        assert!(v.total_at(10) < v.total_at(50));
+    }
+
+    #[test]
+    fn staircase_has_four_plateaus() {
+        let g = grid();
+        let v = Scenario::VoltageFrequencyStaircase.render(&g, 80);
+        // Compare same clock phase across plateaus: strictly increasing.
+        let at = |k: usize| v.total_at(k);
+        assert!(at(0) < at(20));
+        assert!(at(20) < at(40));
+        assert!(at(40) < at(60));
+        // Within a plateau (same phase), constant.
+        assert!((at(0) - at(10)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gating_storm_alternates_hard() {
+        let g = grid();
+        let v = Scenario::ClockGatingStorm { period: 20 }.render(&g, 40);
+        assert!(v.total_at(0) > 0.0);
+        assert_eq!(v.total_at(10), 0.0, "gated half must draw nothing");
+        assert!(v.total_at(20) > 0.0);
+    }
+
+    #[test]
+    fn uniform_steady_is_clock_periodic() {
+        let g = grid();
+        let v = Scenario::UniformSteady.render(&g, 30);
+        assert!((v.total_at(0) - v.total_at(10)).abs() < 1e-15);
+        assert!((v.total_at(3) - v.total_at(13)).abs() < 1e-15);
+    }
+}

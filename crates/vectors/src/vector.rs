@@ -1,0 +1,168 @@
+//! The dense current-trace matrix fed to the simulator and the predictor.
+
+use pdn_core::units::Seconds;
+
+/// One test vector: per-load switching currents at every time stamp.
+///
+/// Stored row-major by time step (`steps × loads`), in amperes. This is the
+/// exact input the paper feeds both to the commercial simulator and (after
+/// compression and tiling) to the CNN.
+///
+/// # Example
+///
+/// ```
+/// use pdn_vectors::vector::TestVector;
+/// use pdn_core::units::Seconds;
+///
+/// let v = TestVector::from_rows(
+///     vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+///     Seconds::from_picos(5.0),
+/// );
+/// assert_eq!(v.step_count(), 2);
+/// assert_eq!(v.load_count(), 2);
+/// assert_eq!(v.total_at(1), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestVector {
+    steps: usize,
+    loads: usize,
+    /// Row-major `steps × loads` currents in amperes.
+    data: Vec<f64>,
+    dt: Seconds,
+}
+
+impl TestVector {
+    /// Builds a vector from per-step rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    pub fn from_rows(rows: Vec<Vec<f64>>, dt: Seconds) -> TestVector {
+        assert!(!rows.is_empty(), "test vector needs at least one step");
+        let loads = rows[0].len();
+        assert!(loads > 0, "test vector needs at least one load");
+        let mut data = Vec::with_capacity(rows.len() * loads);
+        for r in &rows {
+            assert_eq!(r.len(), loads, "ragged test vector rows");
+            data.extend_from_slice(r);
+        }
+        TestVector { steps: rows.len(), loads, data, dt }
+    }
+
+    /// Builds a vector from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != steps * loads` or either count is zero.
+    pub fn from_flat(steps: usize, loads: usize, data: Vec<f64>, dt: Seconds) -> TestVector {
+        assert!(steps > 0 && loads > 0, "test vector must be non-empty");
+        assert_eq!(data.len(), steps * loads, "test vector buffer length mismatch");
+        TestVector { steps, loads, data, dt }
+    }
+
+    /// Number of time stamps `N`.
+    pub fn step_count(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of loads.
+    pub fn load_count(&self) -> usize {
+        self.loads
+    }
+
+    /// Simulation time step.
+    pub fn time_step(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Current of one load at one time stamp, in amperes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn current(&self, step: usize, load: usize) -> f64 {
+        assert!(step < self.steps && load < self.loads, "test vector index out of range");
+        self.data[step * self.loads + load]
+    }
+
+    /// All load currents at one time stamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is out of range.
+    pub fn step(&self, step: usize) -> &[f64] {
+        assert!(step < self.steps, "test vector step out of range");
+        &self.data[step * self.loads..(step + 1) * self.loads]
+    }
+
+    /// Total current at one time stamp (the `S[k]` of Algorithm 1).
+    pub fn total_at(&self, step: usize) -> f64 {
+        self.step(step).iter().sum()
+    }
+
+    /// Totals at every time stamp.
+    pub fn totals(&self) -> Vec<f64> {
+        (0..self.steps).map(|k| self.total_at(k)).collect()
+    }
+
+    /// Peak (over time) of the total current.
+    pub fn peak_total(&self) -> f64 {
+        self.totals().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Returns a new vector containing only the given time stamps, in the
+    /// given order — the output form of temporal compression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty or contains an out-of-range index.
+    pub fn select_steps(&self, keep: &[usize]) -> TestVector {
+        assert!(!keep.is_empty(), "cannot select zero steps");
+        let mut data = Vec::with_capacity(keep.len() * self.loads);
+        for &k in keep {
+            data.extend_from_slice(self.step(k));
+        }
+        TestVector { steps: keep.len(), loads: self.loads, data, dt: self.dt }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> TestVector {
+        TestVector::from_rows(
+            vec![vec![1.0, 0.0], vec![2.0, 1.0], vec![0.5, 0.5]],
+            Seconds::from_picos(1.0),
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let v = v();
+        assert_eq!(v.current(1, 0), 2.0);
+        assert_eq!(v.step(2), &[0.5, 0.5]);
+        assert_eq!(v.totals(), vec![1.0, 3.0, 1.0]);
+        assert_eq!(v.peak_total(), 3.0);
+    }
+
+    #[test]
+    fn select_steps_reorders() {
+        let s = v().select_steps(&[2, 0]);
+        assert_eq!(s.step_count(), 2);
+        assert_eq!(s.step(0), &[0.5, 0.5]);
+        assert_eq!(s.step(1), &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = TestVector::from_rows(vec![vec![1.0], vec![1.0, 2.0]], Seconds(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn flat_length_checked() {
+        let _ = TestVector::from_flat(2, 2, vec![0.0; 3], Seconds(1.0));
+    }
+}

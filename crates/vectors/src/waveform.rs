@@ -1,0 +1,248 @@
+//! Activity envelopes and clock-pulse shaping.
+//!
+//! A load's current is modelled as
+//! `i(k) = peak × envelope(k) × pulse(k mod clock_period)`:
+//! the envelope captures *what the workload is doing* (idle, ramping,
+//! bursting) and the pulse captures the within-cycle switching shape. The
+//! envelope is shared per activity cluster so that neighbouring instances
+//! switch together — this is what creates localized noise hotspots.
+
+use pdn_core::rng::Rng;
+use rand::Rng as _;
+
+/// Kind of one envelope segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentKind {
+    /// Near-zero quiescent activity.
+    Idle,
+    /// Constant mid-level activity.
+    Steady,
+    /// Maximal switching — the segments that produce worst-case noise.
+    Burst,
+    /// Linear ramp between two levels.
+    Ramp,
+}
+
+/// One segment of a piecewise activity envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Segment kind (kept for introspection/debugging).
+    pub kind: SegmentKind,
+    /// Length in time steps.
+    pub steps: usize,
+    /// Activity level at the segment start, in `[0, 1]`.
+    pub start_level: f64,
+    /// Activity level at the segment end, in `[0, 1]`.
+    pub end_level: f64,
+}
+
+/// A piecewise-linear activity envelope over `N` time steps.
+///
+/// # Example
+///
+/// ```
+/// use pdn_vectors::waveform::{ActivityEnvelope, Segment, SegmentKind};
+///
+/// let env = ActivityEnvelope::from_segments(vec![
+///     Segment { kind: SegmentKind::Idle, steps: 3, start_level: 0.0, end_level: 0.0 },
+///     Segment { kind: SegmentKind::Burst, steps: 2, start_level: 1.0, end_level: 1.0 },
+/// ]);
+/// assert_eq!(env.len(), 5);
+/// assert_eq!(env.level(4), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityEnvelope {
+    levels: Vec<f64>,
+    segments: Vec<Segment>,
+}
+
+impl ActivityEnvelope {
+    /// Builds an envelope by concatenating segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment list is empty or any segment has zero steps.
+    pub fn from_segments(segments: Vec<Segment>) -> ActivityEnvelope {
+        assert!(!segments.is_empty(), "envelope needs at least one segment");
+        let mut levels = Vec::new();
+        for s in &segments {
+            assert!(s.steps > 0, "zero-length envelope segment");
+            for k in 0..s.steps {
+                let t = if s.steps == 1 { 0.0 } else { k as f64 / (s.steps - 1) as f64 };
+                levels.push((s.start_level + (s.end_level - s.start_level) * t).clamp(0.0, 1.0));
+            }
+        }
+        ActivityEnvelope { levels, segments }
+    }
+
+    /// Samples a random envelope of exactly `steps` steps.
+    ///
+    /// The mix is tuned so that roughly half the trace is idle/steady (the
+    /// redundancy Algorithm 1 removes) and bursts occupy the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero.
+    pub fn random(steps: usize, rng: &mut Rng) -> ActivityEnvelope {
+        assert!(steps > 0, "envelope needs at least one step");
+        let mut segments = Vec::new();
+        let mut used = 0usize;
+        let mut level = rng.gen_range(0.0..0.2);
+        while used < steps {
+            let remaining = steps - used;
+            let len = rng.gen_range(8..40).min(remaining);
+            let roll: f64 = rng.gen();
+            let seg = if roll < 0.35 {
+                let l = rng.gen_range(0.0..0.08);
+                Segment { kind: SegmentKind::Idle, steps: len, start_level: l, end_level: l }
+            } else if roll < 0.55 {
+                let l = rng.gen_range(0.15..0.45);
+                Segment { kind: SegmentKind::Steady, steps: len, start_level: l, end_level: l }
+            } else if roll < 0.8 {
+                let l = rng.gen_range(0.7..1.0);
+                Segment { kind: SegmentKind::Burst, steps: len, start_level: l, end_level: l }
+            } else {
+                let target = rng.gen_range(0.0..1.0);
+                let s = Segment {
+                    kind: SegmentKind::Ramp,
+                    steps: len,
+                    start_level: level,
+                    end_level: target,
+                };
+                s
+            };
+            level = seg.end_level;
+            used += len;
+            segments.push(seg);
+        }
+        ActivityEnvelope::from_segments(segments)
+    }
+
+    /// Number of time steps covered.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the envelope covers zero steps. Always `false` by
+    /// construction.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Activity level in `[0, 1]` at step `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn level(&self, k: usize) -> f64 {
+        self.levels[k]
+    }
+
+    /// The segment structure the envelope was built from.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Fraction of steps with activity below 0.1 — used in tests to confirm
+    /// random traces contain compressible redundancy.
+    pub fn idle_fraction(&self) -> f64 {
+        let idle = self.levels.iter().filter(|l| **l < 0.1).count();
+        idle as f64 / self.levels.len() as f64
+    }
+}
+
+/// Within-cycle switching shape: a sharp rise at the clock edge followed by
+/// an exponential-ish decay, normalized to peak 1.
+///
+/// `phase` is `k mod period`; `period` is the clock period in steps.
+///
+/// # Panics
+///
+/// Panics if `period` is zero or `phase >= period`.
+///
+/// # Example
+///
+/// ```
+/// let p0 = pdn_vectors::waveform::clock_pulse(0, 8);
+/// let p4 = pdn_vectors::waveform::clock_pulse(4, 8);
+/// assert!(p0 > p4);
+/// assert!(p0 <= 1.0 && p4 >= 0.0);
+/// ```
+pub fn clock_pulse(phase: usize, period: usize) -> f64 {
+    assert!(period > 0, "clock period must be non-zero");
+    assert!(phase < period, "phase must be below period");
+    // Triangular attack over the first eighth, then decay.
+    let attack = (period / 8).max(1);
+    if phase < attack {
+        (phase + 1) as f64 / attack as f64
+    } else {
+        let t = (phase - attack) as f64 / (period - attack) as f64;
+        (1.0 - t).powi(2).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_core::rng;
+
+    #[test]
+    fn segment_interpolation_is_linear() {
+        let env = ActivityEnvelope::from_segments(vec![Segment {
+            kind: SegmentKind::Ramp,
+            steps: 5,
+            start_level: 0.0,
+            end_level: 1.0,
+        }]);
+        assert_eq!(env.level(0), 0.0);
+        assert_eq!(env.level(2), 0.5);
+        assert_eq!(env.level(4), 1.0);
+    }
+
+    #[test]
+    fn random_envelope_has_exact_length_and_valid_levels() {
+        let mut rng = rng::seeded(3);
+        for steps in [1, 7, 100, 333] {
+            let env = ActivityEnvelope::random(steps, &mut rng);
+            assert_eq!(env.len(), steps);
+            for k in 0..steps {
+                assert!((0.0..=1.0).contains(&env.level(k)));
+            }
+        }
+    }
+
+    #[test]
+    fn random_envelopes_contain_idle_and_burst() {
+        // Over a long trace the mix should include both compressible idle
+        // time and high-activity bursts.
+        let mut rng = rng::seeded(11);
+        let env = ActivityEnvelope::random(2000, &mut rng);
+        assert!(env.idle_fraction() > 0.1, "idle fraction {}", env.idle_fraction());
+        let max = (0..env.len()).map(|k| env.level(k)).fold(0.0, f64::max);
+        assert!(max > 0.7, "max level {max}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ActivityEnvelope::random(64, &mut rng::seeded(5));
+        let b = ActivityEnvelope::random(64, &mut rng::seeded(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clock_pulse_profile() {
+        let period = 10;
+        let samples: Vec<f64> = (0..period).map(|p| clock_pulse(p, period)).collect();
+        let peak = samples.iter().copied().fold(0.0, f64::max);
+        assert!((peak - 1.0).abs() < 1e-12);
+        assert!(samples.iter().all(|s| (0.0..=1.0).contains(s)));
+        // Tail decays.
+        assert!(samples[period - 1] < samples[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase must be below period")]
+    fn clock_pulse_checks_phase() {
+        let _ = clock_pulse(8, 8);
+    }
+}

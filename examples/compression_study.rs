@@ -1,0 +1,67 @@
+//! Temporal-compression study: Algorithm 1 on a real current trace.
+//!
+//! ```text
+//! cargo run --release --example compression_study
+//! ```
+//!
+//! Shows what the paper's Fig. 6 measures from the inside: how Algorithm 1
+//! picks its split between quiet and busy time stamps, how well the kept
+//! subset preserves the `μ+3σ` statistic at each rate, and that the
+//! worst-case stamp always survives.
+
+use pdn_wnv::compress::spatial::tile_current_maps;
+use pdn_wnv::compress::temporal::TemporalCompressor;
+use pdn_wnv::grid::design::{DesignPreset, DesignScale};
+use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(7)?;
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 400, ..Default::default() });
+    let vector = gen.generate(3);
+    let totals = vector.totals();
+    let peak_idx = (0..totals.len())
+        .max_by(|&a, &b| totals[a].partial_cmp(&totals[b]).expect("finite"))
+        .expect("non-empty");
+
+    println!("trace: {} stamps, peak total {:.1} mA at stamp {}", totals.len(), totals[peak_idx] * 1e3, peak_idx);
+    println!(
+        "original mu+3sigma of totals: {:.2} mA\n",
+        pdn_wnv::core::stats::mu_plus_3_sigma(&totals) * 1e3
+    );
+
+    println!(
+        "{:>5} {:>7} {:>10} {:>14} {:>12} {:>10}",
+        "rate", "kept", "r0 picked", "mu+3s error", "peak kept?", "quiet kept"
+    );
+    for rate in [0.05, 0.1, 0.2, 0.3, 0.5, 0.8] {
+        let compressor = TemporalCompressor::new(rate, 0.02)?;
+        let outcome = compressor.compress(&totals);
+        let quiet = outcome
+            .kept
+            .iter()
+            .filter(|&&k| totals[k] < 0.1 * totals[peak_idx])
+            .count();
+        println!(
+            "{:>5.2} {:>7} {:>10.2} {:>12.2} mA {:>12} {:>10}",
+            rate,
+            outcome.kept.len(),
+            outcome.selected_r0,
+            outcome.statistic_error * 1e3,
+            outcome.kept.contains(&peak_idx),
+            quiet,
+        );
+    }
+
+    // The same algorithm applied to the tile current maps (the paper's
+    // actual input form).
+    let maps = tile_current_maps(&grid, &vector);
+    let compressor = TemporalCompressor::new(0.3, 0.05)?;
+    let (kept_maps, outcome) = compressor.compress_maps(&maps);
+    println!(
+        "\nmap-form compression at r=0.3: {} of {} maps kept (r0 = {:.2})",
+        kept_maps.len(),
+        maps.len(),
+        outcome.selected_r0
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Hotspot forensics: probe the worst tiles and export their droop
+//! waveforms plus the design netlist for external cross-checking.
+//!
+//! ```text
+//! cargo run --release --example hotspot_waveforms
+//! ```
+//!
+//! After WNV flags hotspots, a designer wants the time-domain story at
+//! those tiles — when the droop peaks, how it rings, how the neighbors
+//! behave. This example runs WNV, plants probes on the three worst tiles,
+//! records their waveforms, and writes both the waveform CSV and a SPICE
+//! deck of the design so the result can be reproduced in any external
+//! simulator.
+
+use pdn_wnv::grid::design::{DesignPreset, DesignScale};
+use pdn_wnv::grid::netlist;
+use pdn_wnv::sim::probe::ProbeSet;
+use pdn_wnv::sim::transient::TransientSimulator;
+use pdn_wnv::sim::wnv::WnvRunner;
+use pdn_wnv::vectors::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = DesignPreset::D3.spec(DesignScale::Tiny).build(9)?;
+    let vector = Scenario::ClockGatingStorm { period: 60 }.render(&grid, 240);
+
+    // 1. WNV pass: find the hotspots.
+    let runner = WnvRunner::new(&grid)?;
+    let report = runner.run(&vector)?;
+    let thr = grid.spec().hotspot_threshold();
+    println!(
+        "WNV: max droop {:.1} mV, {} hotspot tiles above {:.0} mV",
+        report.max_noise.to_millivolts(),
+        report.hotspots(thr).len(),
+        thr.to_millivolts()
+    );
+
+    // 2. Probe the three worst tiles and re-run with waveform recording.
+    let probes = ProbeSet::at_hotspots(&grid, &report.worst_noise, report.worst_noise.mean(), 3);
+    let sim = TransientSimulator::new(&grid)?;
+    let trace = probes.record(&sim, &vector)?;
+    for p in 0..trace.tiles.len() {
+        println!(
+            "probe {:?}: peak {:.1} mV at t = {:.2} ns",
+            trace.tiles[p],
+            trace.peak(p) * 1e3,
+            trace.peak_time(p) as f64 * trace.dt * 1e9
+        );
+    }
+
+    // 3. Export artifacts.
+    let dir = std::env::temp_dir().join("pdn_hotspot_waveforms");
+    std::fs::create_dir_all(&dir)?;
+    let wave_path = dir.join("hotspot_waveforms.csv");
+    let mut f = std::fs::File::create(&wave_path)?;
+    trace.write_csv(&mut f)?;
+    let deck_path = dir.join("design.sp");
+    netlist::write_spice_file(&grid, &deck_path)?;
+    println!("\nwaveforms: {}", wave_path.display());
+    println!("SPICE deck: {}", deck_path.display());
+    Ok(())
+}

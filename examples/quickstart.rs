@@ -1,0 +1,46 @@
+//! Quickstart: simulate a design, train the predictor, compare one map.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This is the complete flow of the paper in ~40 lines: build a PDN, run
+//! the ground-truth simulator over a group of random test vectors, train
+//! the three-subnet CNN, and predict the worst-case noise map of an unseen
+//! vector.
+
+use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
+use pdn_wnv::eval::metrics;
+use pdn_wnv::eval::render::ascii_side_by_side;
+use pdn_wnv::grid::design::DesignPreset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The quick configuration runs in seconds on a laptop; swap for
+    // `ExperimentConfig::ci()` to reproduce the reported numbers.
+    let config = ExperimentConfig::quick();
+
+    println!("building D1, simulating {} vectors, training ...", config.vectors);
+    let eval = EvaluatedDesign::evaluate(DesignPreset::D1, &config)?;
+
+    println!(
+        "simulator: {:.3}s/vector   predictor: {:.4}s/vector   speedup: {:.0}x",
+        eval.prepared.sim_time_per_vector.as_secs_f64(),
+        eval.predict_time_per_vector.as_secs_f64(),
+        eval.speedup()
+    );
+
+    let stats = metrics::pooled_error_stats(&eval.test_pairs);
+    println!("test-set accuracy: {stats}");
+
+    let (pred, truth) = &eval.test_pairs[0];
+    println!("\nworst-case noise map of the first unseen vector:");
+    println!("{}", ascii_side_by_side(truth, pred, "simulated (ground truth)", "CNN prediction"));
+    println!(
+        "hotspot missing rate at the 10% threshold: {:.2}%",
+        metrics::pooled_missing_rate(
+            &eval.test_pairs,
+            eval.prepared.grid.spec().hotspot_threshold()
+        ) * 100.0
+    );
+    Ok(())
+}

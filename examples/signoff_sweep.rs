@@ -1,0 +1,65 @@
+//! Sign-off sweep: validate many workload scenarios against a noise budget.
+//!
+//! ```text
+//! cargo run --release --example signoff_sweep
+//! ```
+//!
+//! The paper's motivation (§1): WNV must be repeated for tens of test
+//! vectors, which is what makes the commercial flow slow. This example runs
+//! the canonical stress scenarios plus a batch of random vectors through
+//! the simulator, reports which violate the 10 % noise budget, and shows
+//! how the trained predictor answers the same queries at a fraction of the
+//! cost.
+
+use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
+use pdn_wnv::grid::design::DesignPreset;
+use pdn_wnv::sim::wnv::WnvRunner;
+use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
+use pdn_wnv::vectors::scenario::Scenario;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig::quick();
+    let steps = 80;
+
+    println!("training the predictor on D2 ...");
+    let mut eval = EvaluatedDesign::evaluate(DesignPreset::D2, &config)?;
+    let grid = eval.prepared.grid.clone();
+    let budget = grid.spec().hotspot_threshold();
+    let runner = WnvRunner::new(&grid)?;
+
+    // Named stress scenarios + extra random workloads not seen in training.
+    let scenarios = vec![
+        ("uniform-steady".to_string(), Scenario::UniformSteady.render(&grid, steps)),
+        ("idle-then-burst".to_string(), Scenario::IdleThenBurst.render(&grid, steps)),
+        ("resonant-burst".to_string(), Scenario::ResonantBurst { period: 40 }.render(&grid, steps)),
+        ("power-ramp".to_string(), Scenario::PowerRamp.render(&grid, steps)),
+    ];
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps, ..Default::default() });
+    let randoms: Vec<(String, _)> =
+        (0..4).map(|i| (format!("random-{i}"), gen.generate(1000 + i))).collect();
+
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>10} {:>8}",
+        "vector", "sim max (mV)", "CNN max (mV)", "verdict", "sim/CNN"
+    );
+    for (name, vector) in scenarios.into_iter().chain(randoms) {
+        let t0 = Instant::now();
+        let report = runner.run(&vector)?;
+        let sim_time = t0.elapsed();
+        let t0 = Instant::now();
+        let predicted = eval.predictor.predict(&grid, &vector);
+        let cnn_time = t0.elapsed();
+        let verdict = if report.max_noise > budget { "VIOLATES" } else { "ok" };
+        println!(
+            "{:<16} {:>12.1} {:>12.1} {:>10} {:>7.0}x",
+            name,
+            report.max_noise.to_millivolts(),
+            predicted.max() * 1e3,
+            verdict,
+            sim_time.as_secs_f64() / cnn_time.as_secs_f64().max(1e-9),
+        );
+    }
+    println!("\nnoise budget: {:.0} mV (10% of vdd)", budget.to_millivolts());
+    Ok(())
+}

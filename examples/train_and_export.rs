@@ -1,0 +1,44 @@
+//! Train once, deploy everywhere: export a trained predictor to disk and
+//! answer a sign-off query from the restored bundle.
+//!
+//! ```text
+//! cargo run --release --example train_and_export
+//! ```
+//!
+//! The bundle contains the model weights, the kernel configuration, the
+//! design's distance tensor, the fitted normalizers and the compressor
+//! settings — everything inference needs, so a sign-off team can train on a
+//! beefy machine and query on laptops.
+
+use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
+use pdn_wnv::grid::design::DesignPreset;
+use pdn_wnv::model::model::Predictor;
+use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig::quick();
+    println!("training on D3 ...");
+    let mut eval = EvaluatedDesign::evaluate(DesignPreset::D3, &config)?;
+    let grid = eval.prepared.grid.clone();
+
+    let path = std::env::temp_dir().join("pdn_wnv_d3.predictor");
+    eval.predictor.save_to(&path)?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("exported trained predictor to {} ({bytes} bytes)", path.display());
+
+    // A "different machine": restore and answer a fresh query.
+    let mut restored = Predictor::load_from(&path)?;
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 60, ..Default::default() });
+    let query = gen.generate(424_242);
+
+    let from_memory = eval.predictor.predict(&grid, &query);
+    let from_disk = restored.predict(&grid, &query);
+    assert_eq!(from_memory, from_disk, "restored predictor must agree bit for bit");
+
+    println!(
+        "restored predictor answers identically: worst predicted droop {:.1} mV",
+        from_disk.max() * 1e3
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

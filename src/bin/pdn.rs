@@ -1,0 +1,263 @@
+//! `pdn` — command-line front end for the worst-case noise toolkit.
+//!
+//! ```text
+//! pdn info     --design D1 [--scale tiny|ci|paper]
+//! pdn simulate --design D1 [--scale ...] [--steps N] [--seed S] [--out DIR]
+//! pdn train    --design D1 [--scale ...] [--vectors N] [--epochs E] --out MODEL
+//! pdn predict  --model MODEL --design D1 [--scale ...] [--seed S] [--out DIR]
+//! ```
+//!
+//! `train` produces a self-contained predictor bundle; `predict` restores
+//! it and answers a sign-off query orders of magnitude faster than
+//! `simulate` — the paper's deployment story as a terminal tool.
+
+use pdn_wnv::core::units::Volts;
+use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
+use pdn_wnv::eval::render::{ascii_map, write_csv};
+use pdn_wnv::grid::design::{DesignPreset, DesignScale};
+use pdn_wnv::model::model::Predictor;
+use pdn_wnv::model::trainer::TrainConfig;
+use pdn_wnv::sim::wnv::WnvRunner;
+use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pdn info            --design D1..D4 [--scale tiny|ci|paper]
+  pdn simulate        --design D1..D4 [--scale S] [--steps N] [--seed K]
+                      [--vector FILE.csv] [--out DIR]
+  pdn train           --design D1..D4 [--scale S] [--vectors N] [--epochs E] --out MODEL
+  pdn predict         --model MODEL --design D1..D4 [--scale S] [--seed K]
+                      [--vector FILE.csv] [--out DIR]
+  pdn export-netlist  --design D1..D4 [--scale S] --out FILE.sp
+  pdn export-vector   --design D1..D4 [--scale S] [--steps N] [--seed K] --out FILE.csv";
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let opts = parse_flags(rest)?;
+    match command.as_str() {
+        "info" => info(&opts),
+        "simulate" => simulate(&opts),
+        "train" => train(&opts),
+        "predict" => predict(&opts),
+        "export-netlist" => export_netlist(&opts),
+        "export-vector" => export_vector(&opts),
+        other => Err(format!("unknown command `{other}`").into()),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn std::error::Error>> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{flag}`").into());
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag --{name} needs a value").into());
+        };
+        map.insert(name.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn design(opts: &HashMap<String, String>) -> Result<DesignPreset, Box<dyn std::error::Error>> {
+    match opts.get("design").map(String::as_str) {
+        Some("D1") | Some("d1") => Ok(DesignPreset::D1),
+        Some("D2") | Some("d2") => Ok(DesignPreset::D2),
+        Some("D3") | Some("d3") => Ok(DesignPreset::D3),
+        Some("D4") | Some("d4") => Ok(DesignPreset::D4),
+        Some(other) => Err(format!("unknown design `{other}` (use D1..D4)").into()),
+        None => Err("--design is required".into()),
+    }
+}
+
+fn scale(opts: &HashMap<String, String>) -> Result<DesignScale, Box<dyn std::error::Error>> {
+    match opts.get("scale").map(String::as_str) {
+        None | Some("tiny") => Ok(DesignScale::Tiny),
+        Some("ci") => Ok(DesignScale::Ci),
+        Some("paper") => Ok(DesignScale::Paper),
+        Some(other) => Err(format!("unknown scale `{other}` (tiny|ci|paper)").into()),
+    }
+}
+
+fn parse<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, Box<dyn std::error::Error>>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}").into()),
+    }
+}
+
+fn info(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = design(opts)?;
+    let spec = preset.spec(scale(opts)?);
+    let grid = spec.build(parse(opts, "seed", 1u64)?)?;
+    let tiles = spec.tile_grid();
+    println!("design   : {}", spec.name());
+    println!("die      : {:.0} x {:.0} um", spec.die_size().0, spec.die_size().1);
+    println!("layers   : {}", spec.layers().len());
+    println!("nodes    : {}", grid.node_count());
+    println!("loads    : {}", grid.loads().len());
+    println!("bumps    : {}", grid.bumps().len());
+    println!("tiles    : {} x {}", tiles.rows(), tiles.cols());
+    println!("vdd      : {}", spec.vdd());
+    println!("dt       : {:.0} ps", spec.time_step().0 * 1e12);
+    println!("hotspot  : >{:.0} mV", spec.hotspot_threshold().to_millivolts());
+    Ok(())
+}
+
+fn load_or_generate_vector(
+    opts: &HashMap<String, String>,
+    grid: &pdn_wnv::grid::build::PowerGrid,
+) -> Result<pdn_wnv::vectors::vector::TestVector, Box<dyn std::error::Error>> {
+    if let Some(path) = opts.get("vector") {
+        let v = pdn_wnv::vectors::io::read_csv_file(path)?;
+        if v.load_count() != grid.loads().len() {
+            return Err(format!(
+                "vector file has {} loads but the design has {}",
+                v.load_count(),
+                grid.loads().len()
+            )
+            .into());
+        }
+        return Ok(v);
+    }
+    let steps = parse(opts, "steps", 120usize)?;
+    let seed = parse(opts, "seed", 7u64)?;
+    let gen = VectorGenerator::new(grid, GeneratorConfig { steps, ..Default::default() });
+    Ok(gen.generate(seed))
+}
+
+fn simulate(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = design(opts)?;
+    let grid = preset.spec(scale(opts)?).build(1)?;
+    let vector = load_or_generate_vector(opts, &grid)?;
+    let steps = vector.step_count();
+    let seed = parse(opts, "seed", 7u64)?;
+    let runner = WnvRunner::new(&grid)?;
+    let t0 = Instant::now();
+    let report = runner.run(&vector)?;
+    println!(
+        "simulated {} steps on {} nodes in {:.2}s ({} CG iterations)",
+        steps,
+        grid.node_count(),
+        t0.elapsed().as_secs_f64(),
+        report.stats.cg_iterations
+    );
+    println!(
+        "worst-case noise: mean {:.1} mV, max {:.1} mV, hotspot ratio {:.1}%",
+        report.mean_noise().to_millivolts(),
+        report.max_noise.to_millivolts(),
+        report.hotspot_ratio(grid.spec().hotspot_threshold()) * 100.0
+    );
+    println!("\n{}", ascii_map(&report.worst_noise, 0.0, report.worst_noise.max()));
+    if let Some(dir) = opts.get("out") {
+        let path = PathBuf::from(dir).join(format!("{}_seed{}_noise.csv", grid.spec().name(), seed));
+        write_csv(&report.worst_noise, &path)?;
+        println!("noise map written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = design(opts)?;
+    let out = opts.get("out").ok_or("--out MODEL is required")?;
+    let base = ExperimentConfig::quick();
+    let config = ExperimentConfig {
+        scale: scale(opts)?,
+        vectors: parse(opts, "vectors", base.vectors)?,
+        steps: parse(opts, "steps", base.steps)?,
+        train: TrainConfig {
+            epochs: parse(opts, "epochs", base.train.epochs)?,
+            ..base.train
+        },
+        seed: parse(opts, "seed", base.seed)?,
+        ..base
+    };
+    println!(
+        "simulating {} vectors of {} steps and training for {} epochs ...",
+        config.vectors, config.steps, config.train.epochs
+    );
+    let t0 = Instant::now();
+    let mut eval = EvaluatedDesign::evaluate(preset, &config)?;
+    let stats = pdn_wnv::eval::metrics::pooled_error_stats(&eval.test_pairs);
+    println!("done in {:.1}s; held-out accuracy: {stats}", t0.elapsed().as_secs_f64());
+    eval.predictor.save_to(out)?;
+    println!("predictor bundle written to {out}");
+    Ok(())
+}
+
+fn predict(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = design(opts)?;
+    let model_path = opts.get("model").ok_or("--model MODEL is required")?;
+    let grid = preset.spec(scale(opts)?).build(1)?;
+    let seed = parse(opts, "seed", 7u64)?;
+    let mut predictor = Predictor::load_from(model_path)?;
+    let vector = load_or_generate_vector(opts, &grid)?;
+    let t0 = Instant::now();
+    let map = predictor.predict(&grid, &vector);
+    println!(
+        "predicted in {:.4}s: worst droop {}",
+        t0.elapsed().as_secs_f64(),
+        Volts(map.max())
+    );
+    println!("\n{}", ascii_map(&map, 0.0, map.max().max(1e-9)));
+    if let Some(dir) = opts.get("out") {
+        let path =
+            PathBuf::from(dir).join(format!("{}_seed{}_predicted.csv", grid.spec().name(), seed));
+        write_csv(&map, &path)?;
+        println!("predicted map written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn export_netlist(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = design(opts)?;
+    let out = opts.get("out").ok_or("--out FILE.sp is required")?;
+    let grid = preset.spec(scale(opts)?).build(parse(opts, "seed", 1u64)?)?;
+    pdn_wnv::grid::netlist::write_spice_file(&grid, out)?;
+    println!(
+        "wrote SPICE deck for {} ({} nodes, {} elements) to {out}",
+        grid.spec().name(),
+        grid.node_count(),
+        grid.resistors().len() + grid.bumps().len() * 2 + grid.loads().len()
+    );
+    Ok(())
+}
+
+fn export_vector(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = design(opts)?;
+    let out = opts.get("out").ok_or("--out FILE.csv is required")?;
+    let grid = preset.spec(scale(opts)?).build(1)?;
+    let steps = parse(opts, "steps", 120usize)?;
+    let seed = parse(opts, "seed", 7u64)?;
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps, ..Default::default() });
+    let vector = gen.generate(seed);
+    pdn_wnv::vectors::io::write_csv_file(&vector, out)?;
+    println!("wrote {} x {} test vector to {out}", vector.step_count(), vector.load_count());
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Cross-model integration: the proposed model against the PowerNet
+//! baseline and against the static-analysis shortcut.
+
+use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
+use pdn_wnv::eval::metrics;
+use pdn_wnv::grid::design::DesignPreset;
+use pdn_wnv::powernet::model::PowerNetTrainConfig;
+use pdn_wnv::powernet::{PowerNet, PowerNetConfig, PowerNetDataset};
+use pdn_wnv::sim::static_ir::StaticAnalysis;
+use std::time::Instant;
+
+#[test]
+fn powernet_trains_on_the_same_data_and_ours_is_faster() {
+    let cfg = ExperimentConfig::quick();
+    let mut eval = EvaluatedDesign::evaluate(DesignPreset::D4, &cfg).expect("pipeline");
+
+    let pn_cfg = PowerNetConfig { time_windows: 5, window: 7, channels: 4, seed: 1 };
+    let ds = PowerNetDataset::build(
+        &eval.prepared.grid,
+        &eval.prepared.vectors,
+        &eval.prepared.reports,
+        &pn_cfg,
+    );
+    let mut net = PowerNet::new(pn_cfg);
+    let losses = net.train(
+        &ds,
+        &eval.split.train,
+        &PowerNetTrainConfig {
+            epochs: 3,
+            tiles_per_epoch: 200,
+            batch_size: 16,
+            learning_rate: 2e-3,
+            seed: 2,
+        },
+    );
+    assert!(losses.last().expect("epochs") <= &losses[0], "PowerNet failed to learn at all");
+
+    // Whole-map inference: the one-shot model must beat the tile scan —
+    // the architectural point of the paper.
+    let idx = eval.test_indices[0];
+    let grid = eval.prepared.grid.clone();
+    let vector = eval.prepared.vectors[idx].clone();
+    let t0 = Instant::now();
+    let pn_map = net.predict_sample(&ds, idx);
+    let pn_time = t0.elapsed();
+    let t0 = Instant::now();
+    let our_map = eval.predictor.predict(&grid, &vector);
+    let our_time = t0.elapsed();
+    assert_eq!(pn_map.shape(), our_map.shape());
+    assert!(
+        our_time < pn_time,
+        "one-shot {:?} should beat tile scan {:?}",
+        our_time,
+        pn_time
+    );
+}
+
+#[test]
+fn dynamic_prediction_beats_static_shortcut() {
+    // A tempting shortcut is to run static IR with each vector's peak
+    // currents. On resonant designs this misreads the noise; the trained
+    // dynamic predictor should be closer to ground truth on average.
+    let cfg = ExperimentConfig::quick();
+    let eval = EvaluatedDesign::evaluate(DesignPreset::D1, &cfg).expect("pipeline");
+    let dc = StaticAnalysis::new(&eval.prepared.grid).expect("dc");
+
+    let mut static_pairs = Vec::new();
+    for &idx in &eval.test_indices {
+        let v = &eval.prepared.vectors[idx];
+        let peak: Vec<f64> = (0..v.load_count())
+            .map(|l| (0..v.step_count()).map(|k| v.current(k, l)).fold(0.0, f64::max))
+            .collect();
+        let map = dc.droop_map(&peak).expect("solve");
+        static_pairs.push((map, eval.prepared.reports[idx].worst_noise.clone()));
+    }
+    let static_stats = metrics::pooled_error_stats(&static_pairs);
+    let model_stats = metrics::pooled_error_stats(&eval.test_pairs);
+    assert!(
+        model_stats.mean_ae < static_stats.mean_ae,
+        "model {:.4}V should beat static-at-peak {:.4}V",
+        model_stats.mean_ae,
+        static_stats.mean_ae
+    );
+}

@@ -1,0 +1,170 @@
+//! Cross-crate physical invariants of the simulation substrate.
+
+use pdn_wnv::core::units::Seconds;
+use pdn_wnv::grid::design::{DesignPreset, DesignScale};
+use pdn_wnv::sim::static_ir::StaticAnalysis;
+use pdn_wnv::sim::transient::TransientSimulator;
+use pdn_wnv::sim::wnv::WnvRunner;
+use pdn_wnv::vectors::scenario::Scenario;
+use pdn_wnv::vectors::vector::TestVector;
+
+fn grid() -> pdn_wnv::grid::build::PowerGrid {
+    DesignPreset::D1.spec(DesignScale::Tiny).build(3).expect("valid preset")
+}
+
+#[test]
+fn static_solution_superposes() {
+    // The PDN is linear: droop(a + b) == droop(a) + droop(b).
+    let g = grid();
+    let dc = StaticAnalysis::new(&g).expect("dc");
+    let n = g.loads().len();
+    let ia: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 2e-3 } else { 0.0 }).collect();
+    let ib: Vec<f64> = (0..n).map(|i| if i % 2 == 1 { 3e-3 } else { 0.0 }).collect();
+    let iab: Vec<f64> = ia.iter().zip(&ib).map(|(a, b)| a + b).collect();
+    let va = dc.solve(&ia).expect("solve");
+    let vb = dc.solve(&ib).expect("solve");
+    let vab = dc.solve(&iab).expect("solve");
+    let vdd = 1.0;
+    for ((a, b), ab) in va.iter().zip(&vb).zip(&vab) {
+        let droop_sum = (vdd - a) + (vdd - b);
+        let droop_joint = vdd - ab;
+        assert!((droop_sum - droop_joint).abs() < 1e-6, "{droop_sum} vs {droop_joint}");
+    }
+}
+
+#[test]
+fn transient_superposes_too() {
+    // Backward Euler preserves linearity step by step.
+    let g = grid();
+    let sim = TransientSimulator::new(&g).expect("sim");
+    let n = g.loads().len();
+    let steps = 30;
+    let dt = g.spec().time_step();
+    let mk = |phase: usize| -> TestVector {
+        let data: Vec<f64> = (0..steps * n)
+            .map(|i| if (i / n + phase) % 3 == 0 { 1e-3 } else { 0.0 })
+            .collect();
+        TestVector::from_flat(steps, n, data, dt)
+    };
+    let va = sim.run_full(&mk(0)).expect("run").0;
+    let vb = sim.run_full(&mk(1)).expect("run").0;
+    let joint_data: Vec<f64> = {
+        let a = mk(0);
+        let b = mk(1);
+        (0..steps)
+            .flat_map(|k| {
+                let (sa, sb) = (a.step(k).to_vec(), b.step(k).to_vec());
+                sa.into_iter().zip(sb).map(|(x, y)| x + y).collect::<Vec<_>>()
+            })
+            .collect()
+    };
+    let vab = sim.run_full(&TestVector::from_flat(steps, n, joint_data, dt)).expect("run").0;
+    for k in 0..steps {
+        for ((a, b), ab) in va[k].iter().zip(&vb[k]).zip(&vab[k]) {
+            let droop_sum = (1.0 - a) + (1.0 - b);
+            let droop_joint = 1.0 - ab;
+            assert!(
+                (droop_sum - droop_joint).abs() < 1e-6,
+                "step {k}: {droop_sum} vs {droop_joint}"
+            );
+        }
+    }
+}
+
+#[test]
+fn worst_case_noise_is_monotone_in_current() {
+    // Scaling every load current up cannot reduce the worst-case noise.
+    let g = grid();
+    let runner = WnvRunner::new(&g).expect("runner");
+    let base = Scenario::IdleThenBurst.render(&g, 60);
+    let n = base.load_count();
+    let scaled = TestVector::from_flat(
+        base.step_count(),
+        n,
+        (0..base.step_count())
+            .flat_map(|k| base.step(k).iter().map(|i| i * 1.5).collect::<Vec<_>>())
+            .collect(),
+        base.time_step(),
+    );
+    let r1 = runner.run(&base).expect("run");
+    let r2 = runner.run(&scaled).expect("run");
+    assert!(r2.max_noise.0 > r1.max_noise.0);
+    // Per tile as well (linearity ⇒ exact scaling).
+    for (a, b) in r1.worst_noise.as_slice().iter().zip(r2.worst_noise.as_slice()) {
+        assert!(b + 1e-12 >= *a, "tile noise decreased: {a} -> {b}");
+    }
+}
+
+#[test]
+fn noise_concentrates_near_active_cluster() {
+    // Activate only cluster 0's loads; the worst tile must be nearer to
+    // that cluster's centroid than to the centroid of the idle loads.
+    let g = grid();
+    let runner = WnvRunner::new(&g).expect("runner");
+    let n = g.loads().len();
+    let steps = 60;
+    let data: Vec<f64> = (0..steps)
+        .flat_map(|_| {
+            g.loads()
+                .iter()
+                .map(|l| if l.cluster == 0 { 5e-3 } else { 0.0 })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let v = TestVector::from_flat(steps, n, data, g.spec().time_step());
+    let report = runner.run(&v).expect("run");
+    let worst_tile = report.worst_noise.argmax();
+    let tiles = g.tile_grid();
+    let worst_center = tiles.tile_center(worst_tile);
+
+    let centroid = |cluster: usize| {
+        let pts: Vec<_> =
+            g.loads().iter().filter(|l| l.cluster == cluster).map(|l| l.position).collect();
+        pdn_wnv::core::geom::Point::new(
+            pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64,
+            pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64,
+        )
+    };
+    let active = centroid(0);
+    let idle = centroid(1);
+    assert!(
+        worst_center.distance_to(active) < worst_center.distance_to(idle),
+        "worst tile {worst_tile:?} closer to idle cluster"
+    );
+}
+
+#[test]
+fn longer_trace_cannot_reduce_worst_case() {
+    // Eq. (1): the max over a longer timespan dominates the shorter one.
+    let g = grid();
+    let runner = WnvRunner::new(&g).expect("runner");
+    let long = Scenario::IdleThenBurst.render(&g, 80);
+    let keep: Vec<usize> = (0..40).collect();
+    let short = long.select_steps(&keep);
+    let r_long = runner.run(&long).expect("run");
+    let r_short = runner.run(&short).expect("run");
+    assert!(r_long.max_noise.0 + 1e-12 >= r_short.max_noise.0);
+}
+
+#[test]
+fn finer_time_step_converges() {
+    // Halving Δt should change the DC-settled solution only slightly
+    // (backward Euler is consistent). Compare steady-state droop.
+    let spec = DesignPreset::D1.spec(DesignScale::Tiny);
+    let g = spec.build(3).expect("valid");
+    let n = g.loads().len();
+    let sim = TransientSimulator::new(&g).expect("sim");
+    let steps = 400;
+    let v = TestVector::from_flat(
+        steps,
+        n,
+        vec![1e-3; steps * n],
+        Seconds(g.spec().time_step().0),
+    );
+    let (volts, _) = sim.run_full(&v).expect("run");
+    let settled = volts.last().expect("steps");
+    let dc = StaticAnalysis::new(&g).expect("dc").solve(&vec![1e-3; n]).expect("solve");
+    for (t, d) in settled.iter().zip(&dc) {
+        assert!((t - d).abs() < 5e-4, "settled {t} vs dc {d}");
+    }
+}

@@ -1,0 +1,83 @@
+//! End-to-end integration: the complete paper flow on a miniature design.
+
+use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
+use pdn_wnv::eval::metrics;
+use pdn_wnv::grid::design::DesignPreset;
+
+#[test]
+fn full_flow_build_simulate_train_predict() {
+    let cfg = ExperimentConfig::quick();
+    let eval = EvaluatedDesign::evaluate(DesignPreset::D1, &cfg).expect("pipeline");
+
+    // The split covers every sample exactly once.
+    assert_eq!(eval.split.total(), cfg.vectors);
+    let mut all: Vec<usize> = eval
+        .split
+        .train
+        .iter()
+        .chain(&eval.split.val)
+        .chain(&eval.split.test)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), cfg.vectors);
+
+    // Training descended and the loss history is complete.
+    assert_eq!(eval.history.epochs.len(), cfg.train.epochs);
+    assert!(eval.history.final_train_loss() < eval.history.epochs[0].train_loss);
+
+    // Test predictions are physical and in the right ballpark.
+    let stats = metrics::pooled_error_stats(&eval.test_pairs);
+    assert!(stats.mean_re < 0.6, "mean RE {:.3}", stats.mean_re);
+    for (pred, truth) in &eval.test_pairs {
+        assert!(pred.min() >= 0.0, "negative noise predicted");
+        assert!(pred.max() < 1.0, "noise above vdd predicted");
+        assert_eq!(pred.shape(), truth.shape());
+    }
+
+    // The headline claim holds even at miniature scale: prediction is
+    // faster than simulation.
+    assert!(eval.speedup() > 1.0, "speedup {:.1}", eval.speedup());
+}
+
+#[test]
+fn predictor_beats_trivial_baselines() {
+    // The trained CNN must beat (a) predicting zero and (b) predicting the
+    // training-set mean map — otherwise learning did nothing useful.
+    let cfg = ExperimentConfig::quick();
+    let eval = EvaluatedDesign::evaluate(DesignPreset::D2, &cfg).expect("pipeline");
+
+    let model_stats = metrics::pooled_error_stats(&eval.test_pairs);
+
+    let zero_pairs: Vec<_> = eval
+        .test_pairs
+        .iter()
+        .map(|(p, t)| (p.map(|_| 0.0), t.clone()))
+        .collect();
+    let zero_stats = metrics::pooled_error_stats(&zero_pairs);
+
+    // Mean-of-train baseline.
+    let (rows, cols) = eval.test_pairs[0].1.shape();
+    let mut mean_map = pdn_wnv::core::map::TileMap::zeros(rows, cols);
+    for &i in &eval.split.train {
+        mean_map += &eval.dataset.samples[i].raw_worst_noise;
+    }
+    mean_map.map_inplace(|v| v / eval.split.train.len() as f64);
+    let mean_pairs: Vec<_> =
+        eval.test_pairs.iter().map(|(_, t)| (mean_map.clone(), t.clone())).collect();
+    let mean_stats = metrics::pooled_error_stats(&mean_pairs);
+
+    assert!(
+        model_stats.mean_ae < zero_stats.mean_ae,
+        "model {:.4} vs zero {:.4}",
+        model_stats.mean_ae,
+        zero_stats.mean_ae
+    );
+    assert!(
+        model_stats.mean_ae < mean_stats.mean_ae * 1.2,
+        "model {:.4} should be competitive with train-mean {:.4}",
+        model_stats.mean_ae,
+        mean_stats.mean_ae
+    );
+}
