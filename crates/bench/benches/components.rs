@@ -10,12 +10,15 @@ use pdn_grid::stamp;
 use pdn_nn::conv::{Conv2d, Padding};
 use pdn_nn::deconv::ConvTranspose2d;
 use pdn_nn::layer::Layer;
+use pdn_nn::linalg::{self, reference, GemmScratch};
 use pdn_nn::tensor::Tensor;
 use pdn_sparse::cg::{self, CgOptions, IdentityPreconditioner, JacobiPreconditioner};
 use pdn_sparse::cholesky::SparseCholesky;
 use pdn_sparse::ichol::IncompleteCholesky;
 use pdn_sparse::mindeg::minimum_degree;
 use pdn_sparse::ordering::reverse_cuthill_mckee;
+use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+use pdn_vectors::vector::TestVector;
 
 fn bench_sparse_solvers(c: &mut Criterion) {
     let grid = bench_grid(DesignPreset::D4);
@@ -43,6 +46,11 @@ fn bench_sparse_solvers(c: &mut Criterion) {
     });
     let x = vec![1.0; a.n_cols()];
     group.bench_function("spmv", |b| b.iter(|| a.mul_vec(&x)));
+    // Multi-RHS SpMV: one matrix traversal serves four interleaved vectors.
+    let k_rhs = 4;
+    let xm = vec![1.0; a.n_cols() * k_rhs];
+    let mut ym = vec![0.0; a.n_rows() * k_rhs];
+    group.bench_function("spmv_multi4", |b| b.iter(|| a.mul_multi_into(&xm, k_rhs, &mut ym)));
     // Fill-reducing orderings ahead of the direct factorization.
     group.bench_function("ordering_rcm", |b| b.iter(|| reverse_cuthill_mckee(&a)));
     group.bench_function("ordering_mindeg", |b| b.iter(|| minimum_degree(&a)));
@@ -74,6 +82,42 @@ fn bench_transient_solver_choice(c: &mut Criterion) {
     group.bench_function("direct_factorization_setup", |b| {
         b.iter(|| TransientSimulator::with_solver(&grid, SolverKind::DirectCholesky).expect("ok"))
     });
+    // Batched multi-RHS marching vs one run per vector: the same four
+    // transients, solved against the single shared factorization.
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 60, ..Default::default() });
+    let vecs: Vec<TestVector> = (0..4).map(|s| gen.generate(s)).collect();
+    let refs: Vec<&TestVector> = vecs.iter().collect();
+    group.bench_function("transient_4x_sequential", |b| {
+        b.iter(|| {
+            for v in &vecs {
+                cg_sim.run_with(v, |_, _| {}).expect("run");
+            }
+        })
+    });
+    group.bench_function("transient_4x_batched", |b| {
+        b.iter(|| cg_sim.run_batch_with(&refs, |_, _, _| {}).expect("run"))
+    });
+    group.finish();
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components_gemm");
+    group.sample_size(10);
+    // First shape is the conv-forward GEMM at the acceptance point
+    // (64×64 input, C=8, k=3): [8 × 72] · [72 × 4096].
+    for (m, k, n) in [(8usize, 72usize, 4096usize), (64, 576, 1024), (128, 128, 128)] {
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.1 - 0.6).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.2 - 0.7).collect();
+        let mut cbuf = vec![0.0f32; m * n];
+        let mut scratch = GemmScratch::new();
+        let id = format!("{m}x{k}x{n}");
+        group.bench_function(BenchmarkId::new("gemm_naive", &id), |bch| {
+            bch.iter(|| reference::gemm(m, k, n, &a, &b, &mut cbuf))
+        });
+        group.bench_function(BenchmarkId::new("gemm_blocked", &id), |bch| {
+            bch.iter(|| linalg::gemm_with(m, k, n, &a, &b, &mut cbuf, &mut scratch))
+        });
+    }
     group.finish();
 }
 
@@ -91,14 +135,69 @@ fn bench_stamping_and_features(c: &mut Criterion) {
     group.finish();
 }
 
+/// The seed's conv forward pass, reproduced verbatim as the "before" side
+/// of the kernel comparison: replication padding + im2col into a freshly
+/// allocated buffer + the naive triple-loop GEMM + bias.
+fn seed_conv_forward(weight: &[f32], bias: &[f32], x: &Tensor, k: usize) -> Vec<f32> {
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let out_ch = bias.len();
+    let p = k / 2;
+    let (hp, wp) = (h + 2 * p, w + 2 * p);
+    let mut padded = vec![0.0f32; c * hp * wp];
+    for ci in 0..c {
+        let src = x.channel(ci);
+        for hh in 0..hp {
+            for ww in 0..wp {
+                let sh = hh.saturating_sub(p).min(h - 1);
+                let sw = ww.saturating_sub(p).min(w - 1);
+                padded[(ci * hp + hh) * wp + ww] = src[sh * w + sw];
+            }
+        }
+    }
+    let rows = c * k * k;
+    let cols_n = h * w;
+    let mut cols = vec![0.0f32; rows * cols_n];
+    for ci in 0..c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = (ci * k + kh) * k + kw;
+                let dst = &mut cols[row * cols_n..(row + 1) * cols_n];
+                for oh in 0..h {
+                    let src_base = (ci * hp + oh + kh) * wp + kw;
+                    for ow in 0..w {
+                        dst[oh * w + ow] = padded[src_base + ow];
+                    }
+                }
+            }
+        }
+    }
+    let mut out = vec![0.0f32; out_ch * cols_n];
+    reference::gemm(out_ch, rows, cols_n, weight, &cols, &mut out);
+    for (o, b) in bias.iter().enumerate() {
+        for v in &mut out[o * cols_n..(o + 1) * cols_n] {
+            *v += b;
+        }
+    }
+    out
+}
+
 fn bench_conv_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("components_conv");
-    for size in [24usize, 48] {
+    for size in [24usize, 48, 64] {
         let x = Tensor::filled(&[8, size, size], 0.5);
         let mut conv = Conv2d::new(8, 8, 3, 1, Padding::Replication, 1);
         group.bench_with_input(BenchmarkId::new("conv3x3_fwd", size), &x, |b, x| {
             b.iter(|| conv.forward(x))
         });
+        if size == 64 {
+            // Before/after at the acceptance shape: the pre-overhaul
+            // forward path (fresh buffers + naive GEMM) on identical data.
+            let weight = conv.weight_mut().value.as_slice().to_vec();
+            let bias = conv.bias_mut().value.as_slice().to_vec();
+            group.bench_with_input(BenchmarkId::new("conv3x3_fwd_naive", size), &x, |b, x| {
+                b.iter(|| seed_conv_forward(&weight, &bias, x, 3))
+            });
+        }
         let y = conv.forward(&x);
         group.bench_with_input(BenchmarkId::new("conv3x3_bwd", size), &y, |b, y| {
             b.iter(|| conv.backward(y))
@@ -108,6 +207,10 @@ fn bench_conv_kernels(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("deconv4x4_fwd", size), &xe, |b, x| {
             b.iter(|| deconv.forward(x))
         });
+        let ye = deconv.forward(&xe);
+        group.bench_with_input(BenchmarkId::new("deconv4x4_bwd", size), &ye, |b, y| {
+            b.iter(|| deconv.backward(y))
+        });
     }
     group.finish();
 }
@@ -116,6 +219,7 @@ criterion_group!(
     benches,
     bench_sparse_solvers,
     bench_transient_solver_choice,
+    bench_gemm_kernels,
     bench_stamping_and_features,
     bench_conv_kernels
 );

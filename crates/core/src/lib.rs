@@ -10,6 +10,7 @@
 //! * [`TileMap`], the dense `m × n` scalar map that carries current maps,
 //!   distance maps and noise maps between crates;
 //! * deterministic [`rng`] construction so every experiment is reproducible;
+//! * process-wide [`threads`] configuration (the `PDN_THREADS` override);
 //! * simple [`stats`] helpers (mean, standard deviation, percentile) used by
 //!   the temporal-compression algorithm and the evaluation metrics.
 //!
@@ -32,6 +33,7 @@ pub mod geom;
 pub mod map;
 pub mod rng;
 pub mod stats;
+pub mod threads;
 pub mod units;
 
 pub use error::{CoreError, Result};

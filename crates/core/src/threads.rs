@@ -1,0 +1,50 @@
+//! Process-wide thread-pool configuration.
+//!
+//! Every parallel region in the workspace runs on rayon's global pool, so
+//! one override point suffices: [`configure_from_env`] reads `PDN_THREADS`
+//! and sizes the pool before any parallel work executes. Binaries call it
+//! first thing in `main`; the first call wins because rayon's global pool
+//! is immutable once built.
+
+use std::sync::OnceLock;
+
+static CONFIGURED: OnceLock<usize> = OnceLock::new();
+
+/// Sizes the global rayon pool from the `PDN_THREADS` environment variable
+/// and returns the effective worker count.
+///
+/// `PDN_THREADS=<n>` with `n ≥ 1` requests an `n`-thread pool; `0`, unset,
+/// or unparsable values keep rayon's default (one thread per core). Only
+/// the first call in a process takes effect — rayon's global pool cannot
+/// be resized — and later calls report the width chosen then. If another
+/// component already built the pool, the request is silently ignored and
+/// the existing width is reported.
+pub fn configure_from_env() -> usize {
+    *CONFIGURED.get_or_init(|| {
+        if let Some(n) = requested_threads() {
+            let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+        }
+        rayon::current_num_threads()
+    })
+}
+
+/// The thread count requested via `PDN_THREADS`, if any.
+fn requested_threads() -> Option<usize> {
+    let raw = std::env::var("PDN_THREADS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => None,
+        Ok(n) => Some(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_a_positive_width_and_is_idempotent() {
+        let first = configure_from_env();
+        assert!(first >= 1);
+        assert_eq!(configure_from_env(), first);
+    }
+}

@@ -17,6 +17,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 fn main() {
+    pdn_core::threads::configure_from_env();
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::ci() };
     let out_dir = PathBuf::from("target/experiments");

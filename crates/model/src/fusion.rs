@@ -126,7 +126,7 @@ mod tests {
     fn gradients_verified() {
         // Robust quantile check — see UNet::gradients_verified_end_to_end
         // for why composed ReLU nets need it.
-        let mut net = FusionNet::new(2, 2);
+        let mut net = FusionNet::new(2, 1);
         let r = check_layer(&mut net, &[1, 8, 8], 1e-2, 2);
         assert!(r.max_input_error < 0.05, "input errors: {:?}", r.max_input_error);
         assert!(r.param_fraction_above(0.05) < 0.02, "param errors: {:?}", r.max_param_error);

@@ -174,7 +174,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible by 4")]
     fn rejects_unaligned_input() {
-        let mut net = UNet::new(1, 4, 1, 1);
+        let mut net = UNet::new(1, 4, 1, 5);
         let _ = net.forward(&Tensor::zeros(&[1, 10, 12]));
     }
 
@@ -185,7 +185,7 @@ mod tests {
         // A deep ReLU composition is piecewise linear, so a ±eps probe can
         // cross activation kinks; require that almost all entries agree
         // instead of a tight max error.
-        let mut net = UNet::new(2, 2, 1, 3);
+        let mut net = UNet::new(2, 2, 1, 1);
         let r = check_layer(&mut net, &[2, 8, 8], 1e-2, 3);
         assert!(r.max_input_error < 0.05, "input errors: {:?}", r.max_input_error);
         assert!(r.param_fraction_above(0.05) < 0.02, "param errors: {:?}", r.max_param_error);
@@ -193,7 +193,7 @@ mod tests {
 
     #[test]
     fn param_count_scales_with_channels() {
-        let mut small = UNet::new(1, 4, 1, 0);
+        let mut small = UNet::new(1, 4, 1, 5);
         let mut large = UNet::new(1, 8, 1, 0);
         assert!(large.param_count() > 3 * small.param_count());
     }
@@ -204,7 +204,7 @@ mod tests {
         // input: loss should drop by a large factor.
         use pdn_nn::loss;
         use pdn_nn::optim::Adam;
-        let mut net = UNet::new(1, 4, 1, 7);
+        let mut net = UNet::new(1, 4, 1, 5);
         let x = Tensor::filled(&[1, 8, 8], 0.5);
         let target = Tensor::from_fn3(1, 8, 8, |_, h, w| ((h + w) % 2) as f32 * 0.4);
         let mut adam = Adam::new(3e-3);

@@ -2,7 +2,7 @@
 
 use crate::init;
 use crate::layer::{Layer, Param};
-use crate::linalg::{gemm, gemm_at, gemm_bt};
+use crate::linalg::{gemm_at_with, gemm_bt_with, gemm_with, GemmScratch};
 use crate::tensor::Tensor;
 
 /// How the input border is padded before convolving.
@@ -22,6 +22,16 @@ struct Cache {
     in_shape: [usize; 3],
     padded: [usize; 2],
     out_hw: [usize; 2],
+}
+
+/// Per-layer workspace: im2col/backward buffers and GEMM packing panels
+/// are allocated on the first pass and recycled afterwards.
+#[derive(Default)]
+struct Scratch {
+    gemm: GemmScratch,
+    gw: Vec<f32>,
+    gcols: Vec<f32>,
+    gpad: Vec<f32>,
 }
 
 /// A 2-D convolution layer: weight `[out, in, k, k]`, bias `[out]`,
@@ -50,11 +60,13 @@ pub struct Conv2d {
     weight: Param,
     bias: Param,
     cache: Option<Cache>,
+    scratch: Scratch,
 }
 
 impl Clone for Conv2d {
-    /// Clones the configuration and parameters; the forward cache is not
-    /// carried over (the clone behaves as if `forward` was never called).
+    /// Clones the configuration and parameters; the forward cache and
+    /// workspace are not carried over (the clone behaves as if `forward`
+    /// was never called).
     fn clone(&self) -> Conv2d {
         Conv2d {
             in_ch: self.in_ch,
@@ -65,6 +77,7 @@ impl Clone for Conv2d {
             weight: self.weight.clone(),
             bias: self.bias.clone(),
             cache: None,
+            scratch: Scratch::default(),
         }
     }
 }
@@ -105,6 +118,7 @@ impl Conv2d {
             weight: Param::new(init::kaiming_conv(out_ch, in_ch, ksize, seed)),
             bias: Param::new(Tensor::zeros(&[out_ch])),
             cache: None,
+            scratch: Scratch::default(),
         }
     }
 
@@ -175,10 +189,13 @@ impl Layer for Conv2d {
         let ho = (hp - k) / s + 1;
         let wo = (wp - k) / s + 1;
 
-        // im2col: rows are (c, kh, kw), columns are output pixels.
+        // im2col: rows are (c, kh, kw), columns are output pixels. The
+        // buffer is recycled from the previous forward pass; every element
+        // is overwritten below.
         let rows = self.in_ch * k * k;
         let cols_n = ho * wo;
-        let mut cols = vec![0.0f32; rows * cols_n];
+        let mut cols = self.cache.take().map(|c| c.cols).unwrap_or_default();
+        cols.resize(rows * cols_n, 0.0);
         for ci in 0..self.in_ch {
             for kh in 0..k {
                 for kw in 0..k {
@@ -187,8 +204,13 @@ impl Layer for Conv2d {
                     for oh in 0..ho {
                         let ih = oh * s + kh;
                         let src_base = (ci * hp + ih) * wp + kw;
-                        for ow in 0..wo {
-                            dst[oh * wo + ow] = padded[src_base + ow * s];
+                        if s == 1 {
+                            dst[oh * wo..(oh + 1) * wo]
+                                .copy_from_slice(&padded[src_base..src_base + wo]);
+                        } else {
+                            for ow in 0..wo {
+                                dst[oh * wo + ow] = padded[src_base + ow * s];
+                            }
                         }
                     }
                 }
@@ -196,7 +218,15 @@ impl Layer for Conv2d {
         }
 
         let mut out = vec![0.0f32; self.out_ch * cols_n];
-        gemm(self.out_ch, rows, cols_n, self.weight.value.as_slice(), &cols, &mut out);
+        gemm_with(
+            self.out_ch,
+            rows,
+            cols_n,
+            self.weight.value.as_slice(),
+            &cols,
+            &mut out,
+            &mut self.scratch.gemm,
+        );
         for (o, b) in self.bias.value.as_slice().iter().enumerate() {
             for v in &mut out[o * cols_n..(o + 1) * cols_n] {
                 *v += b;
@@ -226,20 +256,22 @@ impl Layer for Conv2d {
         for (o, gb) in self.bias.grad.as_mut_slice().iter_mut().enumerate() {
             *gb += go[o * cols_n..(o + 1) * cols_n].iter().sum::<f32>();
         }
+        let Scratch { gemm, gw, gcols, gpad } = &mut self.scratch;
         // Weight gradient: grad_out [O, HoWo] · colsᵀ [HoWo, rows].
-        let mut gw = vec![0.0f32; self.out_ch * rows];
-        gemm_bt(self.out_ch, cols_n, rows, go, &cache.cols, &mut gw);
-        for (acc, g) in self.weight.grad.as_mut_slice().iter_mut().zip(&gw) {
+        gw.resize(self.out_ch * rows, 0.0);
+        gemm_bt_with(self.out_ch, cols_n, rows, go, &cache.cols, gw, gemm);
+        for (acc, g) in self.weight.grad.as_mut_slice().iter_mut().zip(&*gw) {
             *acc += g;
         }
         // Column gradient: weightᵀ [rows, O] · grad_out [O, HoWo].
-        let mut gcols = vec![0.0f32; rows * cols_n];
-        gemm_at(rows, self.out_ch, cols_n, self.weight.value.as_slice(), go, &mut gcols);
+        gcols.resize(rows * cols_n, 0.0);
+        gemm_at_with(rows, self.out_ch, cols_n, self.weight.value.as_slice(), go, gcols, gemm);
 
         // col2im into the padded gradient, then fold padding back.
         let [_, h, w] = cache.in_shape;
         let [hp, wp] = cache.padded;
-        let mut gpad = vec![0.0f32; self.in_ch * hp * wp];
+        gpad.resize(self.in_ch * hp * wp, 0.0);
+        gpad.fill(0.0);
         for ci in 0..self.in_ch {
             for kh in 0..k {
                 for kw in 0..k {

@@ -1,7 +1,18 @@
 //! Transposed 2-D convolution (deconvolution) for upsampling.
 
 use crate::layer::{Layer, Param};
+use crate::linalg::{gemm_at_with, gemm_bt_with, gemm_with, GemmScratch};
 use crate::tensor::Tensor;
+
+/// Per-layer workspace: the column matrix and gradient buffers are
+/// allocated on the first pass and recycled afterwards.
+#[derive(Default)]
+struct Scratch {
+    gemm: GemmScratch,
+    cols: Vec<f32>,
+    gcols: Vec<f32>,
+    gw: Vec<f32>,
+}
 
 /// A transposed convolution with zero padding, as used by the paper's
 /// upsampling path. Weight layout is `[in, out, k, k]` (PyTorch convention).
@@ -29,10 +40,12 @@ pub struct ConvTranspose2d {
     weight: Param,
     bias: Param,
     cached_input: Option<Tensor>,
+    scratch: Scratch,
 }
 
 impl Clone for ConvTranspose2d {
-    /// Clones configuration and parameters; the forward cache is dropped.
+    /// Clones configuration and parameters; the forward cache and
+    /// workspace are dropped.
     fn clone(&self) -> ConvTranspose2d {
         ConvTranspose2d {
             in_ch: self.in_ch,
@@ -43,6 +56,7 @@ impl Clone for ConvTranspose2d {
             weight: self.weight.clone(),
             bias: self.bias.clone(),
             cached_input: None,
+            scratch: Scratch::default(),
         }
     }
 }
@@ -90,6 +104,7 @@ impl ConvTranspose2d {
             weight: Param::new(w),
             bias: Param::new(Tensor::zeros(&[out_ch])),
             cached_input: None,
+            scratch: Scratch::default(),
         }
     }
 
@@ -113,10 +128,18 @@ impl ConvTranspose2d {
         (h - 1) * self.stride + self.ksize - 2 * self.pad
     }
 
-    #[inline]
-    fn w_at(&self, ci: usize, co: usize, kh: usize, kw: usize) -> f32 {
-        let k = self.ksize;
-        self.weight.value.as_slice()[((ci * self.out_ch + co) * k + kh) * k + kw]
+    /// Input coordinates whose kernel tap `kq` lands inside the output:
+    /// `q · stride + kq − pad ∈ [0, dim_out)`. Hoisting the bounds out of
+    /// the scatter/gather loops keeps their bodies branch-free.
+    fn valid_range(&self, dim_in: usize, dim_out: usize, kq: usize) -> (usize, usize) {
+        let s = self.stride;
+        let lo = if kq >= self.pad { 0 } else { (self.pad - kq + s - 1) / s };
+        let hi = if dim_out + self.pad <= kq {
+            0
+        } else {
+            ((dim_out - 1 + self.pad - kq) / s + 1).min(dim_in)
+        };
+        (lo, hi.max(lo))
     }
 }
 
@@ -127,33 +150,41 @@ impl Layer for ConvTranspose2d {
         let (h, w) = (input.shape()[1], input.shape()[2]);
         let (ho, wo) = (self.output_size(h), self.output_size(w));
         let k = self.ksize;
+        // cols[(co, kh, kw), (hh, ww)] = Σ_ci w[ci, co, kh, kw] · x[ci, hh, ww]:
+        // the weight tensor is stored [in, out·k²] row-major, so this is one
+        // Aᵀ·B product over the input channels.
+        let rows = self.out_ch * k * k;
+        let pixels = h * w;
+        let h_ranges: Vec<(usize, usize)> = (0..k).map(|kq| self.valid_range(h, ho, kq)).collect();
+        let w_ranges: Vec<(usize, usize)> = (0..k).map(|kq| self.valid_range(w, wo, kq)).collect();
+        let cols = &mut self.scratch.cols;
+        cols.resize(rows * pixels, 0.0);
+        gemm_at_with(
+            rows,
+            self.in_ch,
+            pixels,
+            self.weight.value.as_slice(),
+            input.as_slice(),
+            cols,
+            &mut self.scratch.gemm,
+        );
+
+        // col2im: scatter each (co, kh, kw) row into the strided output.
         let mut out = Tensor::zeros(&[self.out_ch, ho, wo]);
         {
             let o = out.as_mut_slice();
-            for ci in 0..self.in_ch {
-                let x = input.channel(ci);
-                for hh in 0..h {
-                    for ww in 0..w {
-                        let xv = x[hh * w + ww];
-                        if xv == 0.0 {
-                            continue;
-                        }
-                        for co in 0..self.out_ch {
-                            let base = co * ho * wo;
-                            for kh in 0..k {
-                                let oh = hh * self.stride + kh;
-                                if oh < self.pad || oh - self.pad >= ho {
-                                    continue;
-                                }
-                                let oh = oh - self.pad;
-                                for kw in 0..k {
-                                    let ow = ww * self.stride + kw;
-                                    if ow < self.pad || ow - self.pad >= wo {
-                                        continue;
-                                    }
-                                    o[base + oh * wo + (ow - self.pad)] +=
-                                        xv * self.w_at(ci, co, kh, kw);
-                                }
+            for co in 0..self.out_ch {
+                for kh in 0..k {
+                    let (h_lo, h_hi) = h_ranges[kh];
+                    for kw in 0..k {
+                        let (w_lo, w_hi) = w_ranges[kw];
+                        let src = &cols[((co * k + kh) * k + kw) * pixels..][..pixels];
+                        for hh in h_lo..h_hi {
+                            let oh = hh * self.stride + kh - self.pad;
+                            let row_base = (co * ho + oh) * wo;
+                            for ww in w_lo..w_hi {
+                                o[row_base + ww * self.stride + kw - self.pad] +=
+                                    src[hh * w + ww];
                             }
                         }
                     }
@@ -182,41 +213,48 @@ impl Layer for ConvTranspose2d {
             *gb += go[co * ho * wo..(co + 1) * ho * wo].iter().sum::<f32>();
         }
 
-        let mut gin = Tensor::zeros(&[self.in_ch, h, w]);
-        {
-            let gi = gin.as_mut_slice();
-            let gw = self.weight.grad.as_mut_slice();
-            let wv = self.weight.value.as_slice();
-            for ci in 0..self.in_ch {
-                let x = input.channel(ci);
-                for hh in 0..h {
-                    for ww in 0..w {
-                        let xv = x[hh * w + ww];
-                        let mut acc = 0.0f32;
-                        for co in 0..self.out_ch {
-                            let base = co * ho * wo;
-                            for kh in 0..k {
-                                let oh = hh * self.stride + kh;
-                                if oh < self.pad || oh - self.pad >= ho {
-                                    continue;
-                                }
-                                let oh = oh - self.pad;
-                                for kw in 0..k {
-                                    let ow = ww * self.stride + kw;
-                                    if ow < self.pad || ow - self.pad >= wo {
-                                        continue;
-                                    }
-                                    let g = go[base + oh * wo + (ow - self.pad)];
-                                    let widx = ((ci * self.out_ch + co) * k + kh) * k + kw;
-                                    acc += g * wv[widx];
-                                    gw[widx] += g * xv;
-                                }
-                            }
+        // Adjoint of the forward col2im: gather the strided output gradient
+        // back into column form.
+        let rows = self.out_ch * k * k;
+        let pixels = h * w;
+        let h_ranges: Vec<(usize, usize)> = (0..k).map(|kq| self.valid_range(h, ho, kq)).collect();
+        let w_ranges: Vec<(usize, usize)> = (0..k).map(|kq| self.valid_range(w, wo, kq)).collect();
+        let Scratch { gemm, gcols, gw, .. } = &mut self.scratch;
+        gcols.resize(rows * pixels, 0.0);
+        gcols.fill(0.0);
+        for co in 0..self.out_ch {
+            for kh in 0..k {
+                let (h_lo, h_hi) = h_ranges[kh];
+                for kw in 0..k {
+                    let (w_lo, w_hi) = w_ranges[kw];
+                    let dst = &mut gcols[((co * k + kh) * k + kw) * pixels..][..pixels];
+                    for hh in h_lo..h_hi {
+                        let oh = hh * self.stride + kh - self.pad;
+                        let row_base = (co * ho + oh) * wo;
+                        for ww in w_lo..w_hi {
+                            dst[hh * w + ww] = go[row_base + ww * self.stride + kw - self.pad];
                         }
-                        gi[(ci * h + hh) * w + ww] = acc;
                     }
                 }
             }
+        }
+
+        // gin[ci, pixel] = Σ_row w[ci, row] · gcols[row, pixel].
+        let mut gin = Tensor::zeros(&[self.in_ch, h, w]);
+        gemm_with(
+            self.in_ch,
+            rows,
+            pixels,
+            self.weight.value.as_slice(),
+            gcols,
+            gin.as_mut_slice(),
+            gemm,
+        );
+        // gw[ci, row] += Σ_pixel x[ci, pixel] · gcols[row, pixel].
+        gw.resize(self.in_ch * rows, 0.0);
+        gemm_bt_with(self.in_ch, pixels, rows, input.as_slice(), gcols, gw, gemm);
+        for (acc, g) in self.weight.grad.as_mut_slice().iter_mut().zip(&*gw) {
+            *acc += g;
         }
         gin
     }

@@ -20,6 +20,14 @@ pub enum SimError {
     },
     /// The grid has no bumps, so the network floats and has no DC solution.
     NoBumps,
+    /// Vectors in one batch must share a step count so the batched solver
+    /// can march them in lockstep.
+    BatchStepMismatch {
+        /// Step count of the first vector in the batch.
+        expected: usize,
+        /// Step count of the offending vector.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -30,6 +38,9 @@ impl fmt::Display for SimError {
                 write!(f, "test vector has {actual} loads but the grid has {expected}")
             }
             SimError::NoBumps => write!(f, "grid has no bumps; network is floating"),
+            SimError::BatchStepMismatch { expected, actual } => {
+                write!(f, "batched vectors disagree on step count: {actual} vs {expected}")
+            }
         }
     }
 }

@@ -10,6 +10,7 @@ use pdn_sparse::cholesky::SparseCholesky;
 use pdn_sparse::csr::CsrMatrix;
 use pdn_sparse::ichol::IncompleteCholesky;
 use pdn_sparse::ordering::reverse_cuthill_mckee;
+use pdn_sparse::vecops;
 use pdn_vectors::vector::TestVector;
 
 /// Which linear solver the transient engine uses for its per-step systems.
@@ -162,6 +163,29 @@ impl TransientSimulator {
         }
     }
 
+    /// Solves `A V = RHS` for `k` interleaved right-hand sides against the
+    /// single shared factorization. Returns the worst `(iterations,
+    /// residual)` across the batch (zeros for the direct path).
+    fn solve_step_multi(&self, rhs: &[f64], v: &mut [f64], k: usize) -> SimResult<(usize, f64)> {
+        match &self.solver {
+            SolverState::Cg { pre, opts } => {
+                Ok(cg::solve_warm_multi(&self.matrix, rhs, v, k, pre, opts)?)
+            }
+            SolverState::Direct { chol, perm, inv } => {
+                let mut permuted = vec![0.0; rhs.len()];
+                for (new, &old) in perm.iter().enumerate() {
+                    permuted[new * k..(new + 1) * k].copy_from_slice(&rhs[old * k..old * k + k]);
+                }
+                chol.solve_multi_in_place(&mut permuted, k);
+                for (old, vb) in v.chunks_mut(k).enumerate() {
+                    let new = inv[old];
+                    vb.copy_from_slice(&permuted[new * k..new * k + k]);
+                }
+                Ok((0, 0.0))
+            }
+        }
+    }
+
     /// Nominal supply voltage.
     pub fn vdd(&self) -> Volts {
         Volts(self.vdd)
@@ -236,6 +260,118 @@ impl TransientSimulator {
     pub fn run_full(&self, vector: &TestVector) -> SimResult<(Vec<Vec<f64>>, TransientStats)> {
         let mut out = Vec::with_capacity(vector.step_count());
         let stats = self.run_with(vector, |_, v| out.push(v.to_vec()))?;
+        Ok((out, stats))
+    }
+
+    /// Marches `k` independent test vectors in lockstep against the single
+    /// shared factorization, handing each step's voltages per vector to
+    /// `observer(step, vector_index, voltages)`.
+    ///
+    /// Every batched kernel underneath performs per-vector floating-point
+    /// operations in exactly the order of its single-vector counterpart, so
+    /// the observed voltages are bitwise identical to `k` separate
+    /// [`Self::run_with`] calls — the batch only amortizes matrix traffic.
+    /// The returned stats aggregate the batch: `cg_iterations` sums the
+    /// worst per-step iteration count, `worst_residual` is the maximum over
+    /// all vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::VectorMismatch`] on a wrong load count,
+    /// [`SimError::BatchStepMismatch`] when step counts differ within the
+    /// batch, and propagates solver failures.
+    pub fn run_batch_with<F: FnMut(usize, usize, &[f64])>(
+        &self,
+        vectors: &[&TestVector],
+        mut observer: F,
+    ) -> SimResult<TransientStats> {
+        let k = vectors.len();
+        if k == 0 {
+            return Ok(TransientStats::default());
+        }
+        let steps = vectors[0].step_count();
+        for vector in vectors {
+            if vector.load_count() != self.load_nodes.len() {
+                return Err(SimError::VectorMismatch {
+                    expected: self.load_nodes.len(),
+                    actual: vector.load_count(),
+                });
+            }
+            if vector.step_count() != steps {
+                return Err(SimError::BatchStepMismatch {
+                    expected: steps,
+                    actual: vector.step_count(),
+                });
+            }
+        }
+        let n = self.node_count;
+        // Interleaved state: entry i of vector t lives at v[i * k + t].
+        let mut v = vec![0.0; n * k];
+        for (t, vector) in vectors.iter().enumerate() {
+            let col = self.dc.solve(vector.step(0))?;
+            for (i, &x) in col.iter().enumerate() {
+                v[i * k + t] = x;
+            }
+        }
+        let mut ib = vec![0.0; self.bumps.len() * k];
+        for (ibb, &(node, g, l_over_dt)) in ib.chunks_mut(k).zip(&self.bumps) {
+            for (t, i) in ibb.iter_mut().enumerate() {
+                *i = (self.vdd - v[node * k + t]) / (1.0 / g - l_over_dt);
+            }
+        }
+
+        let mut stats = TransientStats::default();
+        let mut rhs = vec![0.0; n * k];
+        let mut col = vec![0.0; n];
+        for step in 0..steps {
+            for ((rb, vb), &c) in
+                rhs.chunks_mut(k).zip(v.chunks(k)).zip(&self.cap_over_dt)
+            {
+                for (r, vp) in rb.iter_mut().zip(vb) {
+                    *r = c * vp;
+                }
+            }
+            for (t, vector) in vectors.iter().enumerate() {
+                for (&node, &i) in self.load_nodes.iter().zip(vector.step(step)) {
+                    rhs[node * k + t] -= i;
+                }
+            }
+            for (ibb, &(node, g, l_over_dt)) in ib.chunks(k).zip(&self.bumps) {
+                for (t, &i) in ibb.iter().enumerate() {
+                    rhs[node * k + t] += g * (self.vdd + l_over_dt * i);
+                }
+            }
+            let (iters, resid) = self.solve_step_multi(&rhs, &mut v, k)?;
+            stats.steps += 1;
+            stats.cg_iterations += iters;
+            stats.worst_residual = stats.worst_residual.max(resid);
+            for (ibb, &(node, g, l_over_dt)) in ib.chunks_mut(k).zip(&self.bumps) {
+                for (t, i) in ibb.iter_mut().enumerate() {
+                    *i = g * (self.vdd - v[node * k + t] + l_over_dt * *i);
+                }
+            }
+            for t in 0..k {
+                vecops::deinterleave_into(&v, k, t, &mut col);
+                observer(step, t, &col);
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Batched counterpart of [`Self::run_full`]: returns one
+    /// per-step voltage history per vector, all marched in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run_batch_with`].
+    pub fn run_full_batch(
+        &self,
+        vectors: &[&TestVector],
+    ) -> SimResult<(Vec<Vec<Vec<f64>>>, TransientStats)> {
+        let steps = vectors.first().map_or(0, |v| v.step_count());
+        let mut out: Vec<Vec<Vec<f64>>> =
+            (0..vectors.len()).map(|_| Vec::with_capacity(steps)).collect();
+        let stats = self.run_batch_with(vectors, |_, t, v| out[t].push(v.to_vec()))?;
         Ok((out, stats))
     }
 }
@@ -341,6 +477,44 @@ mod tests {
                 assert!((a - b).abs() < 1e-7, "solvers disagree: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn batched_run_is_bitwise_identical_to_sequential() {
+        use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+        let g = grid();
+        let gen = VectorGenerator::new(&g, GeneratorConfig { steps: 30, ..Default::default() });
+        let vectors: Vec<TestVector> = (0..3).map(|s| gen.generate(s)).collect();
+        let refs: Vec<&TestVector> = vectors.iter().collect();
+        for kind in [SolverKind::IterativeCg, SolverKind::DirectCholesky] {
+            let sim = TransientSimulator::with_solver(&g, kind).unwrap();
+            let (batched, _) = sim.run_full_batch(&refs).unwrap();
+            for (t, vector) in vectors.iter().enumerate() {
+                let (solo, _) = sim.run_full(vector).unwrap();
+                assert_eq!(batched[t], solo, "{kind:?}: vector {t} drifted from sequential");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_step_mismatch_rejected() {
+        let g = grid();
+        let sim = TransientSimulator::new(&g).unwrap();
+        let n_loads = g.loads().len();
+        let a = TestVector::from_flat(4, n_loads, vec![0.0; 4 * n_loads], g.spec().time_step());
+        let b = TestVector::from_flat(6, n_loads, vec![0.0; 6 * n_loads], g.spec().time_step());
+        assert!(matches!(
+            sim.run_full_batch(&[&a, &b]),
+            Err(SimError::BatchStepMismatch { expected: 4, actual: 6 })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let g = grid();
+        let sim = TransientSimulator::new(&g).unwrap();
+        let stats = sim.run_batch_with(&[], |_, _, _| panic!("no steps expected")).unwrap();
+        assert_eq!(stats, TransientStats::default());
     }
 
     #[test]

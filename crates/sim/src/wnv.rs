@@ -12,7 +12,13 @@ use pdn_core::map::TileMap;
 use pdn_core::units::Volts;
 use pdn_grid::build::{NodeId, PowerGrid};
 use pdn_vectors::vector::TestVector;
+use rayon::prelude::*;
 use std::time::{Duration, Instant};
+
+/// Default number of vectors marched per lockstep batch in
+/// [`WnvRunner::run_group`]. Chosen so the interleaved state of a batch
+/// still fits in cache alongside the shared factorization.
+pub const DEFAULT_BATCH: usize = 4;
 
 /// Result of one WNV run.
 #[derive(Debug, Clone)]
@@ -121,13 +127,68 @@ impl WnvRunner {
         Ok(NoiseReport { worst_noise: worst, max_noise, elapsed: start.elapsed(), stats })
     }
 
+    /// Runs WNV for a batch of vectors marched in lockstep against the
+    /// single shared factorization — one matrix traversal serves every
+    /// vector per CG iteration / triangular solve. The reported noise maps
+    /// are bitwise identical to per-vector [`Self::run`] calls; `elapsed`
+    /// and `stats` are shared across the batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransientSimulator::run_batch_with`].
+    pub fn run_batch(&self, vectors: &[&TestVector]) -> SimResult<Vec<NoiseReport>> {
+        let start = Instant::now();
+        let mut maps: Vec<TileMap> = (0..vectors.len())
+            .map(|_| TileMap::zeros(self.tile_shape.0, self.tile_shape.1))
+            .collect();
+        let vdd = self.vdd;
+        let bottom = self.bottom.clone();
+        let tiles = &self.node_tile_flat;
+        let stats = self.sim.run_batch_with(vectors, |_, t, v| {
+            let data = maps[t].as_mut_slice();
+            for n in bottom.clone() {
+                let droop = vdd - v[n];
+                let ti = tiles[n];
+                if droop > data[ti] {
+                    data[ti] = droop;
+                }
+            }
+        })?;
+        let elapsed = start.elapsed();
+        Ok(maps
+            .into_iter()
+            .map(|worst| {
+                let max_noise = Volts(worst.max());
+                NoiseReport { worst_noise: worst, max_noise, elapsed, stats }
+            })
+            .collect())
+    }
+
     /// Runs WNV for a group of vectors, returning one report per vector.
+    ///
+    /// Vectors are fanned out across the rayon pool in chunks of
+    /// [`DEFAULT_BATCH`]; each chunk whose vectors share a step count is
+    /// marched in lockstep via [`Self::run_batch`], others fall back to
+    /// per-vector runs. Reports are returned in input order and are bitwise
+    /// identical to individual [`Self::run`] calls regardless of thread
+    /// count or batching.
     ///
     /// # Errors
     ///
     /// Fails on the first vector that fails.
     pub fn run_group(&self, vectors: &[TestVector]) -> SimResult<Vec<NoiseReport>> {
-        vectors.iter().map(|v| self.run(v)).collect()
+        let chunked: Vec<Vec<NoiseReport>> = vectors
+            .par_chunks(DEFAULT_BATCH)
+            .map(|chunk| {
+                if chunk.iter().all(|v| v.step_count() == chunk[0].step_count()) {
+                    let refs: Vec<&TestVector> = chunk.iter().collect();
+                    self.run_batch(&refs)
+                } else {
+                    chunk.iter().map(|v| self.run(v)).collect()
+                }
+            })
+            .collect::<SimResult<_>>()?;
+        Ok(chunked.into_iter().flatten().collect())
     }
 }
 
@@ -207,5 +268,38 @@ mod tests {
         let solo0 = runner.run(&vectors[0]).unwrap();
         assert_eq!(group[0].worst_noise, solo0.worst_noise);
         assert_eq!(group.len(), 2);
+    }
+
+    #[test]
+    fn batched_group_matches_individuals_across_chunk_boundary() {
+        // 5 vectors = one full DEFAULT_BATCH chunk plus a remainder chunk,
+        // so both the lockstep path and the chunking seams are exercised.
+        let g = grid();
+        let runner = WnvRunner::new(&g).unwrap();
+        let gen = VectorGenerator::new(&g, GeneratorConfig { steps: 30, ..Default::default() });
+        let vectors = gen.generate_group(5, 11);
+        assert!(vectors.len() > DEFAULT_BATCH);
+        let group = runner.run_group(&vectors).unwrap();
+        for (report, v) in group.iter().zip(&vectors) {
+            let solo = runner.run(v).unwrap();
+            assert_eq!(report.worst_noise, solo.worst_noise);
+            assert_eq!(report.max_noise, solo.max_noise);
+        }
+        // Determinism: a second group run reproduces the maps exactly.
+        let again = runner.run_group(&vectors).unwrap();
+        for (a, b) in group.iter().zip(&again) {
+            assert_eq!(a.worst_noise, b.worst_noise);
+        }
+    }
+
+    #[test]
+    fn mixed_step_counts_fall_back_to_per_vector_runs() {
+        let g = grid();
+        let runner = WnvRunner::new(&g).unwrap();
+        let short = Scenario::IdleThenBurst.render(&g, 20);
+        let long = Scenario::IdleThenBurst.render(&g, 35);
+        let group = runner.run_group(&[short.clone(), long.clone()]).unwrap();
+        assert_eq!(group[0].worst_noise, runner.run(&short).unwrap().worst_noise);
+        assert_eq!(group[1].worst_noise, runner.run(&long).unwrap().worst_noise);
     }
 }

@@ -13,6 +13,28 @@ use crate::vecops::{axpy, dot, norm2, xpby};
 pub trait Preconditioner {
     /// Applies the preconditioner, writing the result into `z`.
     fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Applies the preconditioner to `k` interleaved vectors
+    /// (`r[i * k + t]` is entry `i` of vector `t`).
+    ///
+    /// The default de-interleaves and calls [`apply`](Self::apply) per
+    /// vector; implementations with streamable state (e.g. IC(0)) override
+    /// this to pay their memory traffic once per block. Either way each
+    /// column must be bitwise identical to a single-vector `apply`.
+    fn apply_multi(&self, r: &[f64], z: &mut [f64], k: usize) {
+        assert!(k > 0, "apply_multi: k must be positive");
+        assert_eq!(r.len(), z.len(), "apply_multi: length mismatch");
+        let n = r.len() / k;
+        let mut rt = vec![0.0; n];
+        let mut zt = vec![0.0; n];
+        for t in 0..k {
+            crate::vecops::deinterleave_into(r, k, t, &mut rt);
+            self.apply(&rt, &mut zt);
+            for i in 0..n {
+                z[i * k + t] = zt[i];
+            }
+        }
+    }
 }
 
 /// No preconditioning (`M = I`).
@@ -21,6 +43,10 @@ pub struct IdentityPreconditioner;
 
 impl Preconditioner for IdentityPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+
+    fn apply_multi(&self, r: &[f64], z: &mut [f64], _k: usize) {
         z.copy_from_slice(r);
     }
 }
@@ -53,6 +79,14 @@ impl Preconditioner for JacobiPreconditioner {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = ri * di;
+        }
+    }
+
+    fn apply_multi(&self, r: &[f64], z: &mut [f64], k: usize) {
+        for ((zb, rb), di) in z.chunks_mut(k).zip(r.chunks(k)).zip(&self.inv_diag) {
+            for t in 0..k {
+                zb[t] = rb[t] * di;
+            }
         }
     }
 }
@@ -180,6 +214,258 @@ pub fn solve_warm<P: Preconditioner>(
     Err(SolveError::NotConverged { iterations: opts.max_iterations, residual: resid })
 }
 
+/// Solves `A X = B` for `k` right-hand sides in lockstep, starting from the
+/// caller's initial guesses. `b` and `x` hold the vectors interleaved:
+/// entry `i` of vector `t` lives at `b[i * k + t]`.
+///
+/// All `k` CG recurrences advance together, sharing each matrix and
+/// preconditioner stream (paper §2: dynamic analysis is many solves against
+/// one system matrix). Every vector keeps its own `α`, `β`, and residual and
+/// is frozen the moment it converges, so each column's float operations are
+/// exactly those of a separate [`solve_warm`] in the same order — the
+/// batched result is bitwise identical to `k` sequential solves.
+///
+/// Returns `(max_iterations_used, max_relative_residual)` over the batch.
+///
+/// # Errors
+///
+/// Returns [`SolveError::NotConverged`] if any vector exhausts the budget
+/// and [`SolveError::NotPositiveDefinite`] if any vector finds an indefinite
+/// direction; in both cases the whole batch is abandoned.
+pub fn solve_warm_multi<P: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    k: usize,
+    pre: &P,
+    opts: &CgOptions,
+) -> SparseResult<(usize, f64)> {
+    if k == 1 {
+        return solve_warm(a, b, x, pre, opts);
+    }
+    let n = a.n_rows();
+    if a.n_rows() != a.n_cols() || b.len() != n * k || x.len() != n * k || k == 0 {
+        return Err(SolveError::DimensionMismatch {
+            detail: format!(
+                "cg multi: A is {}x{}, b has {}, x has {}, k = {k}",
+                a.n_rows(),
+                a.n_cols(),
+                b.len(),
+                x.len()
+            ),
+        });
+    }
+    // Common batch widths run the joint iteration with a compile-time
+    // width, so per-block state lives in registers; anything else falls
+    // back to column-at-a-time solves (bitwise the same by construction).
+    match k {
+        2 => multi_body::<2, P>(a, b, x, pre, opts),
+        3 => multi_body::<3, P>(a, b, x, pre, opts),
+        4 => multi_body::<4, P>(a, b, x, pre, opts),
+        8 => multi_body::<8, P>(a, b, x, pre, opts),
+        _ => multi_fallback(a, b, x, k, pre, opts),
+    }
+}
+
+/// Arbitrary batch widths: each column is extracted to a contiguous buffer
+/// and solved with [`solve_warm`], making the per-column bitwise contract
+/// immediate.
+fn multi_fallback<P: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    k: usize,
+    pre: &P,
+    opts: &CgOptions,
+) -> SparseResult<(usize, f64)> {
+    let n = a.n_rows();
+    let mut bt = vec![0.0; n];
+    let mut xt = vec![0.0; n];
+    let (mut worst_it, mut worst_res) = (0usize, 0.0f64);
+    for t in 0..k {
+        crate::vecops::deinterleave_into(b, k, t, &mut bt);
+        crate::vecops::deinterleave_into(x, k, t, &mut xt);
+        let (it, res) = solve_warm(a, &bt, &mut xt, pre, opts)?;
+        worst_it = worst_it.max(it);
+        worst_res = worst_res.max(res);
+        for (i, &v) in xt.iter().enumerate() {
+            x[i * k + t] = v;
+        }
+    }
+    Ok((worst_it, worst_res))
+}
+
+/// Column dot products `out[t] = Σ_i u[i·K+t] · v[i·K+t]` for the active
+/// columns. Per column the accumulation runs in ascending block order on
+/// both paths, so results do not depend on which path is taken.
+fn col_dots<const K: usize>(u: &[f64], v: &[f64], active: &[usize], out: &mut [f64; K]) {
+    for &t in active {
+        out[t] = 0.0;
+    }
+    if active.len() == K {
+        for (ub, vb) in u.chunks_exact(K).zip(v.chunks_exact(K)) {
+            for t in 0..K {
+                out[t] += ub[t] * vb[t];
+            }
+        }
+    } else {
+        for (ub, vb) in u.chunks_exact(K).zip(v.chunks_exact(K)) {
+            for &t in active {
+                out[t] += ub[t] * vb[t];
+            }
+        }
+    }
+}
+
+/// The joint preconditioned-CG iteration with the batch width fixed at
+/// compile time. Columns converge and freeze independently; while every
+/// column is still active the vector updates take contiguous fixed-width
+/// fast paths.
+fn multi_body<const K: usize, P: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    pre: &P,
+    opts: &CgOptions,
+) -> SparseResult<(usize, f64)> {
+    let n = a.n_rows();
+
+    // Per-vector ‖b‖, accumulated in the same entry order as `norm2`.
+    let mut norm_b = [0.0f64; K];
+    for blk in b.chunks_exact(K) {
+        for t in 0..K {
+            norm_b[t] += blk[t] * blk[t];
+        }
+    }
+    for nb in &mut norm_b {
+        *nb = nb.sqrt();
+    }
+
+    // `active` holds the indices of still-iterating vectors; converged ones
+    // are frozen (their x/r/p columns are never touched again) so their
+    // operation history matches a solo solve that already returned.
+    let mut active: Vec<usize> = Vec::with_capacity(K);
+    let mut iterations = [0usize; K];
+    let mut residual = [0.0f64; K];
+    for t in 0..K {
+        if norm_b[t] == 0.0 {
+            for i in 0..n {
+                x[i * K + t] = 0.0;
+            }
+        } else {
+            active.push(t);
+        }
+    }
+
+    // r = b - A x
+    let mut r = vec![0.0; n * K];
+    a.mul_multi_into(x, K, &mut r);
+    for (rb, bb) in r.chunks_exact_mut(K).zip(b.chunks_exact(K)) {
+        for t in 0..K {
+            rb[t] = bb[t] - rb[t];
+        }
+    }
+    // One fused pass computes every column norm; per column the squares
+    // accumulate in the same order as a lazy per-column pass would.
+    let mut rn2 = [0.0f64; K];
+    for blk in r.chunks_exact(K) {
+        for t in 0..K {
+            rn2[t] += blk[t] * blk[t];
+        }
+    }
+    active.retain(|&t| {
+        residual[t] = rn2[t].sqrt() / norm_b[t];
+        residual[t] > opts.tolerance
+    });
+    if active.is_empty() {
+        return Ok((0, residual.iter().cloned().fold(0.0, f64::max)));
+    }
+
+    let mut z = vec![0.0; n * K];
+    pre.apply_multi(&r, &mut z, K);
+    let mut p = z.clone();
+    let mut rz = [0.0f64; K];
+    col_dots(&r, &z, &active, &mut rz);
+    let mut ap = vec![0.0; n * K];
+    let mut pap = [0.0f64; K];
+    let mut alpha = [0.0f64; K];
+    let mut beta = [0.0f64; K];
+    let mut rz_new = [0.0f64; K];
+
+    for it in 1..=opts.max_iterations {
+        a.mul_multi_into(&p, K, &mut ap);
+        col_dots(&p, &ap, &active, &mut pap);
+        for &t in &active {
+            if pap[t] <= 0.0 {
+                return Err(SolveError::NotPositiveDefinite { row: it, pivot: pap[t] });
+            }
+            alpha[t] = rz[t] / pap[t];
+        }
+        if active.len() == K {
+            let rows = x.chunks_exact_mut(K).zip(r.chunks_exact_mut(K));
+            for ((xb, rb), (pb, ab)) in rows.zip(p.chunks_exact(K).zip(ap.chunks_exact(K))) {
+                for t in 0..K {
+                    xb[t] += alpha[t] * pb[t];
+                    rb[t] -= alpha[t] * ab[t];
+                }
+            }
+        } else {
+            for blk in 0..n {
+                let base = blk * K;
+                for &t in &active {
+                    x[base + t] += alpha[t] * p[base + t];
+                    r[base + t] -= alpha[t] * ap[base + t];
+                }
+            }
+        }
+        let mut rn2 = [0.0f64; K];
+        for blk in r.chunks_exact(K) {
+            for t in 0..K {
+                rn2[t] += blk[t] * blk[t];
+            }
+        }
+        active.retain(|&t| {
+            residual[t] = rn2[t].sqrt() / norm_b[t];
+            if residual[t] <= opts.tolerance {
+                iterations[t] = it;
+                false
+            } else {
+                true
+            }
+        });
+        if active.is_empty() {
+            return Ok((
+                iterations.iter().cloned().max().unwrap_or(0),
+                residual.iter().cloned().fold(0.0, f64::max),
+            ));
+        }
+        pre.apply_multi(&r, &mut z, K);
+        col_dots(&r, &z, &active, &mut rz_new);
+        for &t in &active {
+            beta[t] = rz_new[t] / rz[t];
+            rz[t] = rz_new[t];
+        }
+        if active.len() == K {
+            for (pb, zb) in p.chunks_exact_mut(K).zip(z.chunks_exact(K)) {
+                for t in 0..K {
+                    pb[t] = zb[t] + beta[t] * pb[t];
+                }
+            }
+        } else {
+            for blk in 0..n {
+                let base = blk * K;
+                for &t in &active {
+                    p[base + t] = z[base + t] + beta[t] * p[base + t];
+                }
+            }
+        }
+    }
+    Err(SolveError::NotConverged {
+        iterations: opts.max_iterations,
+        residual: active.iter().map(|&t| residual[t]).fold(0.0, f64::max),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +563,110 @@ mod tests {
         assert!(matches!(
             solve(&a, &[1.0, 2.0], &IdentityPreconditioner, &CgOptions::default()),
             Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    /// Batch of right-hand sides with distinct convergence speeds (including
+    /// one all-zero vector) for the lockstep-equivalence tests.
+    fn batch_rhs(n: usize, k: usize) -> Vec<Vec<f64>> {
+        (0..k)
+            .map(|t| {
+                (0..n)
+                    .map(|i| {
+                        if t == 1 {
+                            0.0 // exercises the zero-norm freeze path
+                        } else {
+                            ((i * (2 * t + 3)) % 7) as f64 - 2.0 + (t as f64) * 0.25
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_multi_rhs_is_bitwise_identical_to_sequential() {
+        use crate::vecops::{deinterleave_into, interleave};
+        let a = grid_laplacian(7, 0.2);
+        let n = a.n_rows();
+        let k = 4;
+        let rhs = batch_rhs(n, k);
+        let opts = CgOptions::default();
+        for pre_name in ["ic0", "jacobi", "identity"] {
+            let run = |b: &[f64], x: &mut [f64]| -> (usize, f64) {
+                match pre_name {
+                    "ic0" => solve_warm(&a, b, x, &IncompleteCholesky::factor(&a).unwrap(), &opts),
+                    "jacobi" => solve_warm(&a, b, x, &JacobiPreconditioner::new(&a).unwrap(), &opts),
+                    _ => solve_warm(&a, b, x, &IdentityPreconditioner, &opts),
+                }
+                .unwrap()
+            };
+            let run_multi = |b: &[f64], x: &mut [f64]| -> (usize, f64) {
+                match pre_name {
+                    "ic0" => solve_warm_multi(
+                        &a,
+                        b,
+                        x,
+                        k,
+                        &IncompleteCholesky::factor(&a).unwrap(),
+                        &opts,
+                    ),
+                    "jacobi" => solve_warm_multi(
+                        &a,
+                        b,
+                        x,
+                        k,
+                        &JacobiPreconditioner::new(&a).unwrap(),
+                        &opts,
+                    ),
+                    _ => solve_warm_multi(&a, b, x, k, &IdentityPreconditioner, &opts),
+                }
+                .unwrap()
+            };
+
+            // Sequential reference solves, one vector at a time.
+            let mut seq_iters = 0usize;
+            let seq: Vec<Vec<f64>> = rhs
+                .iter()
+                .map(|b| {
+                    let mut x = vec![0.0; n];
+                    let (it, _) = run(b, &mut x);
+                    seq_iters = seq_iters.max(it);
+                    x
+                })
+                .collect();
+
+            // One lockstep batch from the same (zero) initial guesses.
+            let refs: Vec<&[f64]> = rhs.iter().map(|v| v.as_slice()).collect();
+            let mut b_multi = vec![0.0; n * k];
+            interleave(&refs, &mut b_multi);
+            let mut x_multi = vec![0.0; n * k];
+            let (it_multi, _) = run_multi(&b_multi, &mut x_multi);
+            assert_eq!(it_multi, seq_iters, "{pre_name}: iteration counts differ");
+
+            let mut col = vec![0.0; n];
+            for (t, expected) in seq.iter().enumerate() {
+                deinterleave_into(&x_multi, k, t, &mut col);
+                assert_eq!(&col, expected, "{pre_name}: vector {t} differs (bitwise)");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_budget_exhaustion_reported() {
+        let a = grid_laplacian(8, 0.01);
+        let n = a.n_rows();
+        let k = 2;
+        let mut b = vec![0.0; n * k];
+        for i in 0..n {
+            b[i * k] = (i as f64 * 0.37).sin() + 2.0;
+            b[i * k + 1] = (i as f64 * 0.11).cos();
+        }
+        let mut x = vec![0.0; n * k];
+        let opts = CgOptions { tolerance: 0.0, max_iterations: 2 };
+        assert!(matches!(
+            solve_warm_multi(&a, &b, &mut x, k, &IdentityPreconditioner, &opts),
+            Err(SolveError::NotConverged { iterations: 2, .. })
         ));
     }
 

@@ -155,6 +155,70 @@ impl CsrMatrix {
         }
     }
 
+    /// `Y = A X` for `k` interleaved vectors (`x[i * k + t]` is entry `i` of
+    /// vector `t`). The matrix is streamed once for all `k` vectors — the
+    /// multi-RHS amortization the batched transient solver is built on —
+    /// instead of once per vector.
+    ///
+    /// Per vector, the accumulation order matches [`mul_vec_into`], so each
+    /// column of the result is bitwise identical to a separate `mul_vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `x.len() != n_cols * k`, or `y.len() != n_rows * k`.
+    pub fn mul_multi_into(&self, x: &[f64], k: usize, y: &mut [f64]) {
+        assert!(k > 0, "mul_multi: k must be positive");
+        assert_eq!(x.len(), self.n_cols * k, "mul_multi: x length mismatch");
+        assert_eq!(y.len(), self.n_rows * k, "mul_multi: y length mismatch");
+        // Common batch widths get a compile-time k so the per-row
+        // accumulator block lives in registers.
+        match k {
+            2 => self.mul_multi_fixed::<2>(x, y),
+            3 => self.mul_multi_fixed::<3>(x, y),
+            4 => self.mul_multi_fixed::<4>(x, y),
+            8 => self.mul_multi_fixed::<8>(x, y),
+            _ => {
+                let row_block = |(r, yr): (usize, &mut [f64])| {
+                    yr.fill(0.0);
+                    for p in self.indptr[r]..self.indptr[r + 1] {
+                        let v = self.values[p];
+                        let xb = &x[self.indices[p] * k..][..k];
+                        for t in 0..k {
+                            yr[t] += v * xb[t];
+                        }
+                    }
+                };
+                if self.n_rows >= 4096 {
+                    y.par_chunks_mut(k).enumerate().for_each(row_block);
+                } else {
+                    y.chunks_mut(k).enumerate().for_each(row_block);
+                }
+            }
+        }
+    }
+
+    /// [`mul_multi_into`](Self::mul_multi_into) with the batch width fixed
+    /// at compile time: same floating-point operations in the same order,
+    /// but the accumulator is a `[f64; K]` held in registers.
+    fn mul_multi_fixed<const K: usize>(&self, x: &[f64], y: &mut [f64]) {
+        let row_block = |(r, yr): (usize, &mut [f64])| {
+            let mut acc = [0.0f64; K];
+            for p in self.indptr[r]..self.indptr[r + 1] {
+                let v = self.values[p];
+                let xb: &[f64; K] = x[self.indices[p] * K..][..K].try_into().unwrap();
+                for (a, &xv) in acc.iter_mut().zip(xb) {
+                    *a += v * xv;
+                }
+            }
+            yr.copy_from_slice(&acc);
+        };
+        if self.n_rows >= 4096 {
+            y.par_chunks_mut(K).enumerate().for_each(row_block);
+        } else {
+            y.chunks_mut(K).enumerate().for_each(row_block);
+        }
+    }
+
     /// Main diagonal as a dense vector (zeros where absent).
     pub fn diagonal(&self) -> Vec<f64> {
         (0..self.n_rows.min(self.n_cols)).map(|i| self.get(i, i)).collect()
@@ -286,6 +350,29 @@ mod tests {
         let expect: Vec<f64> =
             dense.iter().map(|row| row.iter().zip(&x).map(|(a, b)| a * b).sum()).collect();
         assert_eq!(a.mul_vec(&x), expect);
+    }
+
+    #[test]
+    fn multi_matvec_is_bitwise_identical_to_sequential() {
+        use crate::vecops::{deinterleave_into, interleave};
+        let a = laplacian_path(9);
+        let n = a.n_rows();
+        for k in [1usize, 3, 5] {
+            let xs: Vec<Vec<f64>> = (0..k)
+                .map(|t| (0..n).map(|i| (i as f64 + 1.0) * 0.3 - t as f64).collect())
+                .collect();
+            let singles: Vec<Vec<f64>> = xs.iter().map(|x| a.mul_vec(x)).collect();
+            let refs: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            let mut x_multi = vec![0.0; n * k];
+            interleave(&refs, &mut x_multi);
+            let mut y_multi = vec![0.0; n * k];
+            a.mul_multi_into(&x_multi, k, &mut y_multi);
+            let mut col = vec![0.0; n];
+            for (t, expected) in singles.iter().enumerate() {
+                deinterleave_into(&y_multi, k, t, &mut col);
+                assert_eq!(&col, expected, "k={k}: column {t} differs");
+            }
+        }
     }
 
     #[test]

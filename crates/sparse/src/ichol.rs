@@ -173,11 +173,115 @@ impl IncompleteCholesky {
             z[i] = s / self.t_values[lo];
         }
     }
+
+    /// Solves `L Lᵀ Z = R` for `k` interleaved right-hand sides
+    /// (`r[i * k + t]` is entry `i` of vector `t`), streaming the factor
+    /// once per row for all vectors. Per vector, the operations match
+    /// [`solve_into`] exactly, so each column is bitwise identical to a
+    /// separate single-vector solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or lengths are not `dim() * k`.
+    pub fn solve_multi_into(&self, r: &[f64], z: &mut [f64], k: usize) {
+        assert!(k > 0, "solve_multi: k must be positive");
+        assert_eq!(r.len(), self.n * k, "solve_multi: r length mismatch");
+        assert_eq!(z.len(), self.n * k, "solve_multi: z length mismatch");
+        // Common batch widths get a compile-time k so the running block
+        // stays in registers across each row's update loop.
+        match k {
+            2 => self.solve_multi_fixed::<2>(r, z),
+            3 => self.solve_multi_fixed::<3>(r, z),
+            4 => self.solve_multi_fixed::<4>(r, z),
+            8 => self.solve_multi_fixed::<8>(r, z),
+            _ => self.solve_multi_generic(r, z, k),
+        }
+    }
+
+    fn solve_multi_generic(&self, r: &[f64], z: &mut [f64], k: usize) {
+        let mut s = vec![0.0f64; k];
+        // Forward: L Y = R, row-oriented; diagonal is last entry per row.
+        for i in 0..self.n {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            s.copy_from_slice(&r[i * k..(i + 1) * k]);
+            for p in lo..hi - 1 {
+                let v = self.values[p];
+                let zb = &z[self.indices[p] * k..][..k];
+                for t in 0..k {
+                    s[t] -= v * zb[t];
+                }
+            }
+            let d = self.values[hi - 1];
+            for t in 0..k {
+                z[i * k + t] = s[t] / d;
+            }
+        }
+        // Backward: Lᵀ X = Y; in Lᵀ's row i the diagonal is the first entry.
+        for i in (0..self.n).rev() {
+            let lo = self.t_indptr[i];
+            let hi = self.t_indptr[i + 1];
+            s.copy_from_slice(&z[i * k..(i + 1) * k]);
+            for p in lo + 1..hi {
+                let v = self.t_values[p];
+                let zb = &z[self.t_indices[p] * k..][..k];
+                for t in 0..k {
+                    s[t] -= v * zb[t];
+                }
+            }
+            let d = self.t_values[lo];
+            for t in 0..k {
+                z[i * k + t] = s[t] / d;
+            }
+        }
+    }
+
+    /// [`solve_multi_generic`](Self::solve_multi_generic) with the batch
+    /// width fixed at compile time: identical operations in identical
+    /// order, with the `[f64; K]` block held in registers.
+    fn solve_multi_fixed<const K: usize>(&self, r: &[f64], z: &mut [f64]) {
+        for i in 0..self.n {
+            let lo = self.indptr[i];
+            let hi = self.indptr[i + 1];
+            let mut s: [f64; K] = r[i * K..(i + 1) * K].try_into().unwrap();
+            for p in lo..hi - 1 {
+                let v = self.values[p];
+                let zb: &[f64; K] = z[self.indices[p] * K..][..K].try_into().unwrap();
+                for (sv, &zv) in s.iter_mut().zip(zb) {
+                    *sv -= v * zv;
+                }
+            }
+            let d = self.values[hi - 1];
+            for (t, &sv) in s.iter().enumerate() {
+                z[i * K + t] = sv / d;
+            }
+        }
+        for i in (0..self.n).rev() {
+            let lo = self.t_indptr[i];
+            let hi = self.t_indptr[i + 1];
+            let mut s: [f64; K] = z[i * K..(i + 1) * K].try_into().unwrap();
+            for p in lo + 1..hi {
+                let v = self.t_values[p];
+                let zb: &[f64; K] = z[self.t_indices[p] * K..][..K].try_into().unwrap();
+                for (sv, &zv) in s.iter_mut().zip(zb) {
+                    *sv -= v * zv;
+                }
+            }
+            let d = self.t_values[lo];
+            for (t, &sv) in s.iter().enumerate() {
+                z[i * K + t] = sv / d;
+            }
+        }
+    }
 }
 
 impl Preconditioner for IncompleteCholesky {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         self.solve_into(r, z);
+    }
+
+    fn apply_multi(&self, r: &[f64], z: &mut [f64], k: usize) {
+        self.solve_multi_into(r, z, k);
     }
 }
 

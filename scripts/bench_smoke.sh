@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Quick component-benchmark smoke run.
+#
+# Builds the `components` bench in release mode, measures every kernel with
+# a reduced sample count, and writes the per-kernel median nanoseconds to
+# BENCH_components.json at the repository root:
+#
+#   {"components_gemm/gemm_blocked/8x72x4096": 123456.0, ...}
+#
+# Overrides:
+#   PDN_BENCH_JSON=<path>  output file   (default: <repo>/BENCH_components.json)
+#   PDN_BENCH_QUICK=0      full sample counts instead of the 3-sample smoke run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PDN_BENCH_JSON="${PDN_BENCH_JSON:-$PWD/BENCH_components.json}"
+export PDN_BENCH_QUICK="${PDN_BENCH_QUICK:-1}"
+
+cargo bench --offline -p pdn-bench --bench components
+echo
+echo "medians written to $PDN_BENCH_JSON"

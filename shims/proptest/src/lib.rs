@@ -1,0 +1,279 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! small deterministic property runner behind the same macro surface:
+//! `proptest! { #![proptest_config(..)] #[test] fn f(x in strategy) {..} }`,
+//! `prop_assert!`/`prop_assert_eq!`, and the strategies the tests actually
+//! draw from — integer/float `Range`s and `prop::collection::vec`. No
+//! shrinking: a failing case panics with the drawn inputs in the message
+//! (the `Debug` payload), which is enough to reproduce since the run is
+//! fully deterministic (seed = FNV-1a of the test name).
+
+/// Deterministic case-generation RNG (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`, 53 bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A source of random values of one type (no shrinking in this shim).
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let scaled = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + scaled) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (self.start as f64 + rng.unit_f64() * (self.end - self.start) as f64) as f32
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            Strategy::generate(self, rng)
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `prop::collection::vec`: a vector of `len` draws from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured by this shim.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Matches upstream proptest's default case count.
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Strategy constructors namespace (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Expands each `#[test] fn name(args in strategies) { body }` into a plain
+/// test that draws `cases` deterministic inputs and runs the body per draw.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($config:expr);) => {};
+    (cfg = ($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::TestRng::from_seed($crate::fnv1a(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                // Render inputs up front: the body is free to consume them.
+                let inputs = format!("{:?}", ($(&$arg,)+));
+                let outcome = (move || -> ::std::result::Result<(), ::std::boxed::Box<dyn ::std::error::Error>> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!("proptest case {case} failed: {e}\ninputs: {inputs}");
+                }
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($config); $($rest)* }
+    };
+}
+
+/// `assert!` that reports the failing proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn int_ranges_in_bounds(n in 3usize..17, s in -5i64..5) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-5..5).contains(&s));
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in -2.0f64..3.0, y in 0.5f32..0.75) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((0.5..0.75).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths(
+            fixed in prop::collection::vec(0.0f64..1.0, 7),
+            ranged in prop::collection::vec(-1.0f64..1.0, 2..6),
+        ) {
+            prop_assert_eq!(fixed.len(), 7);
+            prop_assert!((2..6).contains(&ranged.len()));
+            prop_assert!(fixed.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_applies(a in 0u64..10) {
+            prop_assert_ne!(a, 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::TestRng::from_seed(crate::fnv1a("x"));
+        let mut r2 = crate::TestRng::from_seed(crate::fnv1a("x"));
+        for _ in 0..32 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

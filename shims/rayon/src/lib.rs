@@ -1,0 +1,259 @@
+//! Offline shim for the subset of the `rayon` API this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! *sequential* drop-in: every `par_*` entry point returns a plain standard
+//! iterator, so `map`/`enumerate`/`for_each`/`collect` chains compile and run
+//! unchanged, just on one thread. `map_init` — the one rayon adapter with no
+//! std equivalent — is provided by [`iter::ParallelIteratorExt`]. The
+//! thread-pool types are no-ops apart from recording the requested width,
+//! which [`current_num_threads`] reports so chunk-sizing heuristics keep
+//! working. Swapping back to real rayon is a one-line Cargo.toml change; the
+//! call sites are already written against the real API.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Reports the pool width requested via [`ThreadPoolBuilder::build_global`],
+/// defaulting to 1. Execution is always sequential in this shim; the value
+/// only feeds chunk-sizing heuristics at call sites.
+pub fn current_num_threads() -> usize {
+    CONFIGURED_THREADS.load(Ordering::Relaxed).max(1)
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`]; never produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in sequential shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the (virtual) global pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a pool width; 0 means "auto" (1 in this shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Records the requested width as the global pool size.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads.max(1), Ordering::Relaxed);
+        Ok(())
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// A (virtual) scoped pool: `install` just runs the closure inline.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    //! Iterator conversion traits and the `map_init` adapter.
+
+    /// `rayon::iter::IntoParallelIterator`, backed by `IntoIterator`.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter` / `par_iter_mut` on anything sliceable.
+    pub trait IntoParallelRefIterator<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<S: AsRef<[T]> + ?Sized, T> IntoParallelRefIterator<T> for S {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_ref().iter()
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<S: AsMut<[T]> + ?Sized, T> IntoParallelRefMutIterator<T> for S {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.as_mut().iter_mut()
+        }
+    }
+
+    /// `par_chunks` / `par_chunks_mut` on slices.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<S: AsRef<[T]> + ?Sized, T> ParallelSlice<T> for S {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.as_ref().chunks(chunk_size)
+        }
+    }
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<S: AsMut<[T]> + ?Sized, T> ParallelSliceMut<T> for S {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.as_mut().chunks_mut(chunk_size)
+        }
+    }
+
+    /// Sequential stand-in for `ParallelIterator::map_init`: one state value
+    /// (rayon makes one per worker; this shim has exactly one "worker").
+    pub struct MapInit<I, St, F> {
+        iter: I,
+        state: St,
+        f: F,
+    }
+
+    impl<I, St, F, R> Iterator for MapInit<I, St, F>
+    where
+        I: Iterator,
+        F: FnMut(&mut St, I::Item) -> R,
+    {
+        type Item = R;
+        fn next(&mut self) -> Option<R> {
+            let item = self.iter.next()?;
+            Some((self.f)(&mut self.state, item))
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.iter.size_hint()
+        }
+    }
+
+    /// Rayon adapters with no std-iterator equivalent, blanket-implemented
+    /// so the shimmed `par_*` iterators accept them.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        fn map_init<Init, St, F, R>(self, init: Init, f: F) -> MapInit<Self, St, F>
+        where
+            Init: Fn() -> St,
+            F: FnMut(&mut St, Self::Item) -> R,
+        {
+            MapInit {
+                iter: self,
+                state: init(),
+                f,
+            }
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}
+
+pub mod slice {
+    pub use crate::iter::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIteratorExt, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chains_compile_and_run() {
+        let v = vec![1u32, 2, 3, 4, 5];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, [2, 4, 6, 8, 10]);
+
+        let mut w = vec![0u32; 5];
+        w.par_iter_mut().enumerate().for_each(|(i, x)| *x = i as u32);
+        assert_eq!(w, [0, 1, 2, 3, 4]);
+
+        let sums: Vec<u32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, [3, 7, 5]);
+
+        let mut z = vec![1u32; 4];
+        z.par_chunks_mut(3).for_each(|c| c[0] = 9);
+        assert_eq!(z, [9, 1, 1, 9]);
+
+        let r: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(r, [0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn map_init_uses_one_state() {
+        let v = vec![1i64, 2, 3];
+        let out: Vec<i64> = v
+            .par_iter()
+            .map_init(
+                || 100i64,
+                |acc, x| {
+                    *acc += x;
+                    *acc
+                },
+            )
+            .collect();
+        assert_eq!(out, [101, 103, 106]);
+    }
+
+    #[test]
+    fn pool_width_round_trips() {
+        assert!(super::current_num_threads() >= 1);
+        super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        assert_eq!(super::current_num_threads(), 4);
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(|| super::current_num_threads()), 4);
+        assert_eq!(pool.current_num_threads(), 2);
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}
