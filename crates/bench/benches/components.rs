@@ -3,7 +3,7 @@
 //! extraction. These are the ablation knobs DESIGN.md calls out (solver
 //! choice, preconditioner, conv cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use pdn_bench::{bench_grid, bench_vector};
 use pdn_grid::design::DesignPreset;
 use pdn_grid::stamp;
@@ -223,4 +223,18 @@ criterion_group!(
     bench_stamping_and_features,
     bench_conv_kernels
 );
-criterion_main!(benches);
+
+// Hand-rolled `criterion_main!` so the bench harness doubles as a telemetry
+// emitter: with `PDN_TELEMETRY` set, the same run that writes the
+// `BENCH_*.json` medians also dumps the solver/stepper counters behind them.
+fn main() {
+    pdn_core::telemetry::init_from_env();
+    let mut c = Criterion::default();
+    benches(&mut c);
+    c.finalize();
+    if pdn_core::telemetry::enabled() {
+        pdn_core::telemetry::write_summary_records();
+        pdn_core::telemetry::flush();
+        eprintln!("{}", pdn_core::telemetry::summary());
+    }
+}

@@ -57,7 +57,7 @@ impl TemporalCompressor {
         if !(rate > 0.0 && rate <= 1.0) {
             return Err(CompressError::InvalidRate { rate });
         }
-        if !(rate_step > 0.0) {
+        if rate_step <= 0.0 || !rate_step.is_finite() {
             return Err(CompressError::InvalidRateStep { step: rate_step });
         }
         Ok(TemporalCompressor { rate, rate_step })

@@ -167,7 +167,8 @@ impl TileGrid {
     /// # Errors
     ///
     /// Returns [`CoreError::EmptyDimension`] for zero tile counts and
-    /// [`CoreError::OutOfDomain`] for non-positive die dimensions.
+    /// [`CoreError::OutOfDomain`] for non-positive or non-finite die
+    /// dimensions.
     pub fn try_new(rows: usize, cols: usize, die_width: f64, die_height: f64) -> Result<TileGrid> {
         if rows == 0 {
             return Err(CoreError::EmptyDimension { what: "rows" });
@@ -175,10 +176,10 @@ impl TileGrid {
         if cols == 0 {
             return Err(CoreError::EmptyDimension { what: "cols" });
         }
-        if !(die_width > 0.0) {
+        if die_width <= 0.0 || !die_width.is_finite() {
             return Err(CoreError::OutOfDomain { what: "die_width", value: die_width.to_string() });
         }
-        if !(die_height > 0.0) {
+        if die_height <= 0.0 || !die_height.is_finite() {
             return Err(CoreError::OutOfDomain {
                 what: "die_height",
                 value: die_height.to_string(),

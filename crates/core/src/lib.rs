@@ -11,6 +11,9 @@
 //!   distance maps and noise maps between crates;
 //! * deterministic [`rng`] construction so every experiment is reproducible;
 //! * process-wide [`threads`] configuration (the `PDN_THREADS` override);
+//! * the [`telemetry`] registry — counters, gauges, histograms, scoped
+//!   timers and a JSON-lines sink — that every hot path reports to when
+//!   `PDN_TELEMETRY` (or the `pdn --telemetry` flag) is set;
 //! * simple [`stats`] helpers (mean, standard deviation, percentile) used by
 //!   the temporal-compression algorithm and the evaluation metrics.
 //!
@@ -33,6 +36,7 @@ pub mod geom;
 pub mod map;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod threads;
 pub mod units;
 

@@ -21,19 +21,37 @@ static CONFIGURED: OnceLock<usize> = OnceLock::new();
 /// the existing width is reported.
 pub fn configure_from_env() -> usize {
     *CONFIGURED.get_or_init(|| {
-        if let Some(n) = requested_threads() {
-            let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+        if let Some(raw) = std::env::var("PDN_THREADS").ok().filter(|r| !r.trim().is_empty()) {
+            match parse_thread_request(&raw) {
+                Ok(n) => {
+                    let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+                }
+                Err(why) => {
+                    // The old behaviour was to silently fall back to the
+                    // default width, which made typos like PDN_THREADS=O4
+                    // indistinguishable from a deliberate full-width run.
+                    eprintln!(
+                        "pdn-core: ignoring PDN_THREADS={raw:?} ({why}); \
+                         using rayon's default width"
+                    );
+                    crate::telemetry::counter_add("core.threads.invalid_env", 1);
+                }
+            }
         }
         rayon::current_num_threads()
     })
 }
 
-/// The thread count requested via `PDN_THREADS`, if any.
-fn requested_threads() -> Option<usize> {
-    let raw = std::env::var("PDN_THREADS").ok()?;
+/// Parses a `PDN_THREADS` value into a pool width.
+///
+/// Accepts positive integers; rejects zero (rayon would interpret it as
+/// "default width", which is better requested by unsetting the variable)
+/// and anything unparsable.
+fn parse_thread_request(raw: &str) -> Result<usize, String> {
     match raw.trim().parse::<usize>() {
-        Ok(0) | Err(_) => None,
-        Ok(n) => Some(n),
+        Ok(0) => Err("thread count must be >= 1".to_string()),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!("not a valid thread count: {e}")),
     }
 }
 
@@ -46,5 +64,21 @@ mod tests {
         let first = configure_from_env();
         assert!(first >= 1);
         assert_eq!(configure_from_env(), first);
+    }
+
+    #[test]
+    fn parse_accepts_positive_counts() {
+        assert_eq!(parse_thread_request("1"), Ok(1));
+        assert_eq!(parse_thread_request(" 8 "), Ok(8));
+        assert_eq!(parse_thread_request("64"), Ok(64));
+    }
+
+    #[test]
+    fn parse_rejects_zero_and_garbage() {
+        assert!(parse_thread_request("0").is_err());
+        assert!(parse_thread_request("-2").is_err());
+        assert!(parse_thread_request("O4").is_err());
+        assert!(parse_thread_request("4.0").is_err());
+        assert!(parse_thread_request("").is_err());
     }
 }

@@ -18,6 +18,7 @@ use std::time::Instant;
 
 fn main() {
     pdn_core::threads::configure_from_env();
+    pdn_core::telemetry::init_from_env();
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::ci() };
     let out_dir = PathBuf::from("target/experiments");
@@ -37,9 +38,9 @@ fn main() {
         println!(
             "done in {:.1}s (train loss {:.4} -> {:.4}, val {:.4})",
             t0.elapsed().as_secs_f64(),
-            eval.history.epochs.first().map_or(0.0, |e| e.train_loss),
-            eval.history.final_train_loss(),
-            eval.history.final_val_loss(),
+            eval.history.epochs.first().map_or(f32::NAN, |e| e.train_loss),
+            eval.history.final_train_loss().unwrap_or(f32::NAN),
+            eval.history.final_val_loss().unwrap_or(f32::NAN),
         );
         evaluated.push(eval);
     }
@@ -137,4 +138,9 @@ fn main() {
         out_dir.display(),
         started.elapsed().as_secs_f64() / 60.0
     );
+    if pdn_core::telemetry::enabled() {
+        pdn_core::telemetry::write_summary_records();
+        pdn_core::telemetry::flush();
+        println!("\n{}", pdn_core::telemetry::summary());
+    }
 }

@@ -115,9 +115,24 @@ impl PreparedDesign {
         );
         let vectors = gen.generate_group(config.vectors, config.seed);
         let runner = WnvRunner::new(&grid)?;
+        let t_sim = Instant::now();
         let reports = runner.run_group(&vectors)?;
+        let sim_wall = t_sim.elapsed();
         let total: Duration = reports.iter().map(|r| r.elapsed).sum();
         let sim_time_per_vector = total / reports.len().max(1) as u32;
+        if pdn_core::telemetry::enabled() {
+            pdn_core::telemetry::observe_duration("eval.sim_seconds_per_vector", sim_time_per_vector);
+            pdn_core::telemetry::event(
+                "eval.design.prepared",
+                &[
+                    ("design", preset.name().into()),
+                    ("vectors", config.vectors.into()),
+                    ("steps", config.steps.into()),
+                    ("sim_wall_seconds", sim_wall.as_secs_f64().into()),
+                    ("sim_seconds_per_vector", sim_time_per_vector.as_secs_f64().into()),
+                ],
+            );
+        }
         Ok(PreparedDesign { preset, grid, vectors, reports, sim_time_per_vector })
     }
 
@@ -194,7 +209,9 @@ impl EvaluatedDesign {
         let mut model =
             WnvModel::new(prepared.grid.bumps().len(), config.model, config.seed);
         let trainer = Trainer::new(config.train);
+        let t_train = Instant::now();
         let history = trainer.train(&mut model, &dataset, &split);
+        let train_wall = t_train.elapsed();
         let mut predictor = Predictor::new(model, &dataset, Some(compressor));
 
         let mut test_pairs = Vec::with_capacity(split.test.len());
@@ -204,6 +221,27 @@ impl EvaluatedDesign {
             test_pairs.push((pred, prepared.reports[idx].worst_noise.clone()));
         }
         let predict_time_per_vector = start.elapsed() / split.test.len().max(1) as u32;
+        if pdn_core::telemetry::enabled() {
+            let sim_s = prepared.sim_time_per_vector.as_secs_f64();
+            let pred_s = predict_time_per_vector.as_secs_f64();
+            pdn_core::telemetry::observe_duration(
+                "eval.predict_seconds_per_vector",
+                predict_time_per_vector,
+            );
+            // One record per design holding the full runtime split, so the
+            // paper's speedup table is reproducible from a single sink file.
+            pdn_core::telemetry::event(
+                "eval.design.evaluated",
+                &[
+                    ("design", prepared.preset.name().into()),
+                    ("train_seconds", train_wall.as_secs_f64().into()),
+                    ("test_vectors", split.test.len().into()),
+                    ("sim_seconds_per_vector", sim_s.into()),
+                    ("predict_seconds_per_vector", pred_s.into()),
+                    ("speedup", (sim_s / pred_s.max(1e-9)).into()),
+                ],
+            );
+        }
         EvaluatedDesign {
             prepared,
             dataset,
@@ -241,7 +279,8 @@ mod tests {
             assert_eq!(pred.shape(), truth.shape());
         }
         // Training actually descended.
-        assert!(eval.history.final_train_loss() < eval.history.epochs[0].train_loss);
+        let last = eval.history.final_train_loss().expect("non-empty history");
+        assert!(last < eval.history.epochs[0].train_loss);
         // Prediction is faster than simulation even at tiny scale.
         assert!(eval.speedup() > 1.0, "speedup {}", eval.speedup());
     }

@@ -149,15 +149,33 @@ pub fn pooled_missing_rate(pairs: &[(TileMap, TileMap)], threshold: Volts) -> f6
 /// Area under the ROC curve for scores against boolean labels, computed via
 /// the rank statistic (Mann–Whitney U). Ties share ranks. Returns 0.5 when
 /// either class is empty (no discrimination measurable).
+///
+/// NaN scores cannot be ranked: they would silently corrupt the
+/// tie-averaging loop (NaN compares unequal to everything, breaking the
+/// tie-run scan) and propagate into the returned AUC. They are dropped
+/// before ranking, counted in the `eval.metrics.nan_scores_dropped`
+/// telemetry counter, and the AUC is computed over the finite samples.
 pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let n_nan = scores.iter().filter(|s| s.is_nan()).count();
+    let (scores, labels): (Vec<f64>, Vec<bool>) = if n_nan == 0 {
+        (scores.to_vec(), labels.to_vec())
+    } else {
+        pdn_core::telemetry::counter_add("eval.metrics.nan_scores_dropped", n_nan as u64);
+        scores
+            .iter()
+            .zip(labels)
+            .filter(|(s, _)| !s.is_nan())
+            .map(|(s, l)| (*s, *l))
+            .unzip()
+    };
     let pos = labels.iter().filter(|l| **l).count();
     let neg = labels.len() - pos;
     if pos == 0 || neg == 0 {
         return 0.5;
     }
     // Ranks with tie averaging.
-    let order = stats::argsort(scores);
+    let order = stats::argsort(&scores);
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -172,7 +190,7 @@ pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
         i = j + 1;
     }
     let rank_sum_pos: f64 =
-        ranks.iter().zip(labels).filter(|(_, l)| **l).map(|(r, _)| *r).sum();
+        ranks.iter().zip(&labels).filter(|(_, l)| **l).map(|(r, _)| *r).sum();
     let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
     u / (pos * neg) as f64
 }
@@ -242,6 +260,33 @@ mod tests {
         assert_eq!(roc_auc(&scores, &inverted), 0.0);
         // Single-class degenerate case.
         assert_eq!(roc_auc(&scores, &[true; 4]), 0.5);
+    }
+
+    #[test]
+    fn auc_ignores_nan_scores() {
+        // The finite subset is perfectly separated; the NaNs must neither
+        // corrupt the ranking nor leak into the result.
+        let scores = [0.9, f64::NAN, 0.8, 0.2, f64::NAN, 0.1];
+        let labels = [true, false, true, false, true, false];
+        assert_eq!(roc_auc(&scores, &labels), 1.0);
+        // All-NaN input degenerates to "no discrimination", not NaN.
+        assert_eq!(roc_auc(&[f64::NAN, f64::NAN], &[true, false]), 0.5);
+        // Dropping NaNs can empty one class entirely.
+        assert_eq!(roc_auc(&[f64::NAN, 0.3], &[true, false]), 0.5);
+    }
+
+    #[test]
+    fn auc_nan_drops_are_counted() {
+        use pdn_core::telemetry;
+        telemetry::enable();
+        let before = telemetry::counter_value("eval.metrics.nan_scores_dropped");
+        let pred = map(&[0.2, f64::NAN, 0.4]);
+        let truth = map(&[0.05, 0.2, 0.3]);
+        let auc = pooled_auc(&[(pred, truth)], Volts(0.1));
+        assert!(auc.is_finite());
+        let after = telemetry::counter_value("eval.metrics.nan_scores_dropped");
+        assert_eq!(after - before, 1);
+        telemetry::disable();
     }
 
     #[test]

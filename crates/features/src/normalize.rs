@@ -38,13 +38,43 @@ impl Normalizer {
         Normalizer { scale }
     }
 
-    /// Fits a scale so the maximum of `values` maps to 1.0. Degenerate
-    /// all-zero inputs produce the identity.
+    /// Fits a scale so the maximum finite magnitude of `values` maps to 1.0.
+    ///
+    /// NaN and infinite entries are excluded from the fit (an infinite
+    /// maximum would otherwise yield `scale = 0`, collapsing every feature
+    /// to zero). Degenerate inputs — empty, all-zero, or all non-finite —
+    /// produce the identity. Both degeneracies are loud: a warning goes to
+    /// stderr and the `features.normalize.degenerate_fits` /
+    /// `features.normalize.nonfinite_inputs` telemetry counters are bumped,
+    /// instead of the old behaviour of silently returning the identity.
     pub fn fit_to_unit_max(values: &[f64]) -> Normalizer {
-        let max = values.iter().copied().fold(0.0_f64, |a, b| a.max(b.abs()));
+        use pdn_core::telemetry;
+        let mut non_finite = 0usize;
+        let mut max = 0.0_f64;
+        for &v in values {
+            if v.is_finite() {
+                max = max.max(v.abs());
+            } else {
+                non_finite += 1;
+            }
+        }
+        if non_finite > 0 {
+            eprintln!(
+                "pdn-features: fit_to_unit_max ignored {non_finite} non-finite value(s) \
+                 out of {}",
+                values.len()
+            );
+            telemetry::counter_add("features.normalize.nonfinite_inputs", non_finite as u64);
+        }
         if max > 0.0 {
             Normalizer { scale: 1.0 / max }
         } else {
+            eprintln!(
+                "pdn-features: fit_to_unit_max saw no positive finite magnitude \
+                 ({} value(s)); falling back to identity normalization",
+                values.len()
+            );
+            telemetry::counter_add("features.normalize.degenerate_fits", 1);
             Normalizer::identity()
         }
     }
@@ -95,6 +125,23 @@ mod tests {
     #[test]
     fn fit_handles_all_zero() {
         let n = Normalizer::fit_to_unit_max(&[0.0, 0.0]);
+        assert_eq!(n.scale(), 1.0);
+    }
+
+    #[test]
+    fn fit_ignores_non_finite_values() {
+        // An inf entry used to drive the scale to 0, zeroing every feature.
+        let n = Normalizer::fit_to_unit_max(&[f64::INFINITY, f64::NAN, 2.0]);
+        assert_eq!(n.scale(), 0.5);
+        assert_eq!(n.apply(2.0), 1.0);
+        // All non-finite degrades to the identity, never to scale 0 or NaN.
+        let n = Normalizer::fit_to_unit_max(&[f64::NEG_INFINITY, f64::NAN]);
+        assert_eq!(n.scale(), 1.0);
+    }
+
+    #[test]
+    fn fit_empty_is_identity() {
+        let n = Normalizer::fit_to_unit_max(&[]);
         assert_eq!(n.scale(), 1.0);
     }
 

@@ -222,9 +222,9 @@ impl PowerGrid {
         //     jitter) on the bottom layer where instances live ---
         let mut capacitance = vec![spec.node_capacitance(); total];
         let bottom = &spec.layers()[0];
-        for i in 0..bottom.node_count() {
+        for c in capacitance.iter_mut().take(bottom.node_count()) {
             let jitter = 1.0 + rng.gen_range(-0.2..0.2);
-            capacitance[i] = Farads(capacitance[i].0 + spec.decap_per_node().0 * jitter);
+            *c = Farads(c.0 + spec.decap_per_node().0 * jitter);
         }
 
         // --- loads scattered around cluster centers on the bottom layer ---
@@ -383,7 +383,7 @@ mod tests {
         let g = small_spec().build(3).unwrap();
         let n = g.node_count();
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(p: &mut [usize], mut x: usize) -> usize {
             while p[x] != x {
                 p[x] = p[p[x]];
                 x = p[x];

@@ -340,7 +340,7 @@ impl PdnSpecBuilder {
                 ),
             });
         }
-        if !(self.time_step.0 > 0.0) {
+        if self.time_step.0 <= 0.0 || !self.time_step.0.is_finite() {
             return Err(GridError::InvalidSpec { detail: "time step must be positive".into() });
         }
         if !(0.0 < self.hotspot_fraction && self.hotspot_fraction < 1.0) {

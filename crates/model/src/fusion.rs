@@ -70,7 +70,7 @@ impl Layer for FusionNet {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape()[0], 1, "fusion subnet takes one-channel current maps");
         assert!(
-            input.shape()[1] % 4 == 0 && input.shape()[2] % 4 == 0,
+            input.shape()[1].is_multiple_of(4) && input.shape()[2].is_multiple_of(4),
             "fusion input sides must be divisible by 4 (got {:?}); pad first",
             input.shape()
         );

@@ -2,6 +2,7 @@
 
 use crate::model::WnvModel;
 use pdn_core::rng;
+use pdn_core::telemetry;
 use pdn_features::dataset::{Dataset, SplitIndices};
 use pdn_nn::loss;
 use pdn_nn::optim::Adam;
@@ -55,14 +56,18 @@ pub struct TrainHistory {
 }
 
 impl TrainHistory {
-    /// Final training loss (0 for an empty run).
-    pub fn final_train_loss(&self) -> f32 {
-        self.epochs.last().map_or(0.0, |e| e.train_loss)
+    /// Final training loss, or `None` for an empty (zero-epoch) run.
+    ///
+    /// Previously this returned `0.0` for an empty history — indistinguishable
+    /// from a genuinely perfect fit, which let misconfigured runs (e.g.
+    /// `epochs: 0`) sail through "did the loss descend?" checks.
+    pub fn final_train_loss(&self) -> Option<f32> {
+        self.epochs.last().map(|e| e.train_loss)
     }
 
-    /// Final validation loss (0 for an empty run).
-    pub fn final_val_loss(&self) -> f32 {
-        self.epochs.last().map_or(0.0, |e| e.val_loss)
+    /// Final validation loss, or `None` for an empty (zero-epoch) run.
+    pub fn final_val_loss(&self) -> Option<f32> {
+        self.epochs.last().map(|e| e.val_loss)
     }
 
     /// Best (lowest) validation loss across epochs.
@@ -110,28 +115,61 @@ impl Trainer {
         let mut history = TrainHistory::default();
 
         for epoch in 0..self.config.epochs {
+            let t_epoch = telemetry::enabled().then(std::time::Instant::now);
             adam.learning_rate =
                 self.config.learning_rate * self.config.lr_decay.powi(epoch as i32);
             order.shuffle(&mut shuffle_rng);
             let mut epoch_loss = 0.0f64;
             for batch in order.chunks(self.config.batch_size) {
                 model.zero_grad();
+                let mut batch_loss = 0.0f64;
                 for &idx in batch {
                     let sample = &dataset.samples[idx];
                     let pred = model.forward(&dataset.distance, &sample.currents);
                     let (l, g) = loss::l1(&pred, &sample.target);
-                    epoch_loss += l as f64;
+                    batch_loss += l as f64;
                     model.backward(&g);
                 }
+                epoch_loss += batch_loss;
                 // Average the accumulated gradients over the batch.
                 let inv = 1.0 / batch.len() as f32;
                 model.visit_params(&mut |p| p.grad.scale(inv));
+                if telemetry::enabled() {
+                    let mut grad_sq = 0.0f64;
+                    model.visit_params(&mut |p| {
+                        grad_sq += p
+                            .grad
+                            .as_slice()
+                            .iter()
+                            .map(|&g| f64::from(g) * f64::from(g))
+                            .sum::<f64>();
+                    });
+                    telemetry::counter_add("train.batches", 1);
+                    telemetry::observe("train.grad_norm", grad_sq.sqrt());
+                    telemetry::observe("train.batch_loss", batch_loss / batch.len() as f64);
+                }
                 adam.begin_step();
                 model.visit_params(&mut |p| adam.update_param(p));
             }
             let train_loss = (epoch_loss / split.train.len() as f64) as f32;
             let val_loss = self.evaluate(model, dataset, &split.val);
             history.epochs.push(EpochStats { train_loss, val_loss });
+            if let Some(t) = t_epoch {
+                let elapsed = t.elapsed();
+                telemetry::counter_add("train.epochs", 1);
+                telemetry::observe_duration("train.epoch_seconds", elapsed);
+                telemetry::gauge_set("train.lr", f64::from(adam.learning_rate));
+                telemetry::event(
+                    "train.epoch",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("lr", adam.learning_rate.into()),
+                        ("train_loss", train_loss.into()),
+                        ("val_loss", val_loss.into()),
+                        ("seconds", elapsed.as_secs_f64().into()),
+                    ],
+                );
+            }
         }
         history
     }
@@ -187,9 +225,16 @@ mod tests {
         let history = trainer.train(&mut model, &ds, &split);
         assert_eq!(history.epochs.len(), 15);
         let first = history.epochs[0].train_loss;
-        let last = history.final_train_loss();
+        let last = history.final_train_loss().expect("non-empty history");
         assert!(last < first, "train loss {first} -> {last}");
-        assert!(history.final_val_loss().is_finite());
+        assert!(history.final_val_loss().expect("non-empty history").is_finite());
+    }
+
+    #[test]
+    fn empty_history_has_no_final_loss() {
+        let history = TrainHistory::default();
+        assert_eq!(history.final_train_loss(), None);
+        assert_eq!(history.final_val_loss(), None);
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl UNet {
 impl Layer for UNet {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert!(
-            input.shape()[1] % 4 == 0 && input.shape()[2] % 4 == 0,
+            input.shape()[1].is_multiple_of(4) && input.shape()[2].is_multiple_of(4),
             "UNet input sides must be divisible by 4 (got {:?}); pad first",
             input.shape()
         );

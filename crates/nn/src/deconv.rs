@@ -133,7 +133,7 @@ impl ConvTranspose2d {
     /// the scatter/gather loops keeps their bodies branch-free.
     fn valid_range(&self, dim_in: usize, dim_out: usize, kq: usize) -> (usize, usize) {
         let s = self.stride;
-        let lo = if kq >= self.pad { 0 } else { (self.pad - kq + s - 1) / s };
+        let lo = if kq >= self.pad { 0 } else { (self.pad - kq).div_ceil(s) };
         let hi = if dim_out + self.pad <= kq {
             0
         } else {

@@ -128,9 +128,8 @@ pub fn check_layer<L: Layer>(layer: &mut L, input_shape: &[usize], eps: f32, see
     // Numeric parameter gradients: perturb each parameter scalar.
     let mut max_param_error = 0.0f32;
     let mut param_rel_errors = Vec::new();
-    let param_count = analytic_params.len();
-    for pi in 0..param_count {
-        let len = analytic_params[pi].len();
+    for (pi, analytic_param) in analytic_params.iter().enumerate() {
+        let len = analytic_param.len();
         for j in 0..len {
             let bump = |delta: f32, layer: &mut L| {
                 let mut idx = 0;
@@ -147,7 +146,7 @@ pub fn check_layer<L: Layer>(layer: &mut L, input_shape: &[usize], eps: f32, see
             let lm = loss(layer, &x);
             bump(eps, layer); // restore
             let numeric = ((lp - lm) / (2.0 * eps as f64)) as f32;
-            let analytic = analytic_params[pi].as_slice()[j];
+            let analytic = analytic_param.as_slice()[j];
             max_param_error = max_param_error.max((numeric - analytic).abs());
             param_rel_errors.push(entry_error(analytic, lp, lm));
         }

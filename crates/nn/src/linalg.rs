@@ -197,9 +197,9 @@ mod kernels {
         for kk in 0..kc {
             let b = _mm512_loadu_ps(pb.as_ptr().add(kk * NR));
             let ap = pa.as_ptr().add(kk * MR);
-            for ii in 0..MR {
+            for (ii, ri) in r.iter_mut().enumerate() {
                 let ai = _mm512_set1_ps(*ap.add(ii));
-                r[ii] = _mm512_add_ps(r[ii], _mm512_mul_ps(ai, b));
+                *ri = _mm512_add_ps(*ri, _mm512_mul_ps(ai, b));
             }
         }
         for ii in 0..MR {
@@ -261,9 +261,9 @@ mod kernels {
         for kk in 0..kc {
             let bv = _mm512_loadu_ps(b.as_ptr().add(kk * ldb));
             let ap = pa.as_ptr().add(kk * MR);
-            for ii in 0..MR {
+            for (ii, ri) in r.iter_mut().enumerate() {
                 let ai = _mm512_set1_ps(*ap.add(ii));
-                r[ii] = _mm512_add_ps(r[ii], _mm512_mul_ps(ai, bv));
+                *ri = _mm512_add_ps(*ri, _mm512_mul_ps(ai, bv));
             }
         }
         for ii in 0..MR {
@@ -281,6 +281,7 @@ mod kernels {
 /// entirely and stream it in place — for those shapes the pack traffic
 /// costs more than it saves, since each packed panel is reused only a
 /// couple of times.
+#[allow(clippy::too_many_arguments)] // internal driver; the three public wrappers stay narrow
 fn blocked<A, B>(
     m: usize,
     k: usize,
@@ -298,8 +299,8 @@ fn blocked<A, B>(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let mp = (m + MR - 1) / MR * MR;
-    let np = (n + NR - 1) / NR * NR;
+    let mp = m.div_ceil(MR) * MR;
+    let np = n.div_ceil(NR) * NR;
     let kc_max = k.min(KC);
     scratch.pack_a.resize(mp * kc_max, 0.0);
     let row_strips = mp / MR;

@@ -2,6 +2,7 @@
 
 use crate::error::{SimError, SimResult};
 use crate::static_ir::StaticAnalysis;
+use pdn_core::telemetry;
 use pdn_core::units::Volts;
 use pdn_grid::build::PowerGrid;
 use pdn_grid::stamp;
@@ -238,7 +239,11 @@ impl TransientSimulator {
             for (b, &(node, g, l_over_dt)) in self.bumps.iter().enumerate() {
                 rhs[node] += g * (self.vdd + l_over_dt * ib[b]);
             }
+            let t_step = telemetry::enabled().then(std::time::Instant::now);
             let (iters, resid) = self.solve_step(&rhs, &mut v)?;
+            if let Some(t) = t_step {
+                telemetry::observe_duration("sim.transient.step_seconds", t.elapsed());
+            }
             stats.steps += 1;
             stats.cg_iterations += iters;
             stats.worst_residual = stats.worst_residual.max(resid);
@@ -247,6 +252,12 @@ impl TransientSimulator {
                 ib[b] = g * (self.vdd - v[node] + l_over_dt * ib[b]);
             }
             observer(k, &v);
+        }
+        if telemetry::enabled() {
+            telemetry::counter_add("sim.transient.runs", 1);
+            telemetry::counter_add("sim.transient.steps", stats.steps as u64);
+            telemetry::counter_add("sim.transient.cg_iterations", stats.cg_iterations as u64);
+            telemetry::observe("sim.transient.worst_residual", stats.worst_residual);
         }
         Ok(stats)
     }
@@ -341,7 +352,11 @@ impl TransientSimulator {
                     rhs[node * k + t] += g * (self.vdd + l_over_dt * i);
                 }
             }
+            let t_step = telemetry::enabled().then(std::time::Instant::now);
             let (iters, resid) = self.solve_step_multi(&rhs, &mut v, k)?;
+            if let Some(t) = t_step {
+                telemetry::observe_duration("sim.transient.batch_step_seconds", t.elapsed());
+            }
             stats.steps += 1;
             stats.cg_iterations += iters;
             stats.worst_residual = stats.worst_residual.max(resid);
@@ -354,6 +369,15 @@ impl TransientSimulator {
                 vecops::deinterleave_into(&v, k, t, &mut col);
                 observer(step, t, &col);
             }
+        }
+        if telemetry::enabled() {
+            telemetry::counter_add("sim.transient.batch_runs", 1);
+            telemetry::counter_add("sim.transient.batch_steps", stats.steps as u64);
+            telemetry::counter_add(
+                "sim.transient.batch_cg_iterations",
+                stats.cg_iterations as u64,
+            );
+            telemetry::observe("sim.transient.batch_width", k as f64);
         }
         Ok(stats)
     }
@@ -552,8 +576,8 @@ mod tests {
             a.add(j, i, -gg);
         }
         let caps = pdn_grid::stamp::capacitance_vector(&g);
-        for i in 0..n {
-            a.add(i, i, caps[i] / dt);
+        for (i, &c) in caps.iter().enumerate() {
+            a.add(i, i, c / dt);
         }
         let mut bump_info = Vec::new();
         for b in g.bumps() {
@@ -569,10 +593,10 @@ mod tests {
         let mut volt = dc.solve(v.step(0)).unwrap();
         let mut ib: Vec<f64> = bump_info.iter().map(|&(node, _, _, r)| (1.0 - volt[node]) / r).collect();
         let load_nodes: Vec<usize> = g.loads().iter().map(|l| l.node.index()).collect();
-        for k in 0..steps {
+        for (k, sparse_step) in sparse_volts.iter().enumerate().take(steps) {
             let mut rhs = vec![0.0; n];
-            for i in 0..n {
-                rhs[i] = caps[i] / dt * volt[i];
+            for ((r, &c), &vi) in rhs.iter_mut().zip(&caps).zip(&volt) {
+                *r = c / dt * vi;
             }
             for (&node, &cur) in load_nodes.iter().zip(v.step(k)) {
                 rhs[node] -= cur;
@@ -584,7 +608,7 @@ mod tests {
             for (bi, &(node, gb, l_over_dt, _)) in bump_info.iter().enumerate() {
                 ib[bi] = gb * (1.0 - volt[node] + l_over_dt * ib[bi]);
             }
-            for (s, d) in sparse_volts[k].iter().zip(&volt) {
+            for (s, d) in sparse_step.iter().zip(&volt) {
                 assert!((s - d).abs() < 1e-6, "step {k}: sparse {s} vs dense {d}");
             }
         }

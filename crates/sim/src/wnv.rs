@@ -124,7 +124,12 @@ impl WnvRunner {
             })?
         };
         let max_noise = Volts(worst.max());
-        Ok(NoiseReport { worst_noise: worst, max_noise, elapsed: start.elapsed(), stats })
+        let elapsed = start.elapsed();
+        if pdn_core::telemetry::enabled() {
+            pdn_core::telemetry::counter_add("sim.wnv.vectors", 1);
+            pdn_core::telemetry::observe_duration("sim.wnv.run_seconds", elapsed);
+        }
+        Ok(NoiseReport { worst_noise: worst, max_noise, elapsed, stats })
     }
 
     /// Runs WNV for a batch of vectors marched in lockstep against the
@@ -155,6 +160,17 @@ impl WnvRunner {
             }
         })?;
         let elapsed = start.elapsed();
+        if pdn_core::telemetry::enabled() {
+            pdn_core::telemetry::counter_add("sim.wnv.vectors", vectors.len() as u64);
+            pdn_core::telemetry::counter_add("sim.wnv.batches", 1);
+            // How full each lockstep batch is relative to the default batch
+            // width — low occupancy means the group size leaves slots idle.
+            pdn_core::telemetry::observe(
+                "sim.wnv.batch_occupancy",
+                vectors.len() as f64 / DEFAULT_BATCH as f64,
+            );
+            pdn_core::telemetry::observe_duration("sim.wnv.batch_seconds", elapsed);
+        }
         Ok(maps
             .into_iter()
             .map(|worst| {

@@ -8,6 +8,32 @@
 use crate::csr::CsrMatrix;
 use crate::error::{SolveError, SparseResult};
 use crate::vecops::{axpy, dot, norm2, xpby};
+use pdn_core::telemetry;
+
+/// Records the outcome of one single-vector CG solve in the telemetry
+/// registry (no-op when telemetry is disabled).
+fn record_solve(iterations: usize, residual: f64) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter_add("sparse.cg.solves", 1);
+    telemetry::counter_add("sparse.cg.iterations", iterations as u64);
+    telemetry::observe("sparse.cg.final_residual", residual);
+}
+
+/// Records a failed CG solve (budget exhaustion or indefinite direction).
+fn record_failure(err: &SolveError) {
+    if !telemetry::enabled() {
+        return;
+    }
+    match err {
+        SolveError::NotConverged { .. } => telemetry::counter_add("sparse.cg.not_converged", 1),
+        SolveError::NotPositiveDefinite { .. } => {
+            telemetry::counter_add("sparse.cg.indefinite", 1)
+        }
+        _ => {}
+    }
+}
 
 /// A symmetric preconditioner: computes `z = M⁻¹ r`.
 pub trait Preconditioner {
@@ -156,6 +182,25 @@ pub fn solve_warm<P: Preconditioner>(
     pre: &P,
     opts: &CgOptions,
 ) -> SparseResult<(usize, f64)> {
+    match solve_warm_inner(a, b, x, pre, opts) {
+        Ok((iterations, residual)) => {
+            record_solve(iterations, residual);
+            Ok((iterations, residual))
+        }
+        Err(e) => {
+            record_failure(&e);
+            Err(e)
+        }
+    }
+}
+
+fn solve_warm_inner<P: Preconditioner>(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    pre: &P,
+    opts: &CgOptions,
+) -> SparseResult<(usize, f64)> {
     if a.n_rows() != a.n_cols() || a.n_rows() != b.len() || b.len() != x.len() {
         return Err(SolveError::DimensionMismatch {
             detail: format!(
@@ -267,6 +312,26 @@ pub fn solve_warm_multi<P: Preconditioner>(
     }
 }
 
+/// Records the outcome of one lockstep batch solve: per-column iteration
+/// counts plus the step slack recovered by freezing converged columns early
+/// (no-op when telemetry is disabled).
+fn record_batch(iterations: &[usize], max_residual: f64) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let max = iterations.iter().copied().max().unwrap_or(0) as u64;
+    let sum: u64 = iterations.iter().map(|&i| i as u64).sum();
+    telemetry::counter_add("sparse.cg.batch.solves", 1);
+    telemetry::counter_add("sparse.cg.batch.columns", iterations.len() as u64);
+    telemetry::counter_add("sparse.cg.batch.column_iterations", sum);
+    telemetry::counter_add("sparse.cg.batch.max_iterations", max);
+    telemetry::counter_add(
+        "sparse.cg.batch.frozen_column_steps",
+        max * iterations.len() as u64 - sum,
+    );
+    telemetry::observe("sparse.cg.batch.final_residual", max_residual);
+}
+
 /// Arbitrary batch widths: each column is extracted to a contiguous buffer
 /// and solved with [`solve_warm`], making the per-column bitwise contract
 /// immediate.
@@ -278,6 +343,7 @@ fn multi_fallback<P: Preconditioner>(
     pre: &P,
     opts: &CgOptions,
 ) -> SparseResult<(usize, f64)> {
+    telemetry::counter_add("sparse.cg.batch.width_fallbacks", 1);
     let n = a.n_rows();
     let mut bt = vec![0.0; n];
     let mut xt = vec![0.0; n];
@@ -378,7 +444,9 @@ fn multi_body<const K: usize, P: Preconditioner>(
         residual[t] > opts.tolerance
     });
     if active.is_empty() {
-        return Ok((0, residual.iter().cloned().fold(0.0, f64::max)));
+        let max_res = residual.iter().cloned().fold(0.0, f64::max);
+        record_batch(&iterations, max_res);
+        return Ok((0, max_res));
     }
 
     let mut z = vec![0.0; n * K];
@@ -397,7 +465,9 @@ fn multi_body<const K: usize, P: Preconditioner>(
         col_dots(&p, &ap, &active, &mut pap);
         for &t in &active {
             if pap[t] <= 0.0 {
-                return Err(SolveError::NotPositiveDefinite { row: it, pivot: pap[t] });
+                let e = SolveError::NotPositiveDefinite { row: it, pivot: pap[t] };
+                record_failure(&e);
+                return Err(e);
             }
             alpha[t] = rz[t] / pap[t];
         }
@@ -434,10 +504,9 @@ fn multi_body<const K: usize, P: Preconditioner>(
             }
         });
         if active.is_empty() {
-            return Ok((
-                iterations.iter().cloned().max().unwrap_or(0),
-                residual.iter().cloned().fold(0.0, f64::max),
-            ));
+            let max_res = residual.iter().cloned().fold(0.0, f64::max);
+            record_batch(&iterations, max_res);
+            return Ok((iterations.iter().cloned().max().unwrap_or(0), max_res));
         }
         pre.apply_multi(&r, &mut z, K);
         col_dots(&r, &z, &active, &mut rz_new);
@@ -460,10 +529,12 @@ fn multi_body<const K: usize, P: Preconditioner>(
             }
         }
     }
-    Err(SolveError::NotConverged {
+    let e = SolveError::NotConverged {
         iterations: opts.max_iterations,
         residual: active.iter().map(|&t| residual[t]).fold(0.0, f64::max),
-    })
+    };
+    record_failure(&e);
+    Err(e)
 }
 
 #[cfg(test)]
@@ -540,7 +611,7 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero() {
         let a = grid_laplacian(3, 1.0);
-        let sol = solve(&a, &vec![0.0; 9], &IdentityPreconditioner, &CgOptions::default()).unwrap();
+        let sol = solve(&a, &[0.0; 9], &IdentityPreconditioner, &CgOptions::default()).unwrap();
         assert_eq!(sol.x, vec![0.0; 9]);
         assert_eq!(sol.iterations, 0);
     }
@@ -690,8 +761,8 @@ mod tests {
                     }
                 }
             }
-            for i in 0..n {
-                coo.push(i, i, row_sums[i] + rng.gen_range(0.1..1.0));
+            for (i, &rs) in row_sums.iter().enumerate() {
+                coo.push(i, i, rs + rng.gen_range(0.1..1.0));
             }
             let a = coo.to_csr();
             let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();

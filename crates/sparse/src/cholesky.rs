@@ -175,10 +175,12 @@ impl SparseCholesky {
                 next[j] += 1;
             }
             if d <= 0.0 {
+                pdn_core::telemetry::counter_add("sparse.cholesky.breakdowns", 1);
                 return Err(SolveError::NotPositiveDefinite { row: k, pivot: d });
             }
             values[colptr[k]] = d.sqrt();
         }
+        pdn_core::telemetry::counter_add("sparse.cholesky.factorizations", 1);
         Ok(SparseCholesky { n, colptr, rowind, values })
     }
 
@@ -267,8 +269,8 @@ impl SparseCholesky {
             // never alias (L is strictly lower below the diagonal slot).
             let (head, tail) = x.split_at_mut((j + 1) * k);
             let xj = &mut head[j * k..];
-            for t in 0..k {
-                xj[t] /= d;
+            for x in xj.iter_mut() {
+                *x /= d;
             }
             for p in lo + 1..hi {
                 let v = self.values[p];
@@ -480,8 +482,8 @@ mod tests {
                     }
                 }
             }
-            for i in 0..n {
-                coo.push(i, i, row_sums[i] + rng.gen_range(0.1..1.0));
+            for (i, &rs) in row_sums.iter().enumerate() {
+                coo.push(i, i, rs + rng.gen_range(0.1..1.0));
             }
             let a = coo.to_csr();
             let chol = SparseCholesky::factor(&a).unwrap();

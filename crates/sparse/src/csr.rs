@@ -264,10 +264,10 @@ impl CsrMatrix {
     /// Dense row-major copy — only for tests and small matrices.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; self.n_cols]; self.n_rows];
-        for r in 0..self.n_rows {
+        for (r, dense_row) in out.iter_mut().enumerate() {
             let (cols, vals) = self.row(r);
             for (&c, &v) in cols.iter().zip(vals) {
-                out[r][c] = v;
+                dense_row[c] = v;
             }
         }
         out

@@ -165,16 +165,16 @@ impl DenseCholesky {
         // Forward: L y = b
         for i in 0..n {
             let mut s = y[i];
-            for k in 0..i {
-                s -= self.l[i * n + k] * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                s -= self.l[i * n + k] * yk;
             }
             y[i] = s / self.l[i * n + i];
         }
         // Backward: Lᵀ x = y
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in i + 1..n {
-                s -= self.l[k * n + i] * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                s -= self.l[k * n + i] * yk;
             }
             y[i] = s / self.l[i * n + i];
         }
@@ -238,10 +238,7 @@ mod tests {
             let mut a = DenseMatrix::zeros(n, n);
             for i in 0..n {
                 for j in 0..n {
-                    let mut s = 0.0;
-                    for k in 0..n {
-                        s += b[i][k] * b[j][k];
-                    }
+                    let s: f64 = b[i].iter().zip(&b[j]).map(|(&u, &v)| u * v).sum();
                     a.set(i, j, s + if i == j { n as f64 } else { 0.0 });
                 }
             }

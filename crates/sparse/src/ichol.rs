@@ -100,6 +100,7 @@ impl IncompleteCholesky {
                 if j == i {
                     let pivot = aij - s;
                     if pivot <= 0.0 {
+                        pdn_core::telemetry::counter_add("sparse.ichol.breakdowns", 1);
                         return Err(SolveError::NotPositiveDefinite { row: i, pivot });
                     }
                     indices.push(i);
@@ -135,6 +136,7 @@ impl IncompleteCholesky {
             }
         }
 
+        pdn_core::telemetry::counter_add("sparse.ichol.factorizations", 1);
         Ok(IncompleteCholesky { n, indptr, indices, values, t_indptr, t_indices, t_values })
     }
 

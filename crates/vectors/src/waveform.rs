@@ -103,13 +103,12 @@ impl ActivityEnvelope {
                 Segment { kind: SegmentKind::Burst, steps: len, start_level: l, end_level: l }
             } else {
                 let target = rng.gen_range(0.0..1.0);
-                let s = Segment {
+                Segment {
                     kind: SegmentKind::Ramp,
                     steps: len,
                     start_level: level,
                     end_level: target,
-                };
-                s
+                }
             };
             level = seg.end_level;
             used += len;

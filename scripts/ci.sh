@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The tier-1 gate: everything a PR must pass before merging.
+#
+#   scripts/ci.sh          # build + tests + clippy
+#
+# Runs offline (the workspace vendors its dependency shims in shims/), so
+# it works in sandboxes without crates.io access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo
+echo "== cargo test =="
+cargo test -q --offline --workspace
+
+echo
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo
+echo "ci.sh: all green"

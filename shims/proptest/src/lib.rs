@@ -187,10 +187,11 @@ macro_rules! __proptest_impl {
                 $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
                 // Render inputs up front: the body is free to consume them.
                 let inputs = format!("{:?}", ($(&$arg,)+));
-                let outcome = (move || -> ::std::result::Result<(), ::std::boxed::Box<dyn ::std::error::Error>> {
+                let case_fn = move || -> ::std::result::Result<(), ::std::boxed::Box<dyn ::std::error::Error>> {
                     $body
                     Ok(())
-                })();
+                };
+                let outcome = case_fn();
                 if let Err(e) = outcome {
                     panic!("proptest case {case} failed: {e}\ninputs: {inputs}");
                 }

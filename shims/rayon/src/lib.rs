@@ -251,7 +251,7 @@ mod tests {
             .unwrap();
         assert_eq!(super::current_num_threads(), 4);
         let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
-        assert_eq!(pool.install(|| super::current_num_threads()), 4);
+        assert_eq!(pool.install(super::current_num_threads), 4);
         assert_eq!(pool.current_num_threads(), 2);
         let (a, b) = super::join(|| 1, || 2);
         assert_eq!((a, b), (1, 2));

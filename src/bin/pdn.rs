@@ -11,6 +11,7 @@
 //! it and answers a sign-off query orders of magnitude faster than
 //! `simulate` — the paper's deployment story as a terminal tool.
 
+use pdn_wnv::core::telemetry;
 use pdn_wnv::core::units::Volts;
 use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
 use pdn_wnv::eval::render::{ascii_map, write_csv};
@@ -26,6 +27,7 @@ use std::time::Instant;
 
 fn main() -> ExitCode {
     pdn_wnv::core::threads::configure_from_env();
+    telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -46,14 +48,25 @@ const USAGE: &str = "usage:
   pdn predict         --model MODEL --design D1..D4 [--scale S] [--seed K]
                       [--vector FILE.csv] [--out DIR]
   pdn export-netlist  --design D1..D4 [--scale S] --out FILE.sp
-  pdn export-vector   --design D1..D4 [--scale S] [--steps N] [--seed K] --out FILE.csv";
+  pdn export-vector   --design D1..D4 [--scale S] [--steps N] [--seed K] --out FILE.csv
+
+every command also accepts:
+  --telemetry FILE.jsonl   record per-stage timing, solver and training
+                           metrics to FILE.jsonl and print a summary table
+                           (PDN_TELEMETRY=<path|1> does the same from the
+                           environment)";
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some((command, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
     let opts = parse_flags(rest)?;
-    match command.as_str() {
+    if let Some(path) = opts.get("telemetry") {
+        telemetry::enable_with_sink(std::path::Path::new(path))
+            .map_err(|e| format!("--telemetry {path}: {e}"))?;
+    }
+    let t_command = Instant::now();
+    let result = match command.as_str() {
         "info" => info(&opts),
         "simulate" => simulate(&opts),
         "train" => train(&opts),
@@ -61,7 +74,39 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "export-netlist" => export_netlist(&opts),
         "export-vector" => export_vector(&opts),
         other => Err(format!("unknown command `{other}`").into()),
+    };
+    if telemetry::enabled() {
+        telemetry::event(
+            "cli.command",
+            &[
+                ("command", command.as_str().into()),
+                ("seconds", t_command.elapsed().as_secs_f64().into()),
+                ("ok", result.is_ok().into()),
+            ],
+        );
+        telemetry::write_summary_records();
+        telemetry::flush();
+        println!("\n{}", telemetry::summary());
     }
+    result
+}
+
+/// Runs one named pipeline stage, recording its wall clock as both a
+/// `cli.stage` event and a `cli.stage.<name>` histogram sample. The stages
+/// of a command partition its whole runtime, so the per-stage records in
+/// the sink sum to the command's wall clock.
+fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    if telemetry::enabled() {
+        let seconds = start.elapsed().as_secs_f64();
+        telemetry::observe(&format!("cli.stage.{name}"), seconds);
+        telemetry::event(
+            "cli.stage",
+            &[("stage", name.into()), ("seconds", seconds.into())],
+        );
+    }
+    out
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn std::error::Error>> {
@@ -155,13 +200,15 @@ fn load_or_generate_vector(
 
 fn simulate(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
     let preset = design(opts)?;
-    let grid = preset.spec(scale(opts)?).build(1)?;
-    let vector = load_or_generate_vector(opts, &grid)?;
+    let grid = stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
+        Ok(preset.spec(scale(opts)?).build(1)?)
+    })?;
+    let vector = stage("load_vector", || load_or_generate_vector(opts, &grid))?;
     let steps = vector.step_count();
     let seed = parse(opts, "seed", 7u64)?;
-    let runner = WnvRunner::new(&grid)?;
+    let runner = stage("factorize", || WnvRunner::new(&grid))?;
     let t0 = Instant::now();
-    let report = runner.run(&vector)?;
+    let report = stage("simulate", || runner.run(&vector))?;
     println!(
         "simulated {} steps on {} nodes in {:.2}s ({} CG iterations)",
         steps,
@@ -176,12 +223,15 @@ fn simulate(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Er
         report.hotspot_ratio(grid.spec().hotspot_threshold()) * 100.0
     );
     println!("\n{}", ascii_map(&report.worst_noise, 0.0, report.worst_noise.max()));
-    if let Some(dir) = opts.get("out") {
-        let path = PathBuf::from(dir).join(format!("{}_seed{}_noise.csv", grid.spec().name(), seed));
-        write_csv(&report.worst_noise, &path)?;
-        println!("noise map written to {}", path.display());
-    }
-    Ok(())
+    stage("report", || -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(dir) = opts.get("out") {
+            let path =
+                PathBuf::from(dir).join(format!("{}_seed{}_noise.csv", grid.spec().name(), seed));
+            write_csv(&report.worst_noise, &path)?;
+            println!("noise map written to {}", path.display());
+        }
+        Ok(())
+    })
 }
 
 fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
@@ -204,10 +254,10 @@ fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error
         config.vectors, config.steps, config.train.epochs
     );
     let t0 = Instant::now();
-    let mut eval = EvaluatedDesign::evaluate(preset, &config)?;
+    let mut eval = stage("simulate_and_train", || EvaluatedDesign::evaluate(preset, &config))?;
     let stats = pdn_wnv::eval::metrics::pooled_error_stats(&eval.test_pairs);
     println!("done in {:.1}s; held-out accuracy: {stats}", t0.elapsed().as_secs_f64());
-    eval.predictor.save_to(out)?;
+    stage("save_model", || eval.predictor.save_to(out))?;
     println!("predictor bundle written to {out}");
     Ok(())
 }
@@ -215,12 +265,14 @@ fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error
 fn predict(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
     let preset = design(opts)?;
     let model_path = opts.get("model").ok_or("--model MODEL is required")?;
-    let grid = preset.spec(scale(opts)?).build(1)?;
+    let grid = stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
+        Ok(preset.spec(scale(opts)?).build(1)?)
+    })?;
     let seed = parse(opts, "seed", 7u64)?;
-    let mut predictor = Predictor::load_from(model_path)?;
-    let vector = load_or_generate_vector(opts, &grid)?;
+    let mut predictor = stage("load_model", || Predictor::load_from(model_path))?;
+    let vector = stage("load_vector", || load_or_generate_vector(opts, &grid))?;
     let t0 = Instant::now();
-    let map = predictor.predict(&grid, &vector);
+    let map = stage("predict", || predictor.predict(&grid, &vector));
     println!(
         "predicted in {:.4}s: worst droop {}",
         t0.elapsed().as_secs_f64(),

@@ -42,7 +42,7 @@ fn transient_superposes_too() {
     let dt = g.spec().time_step();
     let mk = |phase: usize| -> TestVector {
         let data: Vec<f64> = (0..steps * n)
-            .map(|i| if (i / n + phase) % 3 == 0 { 1e-3 } else { 0.0 })
+            .map(|i| if (i / n + phase).is_multiple_of(3) { 1e-3 } else { 0.0 })
             .collect();
         TestVector::from_flat(steps, n, data, dt)
     };

@@ -25,7 +25,8 @@ fn full_flow_build_simulate_train_predict() {
 
     // Training descended and the loss history is complete.
     assert_eq!(eval.history.epochs.len(), cfg.train.epochs);
-    assert!(eval.history.final_train_loss() < eval.history.epochs[0].train_loss);
+    let last = eval.history.final_train_loss().expect("non-empty history");
+    assert!(last < eval.history.epochs[0].train_loss);
 
     // Test predictions are physical and in the right ballpark.
     let stats = metrics::pooled_error_stats(&eval.test_pairs);

@@ -1,0 +1,128 @@
+//! Integration coverage for the telemetry subsystem: disabled-mode
+//! no-op behaviour, the JSON-lines sink schema, and agreement between the
+//! solver's own statistics and the counters the hot paths record.
+//!
+//! Telemetry is process-global, so every test serializes on [`TEST_LOCK`];
+//! this binary runs in its own process, keeping the global state isolated
+//! from the rest of the suite.
+
+use pdn_wnv::core::telemetry;
+use pdn_wnv::grid::design::{DesignPreset, DesignScale};
+use pdn_wnv::sim::transient::TransientSimulator;
+use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn disabled_telemetry_is_a_complete_no_op() {
+    let _guard = lock();
+    telemetry::reset();
+    assert!(!telemetry::enabled());
+
+    // None of these may record anything (or panic) while disabled.
+    telemetry::counter_add("it.counter", 3);
+    telemetry::gauge_set("it.gauge", 1.5);
+    telemetry::observe("it.histogram", 0.25);
+    telemetry::event("it.event", &[("k", 1u64.into())]);
+    {
+        let _t = telemetry::timed("it.timer");
+    }
+
+    telemetry::enable();
+    assert_eq!(telemetry::counter_value("it.counter"), 0);
+    assert_eq!(telemetry::gauge_value("it.gauge"), None);
+    assert!(telemetry::histogram_summary("it.histogram").is_none());
+    assert!(telemetry::histogram_summary("it.timer").is_none());
+    telemetry::reset();
+}
+
+#[test]
+fn disabled_hot_path_overhead_is_negligible() {
+    let _guard = lock();
+    telemetry::reset();
+
+    // The entire disabled cost is one relaxed atomic load; a million guarded
+    // counter bumps must complete in far under a second even on a loaded CI
+    // box. This is a smoke bound, not a microbenchmark.
+    let start = std::time::Instant::now();
+    for i in 0..1_000_000u64 {
+        telemetry::counter_add("it.overhead", i);
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_millis(500),
+        "1e6 disabled counter_add calls took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn jsonl_sink_emits_one_well_formed_record_per_line() {
+    let _guard = lock();
+    telemetry::reset();
+    let path = std::env::temp_dir().join(format!("pdn-telemetry-it-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    telemetry::enable_with_sink(&path).expect("sink file");
+
+    telemetry::event("it.run", &[("design", "D1".into()), ("vectors", 4u64.into())]);
+    telemetry::counter_add("it.solves", 7);
+    telemetry::gauge_set("it.lr", 2.5e-3);
+    telemetry::observe("it.residual", 1e-9);
+    telemetry::observe("it.residual", f64::NAN); // non-finite → null, not bare NaN
+    telemetry::write_summary_records();
+    telemetry::flush();
+
+    let text = std::fs::read_to_string(&path).expect("read sink");
+    telemetry::reset();
+    let _ = std::fs::remove_file(&path);
+
+    let lines: Vec<&str> = text.lines().collect();
+    // 1 event + summary records for 1 counter, 1 gauge, 1 histogram.
+    assert_eq!(lines.len(), 4, "sink contents:\n{text}");
+    for line in &lines {
+        // Schema invariants every consumer relies on: one JSON object per
+        // line, leading ts_us, a kind tag, and a name.
+        assert!(line.starts_with("{\"ts_us\":"), "bad line: {line}");
+        assert!(line.ends_with('}'), "bad line: {line}");
+        assert!(line.contains("\"kind\":\""), "bad line: {line}");
+        assert!(line.contains("\"name\":\""), "bad line: {line}");
+        assert!(!line.contains("NaN"), "bare NaN leaked into JSON: {line}");
+    }
+    assert!(lines[0].contains("\"kind\":\"event\"") && lines[0].contains("\"design\":\"D1\""));
+    assert!(text.contains("\"kind\":\"counter\"") && text.contains("\"value\":7"));
+    assert!(text.contains("\"kind\":\"gauge\""));
+    assert!(text.contains("\"kind\":\"histogram\"") && text.contains("\"count\":2"));
+}
+
+#[test]
+fn solver_counters_match_transient_stats() {
+    let _guard = lock();
+    telemetry::reset();
+    telemetry::enable();
+
+    let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(11).expect("grid");
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 30, ..Default::default() });
+    let vector = gen.generate(0);
+    let sim = TransientSimulator::new(&grid).expect("sim");
+    let stats = sim.run_with(&vector, |_, _| {}).expect("run");
+
+    // The instrumentation must agree exactly with the stats the solver
+    // itself returns — drift here means a hot path stopped recording.
+    assert_eq!(telemetry::counter_value("sim.transient.runs"), 1);
+    assert_eq!(telemetry::counter_value("sim.transient.steps"), stats.steps as u64);
+    assert_eq!(
+        telemetry::counter_value("sim.transient.cg_iterations"),
+        stats.cg_iterations as u64
+    );
+    // Per-step timing saw every step, and the preconditioner factored at
+    // least once (DC solve + transient share the sparse layer).
+    let steps = telemetry::histogram_summary("sim.transient.step_seconds").expect("timings");
+    assert_eq!(steps.count, stats.steps as u64);
+    assert!(telemetry::counter_value("sparse.ichol.factorizations") >= 1);
+    assert!(telemetry::counter_value("sparse.cg.solves") >= stats.steps as u64);
+    telemetry::reset();
+}
