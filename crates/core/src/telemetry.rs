@@ -1,5 +1,5 @@
-//! Process-wide telemetry: counters, gauges, histograms, scoped timers and
-//! a JSON-lines event sink.
+//! Process-wide telemetry: counters, gauges, histograms, scoped timers,
+//! hierarchical spans and a JSON-lines event sink.
 //!
 //! The paper's headline claim is a speedup table; reproducing it honestly
 //! requires knowing where wall clock and solver iterations actually go.
@@ -12,7 +12,12 @@
 //!   histograms with count/sum/min/max and approximate percentiles
 //!   (per-step solve times, per-batch losses, batch occupancy);
 //! * [`event`] — structured records appended immediately to the JSON-lines
-//!   sink (per-epoch training stats, per-design runtime splits).
+//!   sink (per-epoch training stats, per-design runtime splits);
+//! * [`span`] / [`span!`](crate::span) — hierarchical scoped wall-clock
+//!   spans with parent/child links (per-thread span stack) and thread
+//!   tagging, written to the sink on drop. Spans are the input to the
+//!   Chrome-trace/Perfetto exporter and `pdn report` (see
+//!   `pdn-eval::tracereport`).
 //!
 //! # Overhead contract
 //!
@@ -42,12 +47,14 @@
 //! ```
 //!
 //! * `ts_us` — microseconds since telemetry was enabled (monotonic clock);
-//! * `kind` — `event` (live records), or `counter` / `gauge` / `histogram`
-//!   (aggregate dumps from [`write_summary_records`]);
+//! * `kind` — `event` or `span` (live records), or `counter` / `gauge` /
+//!   `histogram` (aggregate dumps from [`write_summary_records`]);
 //! * `name` — dotted metric path, e.g. `sparse.cg.iterations`;
-//! * further keys are event-specific; aggregate records carry `value`
-//!   (counters, gauges) or `count`/`sum`/`min`/`max`/`p50`/`p99`
-//!   (histograms). Non-finite floats serialize as `null`.
+//! * further keys are event-specific; span records carry
+//!   `span`/`parent`/`thread`/`start_us`/`dur_us`/`ok` plus any attached
+//!   fields; aggregate records carry `value` (counters, gauges) or
+//!   `count`/`sum`/`min`/`max`/`p50`/`p95`/`p99` (histograms). Non-finite
+//!   floats serialize as `null`.
 //!
 //! # Example
 //!
@@ -68,12 +75,13 @@
 //! telemetry::reset(); // back to disabled, metrics cleared
 //! ```
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -165,9 +173,11 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest observation.
     pub max: f64,
-    /// Approximate median (log-bucket midpoint).
+    /// Approximate median (geometric interpolation within the log bucket).
     pub p50: f64,
-    /// Approximate 99th percentile (log-bucket midpoint).
+    /// Approximate 95th percentile (geometric interpolation).
+    pub p95: f64,
+    /// Approximate 99th percentile (geometric interpolation).
     pub p99: f64,
 }
 
@@ -204,8 +214,11 @@ impl Histogram {
         self.buckets[bucket_of(v)] += 1;
     }
 
-    /// Approximate quantile from the log buckets: the geometric midpoint of
-    /// the bucket holding the q-th observation, clamped to observed bounds.
+    /// Approximate quantile from the log buckets: locate the bucket holding
+    /// the q-th observation, then interpolate geometrically within its
+    /// `[2^k, 2^(k+1))` range by the observation's rank inside the bucket
+    /// (log-uniform assumption), clamped to observed bounds. For a
+    /// single-observation bucket this degenerates to the geometric midpoint.
     fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -213,12 +226,18 @@ impl Histogram {
         let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                let lo = (i as i32 - BUCKET_BIAS) as f64;
-                let mid = 2f64.powf(lo + 0.5);
-                return mid.clamp(self.min, self.max);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                let lo = 2f64.powi(i as i32 - BUCKET_BIAS);
+                // Rank of the target observation inside this bucket, mapped
+                // to (0, 1) with a half-sample midpoint correction.
+                let frac = ((target - seen) as f64 - 0.5) / c as f64;
+                let est = lo * 2f64.powf(frac);
+                return est.clamp(self.min, self.max);
+            }
+            seen += c;
         }
         self.max
     }
@@ -230,6 +249,7 @@ impl Histogram {
             min: if self.count == 0 { 0.0 } else { self.min },
             max: if self.count == 0 { 0.0 } else { self.max },
             p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
         }
     }
@@ -249,6 +269,7 @@ struct State {
     sink: Option<BufWriter<File>>,
     sink_lines: u64,
     epoch: Instant,
+    summary_written: bool,
 }
 
 impl State {
@@ -260,6 +281,7 @@ impl State {
             sink: None,
             sink_lines: 0,
             epoch: Instant::now(),
+            summary_written: false,
         }
     }
 
@@ -292,6 +314,7 @@ fn lock() -> std::sync::MutexGuard<'static, State> {
 pub fn enable() {
     let mut s = lock();
     s.epoch = Instant::now();
+    s.summary_written = false;
     drop(s);
     ENABLED.store(true, Ordering::Relaxed);
 }
@@ -308,6 +331,7 @@ pub fn enable_with_sink(path: &Path) -> std::io::Result<()> {
     s.sink = Some(BufWriter::new(file));
     s.sink_lines = 0;
     s.epoch = Instant::now();
+    s.summary_written = false;
     drop(s);
     ENABLED.store(true, Ordering::Relaxed);
     Ok(())
@@ -463,6 +487,212 @@ pub fn timed(name: &'static str) -> ScopedTimer {
     ScopedTimer { name, start: enabled().then(Instant::now) }
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical spans
+// ---------------------------------------------------------------------------
+
+/// Process-wide span-id allocator. Ids are never reused within a process,
+/// so parent links stay unambiguous even across telemetry resets.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Small, stable per-thread tags (1, 2, 3, … in first-touch order) —
+/// `std::thread::ThreadId` has no stable integer form.
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_TAG: u64 = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+    /// Stack of open span ids on this thread; the top is the parent of the
+    /// next span opened here.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The stable integer tag of the calling thread (assigned on first use).
+pub fn current_thread_tag() -> u64 {
+    THREAD_TAG.with(|t| *t)
+}
+
+/// Id of the innermost open span on this thread, if any.
+pub fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+struct SpanLive {
+    name: String,
+    id: u64,
+    parent: Option<u64>,
+    thread: u64,
+    start: Instant,
+    ok: bool,
+    fields: Vec<(String, Value)>,
+}
+
+/// A hierarchical scoped span.
+///
+/// Opening a span (when telemetry is enabled) pushes its id onto a
+/// thread-local stack, making it the parent of any span opened on the same
+/// thread before it closes. Dropping the guard pops the stack and appends
+/// one `kind:"span"` record to the JSON-lines sink carrying
+/// `span`/`parent`/`thread`/`start_us`/`dur_us`/`ok` plus any attached
+/// fields. A span dropped during a panic unwind records `ok:false`, so the
+/// sink still explains *where* a run died.
+///
+/// When telemetry is disabled at construction the guard is inert: no
+/// allocation, no clock read, no thread-local touch — the entire cost is
+/// the one relaxed atomic load of [`enabled`].
+#[must_use = "a span records on drop; binding to `_` closes it immediately"]
+#[derive(Debug)]
+pub struct Span {
+    live: Option<Box<SpanLive>>,
+}
+
+impl std::fmt::Debug for SpanLive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanLive")
+            .field("name", &self.name)
+            .field("id", &self.id)
+            .field("parent", &self.parent)
+            .field("thread", &self.thread)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Span {
+    /// The span's id, if it is live (telemetry was enabled when it opened).
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+
+    /// Elapsed time since the span opened, if live.
+    pub fn elapsed(&self) -> Option<Duration> {
+        self.live.as_ref().map(|l| l.start.elapsed())
+    }
+
+    /// Overrides the span's `ok` flag (defaults to `true`; a panic unwind
+    /// forces `false` regardless).
+    pub fn set_ok(&mut self, ok: bool) {
+        if let Some(l) = &mut self.live {
+            l.ok = ok;
+        }
+    }
+
+    /// Attaches a field to be written with the span record. No-op on an
+    /// inert span; reserved keys (`ts_us`, `kind`, `name`, `span`,
+    /// `parent`, `thread`, `start_us`, `dur_us`, `ok`) are skipped at
+    /// write time.
+    pub fn field(&mut self, key: &str, value: impl Into<Value>) {
+        if let Some(l) = &mut self.live {
+            l.fields.push((key.to_string(), value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let dur = live.start.elapsed();
+        // Pop this span from the thread's stack. RAII scoping makes the top
+        // of the stack ours; remove by id anyway so a leaked/reordered guard
+        // cannot corrupt ancestry for unrelated spans.
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == live.id) {
+                stack.remove(pos);
+            }
+        });
+        if !enabled() {
+            return;
+        }
+        let ok = live.ok && !std::thread::panicking();
+        let mut s = lock();
+        if s.sink.is_none() {
+            return;
+        }
+        let end_us = s.ts_us();
+        let dur_us = dur.as_micros();
+        let start_us = end_us.saturating_sub(dur_us);
+        let mut line = String::with_capacity(160);
+        let _ = write!(line, "{{\"ts_us\":{end_us},\"kind\":\"span\",\"name\":");
+        push_json_str(&mut line, &live.name);
+        let _ = write!(line, ",\"span\":{}", live.id);
+        match live.parent {
+            Some(p) => {
+                let _ = write!(line, ",\"parent\":{p}");
+            }
+            None => line.push_str(",\"parent\":null"),
+        }
+        let _ = write!(
+            line,
+            ",\"thread\":{},\"start_us\":{start_us},\"dur_us\":{dur_us},\"ok\":{ok}",
+            live.thread
+        );
+        for (key, value) in &live.fields {
+            if matches!(
+                key.as_str(),
+                "ts_us" | "kind" | "name" | "span" | "parent" | "thread" | "start_us"
+                    | "dur_us" | "ok"
+            ) {
+                continue;
+            }
+            line.push(',');
+            push_json_str(&mut line, key);
+            line.push(':');
+            push_json_value(&mut line, value);
+        }
+        line.push('}');
+        s.write_line(&line);
+    }
+}
+
+/// Opens a hierarchical span named `name`. See [`Span`] for semantics; the
+/// [`span!`](crate::span) macro adds field-attaching sugar.
+pub fn span(name: &str) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_span_id();
+    let thread = current_thread_tag();
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span {
+        live: Some(Box::new(SpanLive {
+            name: name.to_string(),
+            id,
+            parent,
+            thread,
+            start: Instant::now(),
+            ok: true,
+            fields: Vec::new(),
+        })),
+    }
+}
+
+/// A guard that finalizes the JSON-lines sink when dropped: dumps the
+/// aggregate summary records (once) and flushes. Install one at the top of
+/// `main` so the sink survives error returns and panics — without it, a
+/// command that dies before its success path leaves the `BufWriter`'s tail
+/// unflushed and the file truncated mid-record.
+#[must_use = "the guard flushes on drop; binding to `_` drops it immediately"]
+#[derive(Debug, Default)]
+pub struct FlushGuard {
+    _priv: (),
+}
+
+impl FlushGuard {
+    /// Creates the guard. Cheap and safe to construct before telemetry is
+    /// enabled; finalization is a no-op when nothing was recorded.
+    pub fn new() -> FlushGuard {
+        FlushGuard { _priv: () }
+    }
+}
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        write_summary_records();
+        flush();
+    }
+}
+
 /// Appends one structured record to the JSON-lines sink (no-op when
 /// disabled or when no sink is attached). `fields` are rendered after the
 /// standard `ts_us`/`kind`/`name` keys; a field named like a standard key
@@ -493,15 +723,18 @@ pub fn event(name: &str, fields: &[(&str, Value)]) {
 
 /// Dumps every counter, gauge and histogram as one JSON-lines record each
 /// (kind `counter` / `gauge` / `histogram`) and flushes the sink. Call once
-/// at the end of a run so the sink is a self-contained artifact.
+/// at the end of a run so the sink is a self-contained artifact; repeated
+/// calls between enables are no-ops, so an exit-path [`FlushGuard`] and an
+/// explicit success-path call cannot duplicate the records.
 pub fn write_summary_records() {
     if !enabled() {
         return;
     }
     let mut s = lock();
-    if s.sink.is_none() {
+    if s.sink.is_none() || s.summary_written {
         return;
     }
+    s.summary_written = true;
     let ts = s.ts_us();
     let mut lines: Vec<String> = Vec::new();
     for (name, value) in &s.counters {
@@ -526,9 +759,14 @@ pub fn write_summary_records() {
         let _ = write!(line, "{{\"ts_us\":{ts},\"kind\":\"histogram\",\"name\":");
         push_json_str(&mut line, name);
         let _ = write!(line, ",\"count\":{}", h.count);
-        for (key, v) in
-            [("sum", h.sum), ("min", h.min), ("max", h.max), ("p50", h.p50), ("p99", h.p99)]
-        {
+        for (key, v) in [
+            ("sum", h.sum),
+            ("min", h.min),
+            ("max", h.max),
+            ("p50", h.p50),
+            ("p95", h.p95),
+            ("p99", h.p99),
+        ] {
             let _ = write!(line, ",\"{key}\":");
             push_json_value(&mut line, &Value::F64(v));
         }
@@ -580,24 +818,49 @@ pub fn summary() -> String {
     if !s.histograms.is_empty() {
         let _ = writeln!(
             out,
-            "  histograms: {:<32} {:>8} {:>11} {:>11} {:>11} {:>11} {:>11}",
-            "", "count", "mean", "min", "p50", "p99", "total"
+            "  histograms: {:<32} {:>8} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "", "count", "mean", "min", "p50", "p95", "p99", "total"
         );
         for (name, hist) in &s.histograms {
             let h = hist.summarize();
             let _ = writeln!(
                 out,
-                "    {name:<42} {:>8} {:>11.4e} {:>11.4e} {:>11.4e} {:>11.4e} {:>11.4e}",
+                "    {name:<42} {:>8} {:>11.4e} {:>11.4e} {:>11.4e} {:>11.4e} {:>11.4e} {:>11.4e}",
                 h.count,
                 h.mean(),
                 h.min,
                 h.p50,
+                h.p95,
                 h.p99,
                 h.sum
             );
         }
     }
     out
+}
+
+/// Opens a hierarchical telemetry span with optional fields, returning the
+/// guard. Exported at the crate root (`pdn_core::span!`).
+///
+/// ```
+/// use pdn_core::telemetry;
+/// telemetry::enable();
+/// {
+///     let _outer = pdn_core::span!("train.epoch", "epoch" => 3u64);
+///     let _inner = pdn_core::span!("train.batch");
+/// } // records close in reverse order, linked parent → child
+/// telemetry::reset();
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::telemetry::span($name)
+    };
+    ($name:expr, $($key:literal => $value:expr),+ $(,)?) => {{
+        let mut __span = $crate::telemetry::span($name);
+        $( __span.field($key, $value); )+
+        __span
+    }};
 }
 
 fn push_json_str(out: &mut String, s: &str) {
@@ -737,6 +1000,120 @@ mod tests {
         assert!(bucket_of(1e-9) < bucket_of(1e-3));
         assert!(bucket_of(1e-3) < bucket_of(1.0));
         assert!(bucket_of(1.0) < bucket_of(1e3));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 1..=100: every percentile is known exactly; the log₂-bucket
+        // estimate must land within the bucket-resolution error band.
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v as f64);
+        }
+        let s = h.summarize();
+        assert!((s.p50 - 50.5).abs() / 50.5 < 0.25, "p50 {}", s.p50);
+        assert!((s.p95 - 95.0).abs() / 95.0 < 0.25, "p95 {}", s.p95);
+        assert!((s.p99 - 99.0).abs() / 99.0 < 0.25, "p99 {}", s.p99);
+        // Percentiles are ordered and inside the observed range.
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn quantiles_of_constant_distribution_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..50 {
+            h.record(7.0);
+        }
+        let s = h.summarize();
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p95, 7.0);
+        assert_eq!(s.p99, 7.0);
+    }
+
+    #[test]
+    fn quantiles_of_geometric_distribution_track_true_values() {
+        // One observation per power of two: the true q-quantile is itself a
+        // power of two; the estimate must stay within one bucket (×2).
+        let mut h = Histogram::new();
+        for k in 0..10 {
+            h.record(2f64.powi(k));
+        }
+        let s = h.summarize();
+        let true_p50 = 2f64.powi(4); // 5th of 10 observations
+        assert!(s.p50 / true_p50 < 2.0 && true_p50 / s.p50 < 2.0, "p50 {}", s.p50);
+        assert!(s.p99 <= s.max && s.p99 >= 2f64.powi(8), "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = test_guard();
+        reset();
+        let mut sp = span("t.disabled");
+        assert!(sp.id().is_none());
+        assert!(sp.elapsed().is_none());
+        sp.field("k", 1u64);
+        sp.set_ok(false);
+        drop(sp);
+        assert_eq!(current_span_id(), None);
+    }
+
+    #[test]
+    fn spans_nest_and_link_parents_in_the_sink() {
+        let _g = test_guard();
+        reset();
+        let path =
+            std::env::temp_dir().join(format!("pdn_span_unit_{}.jsonl", std::process::id()));
+        enable_with_sink(&path).unwrap();
+        let outer_id;
+        let inner_id;
+        {
+            let outer = span("t.outer");
+            outer_id = outer.id().unwrap();
+            assert_eq!(current_span_id(), Some(outer_id));
+            {
+                let mut inner = crate::span!("t.inner", "step" => 3u64);
+                inner_id = inner.id().unwrap();
+                assert_eq!(current_span_id(), Some(inner_id));
+                inner.set_ok(false);
+            }
+            assert_eq!(current_span_id(), Some(outer_id));
+        }
+        assert_eq!(current_span_id(), None);
+        flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        reset();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "two span records in:\n{text}");
+        // Records are written at close: inner first.
+        let inner_line = lines[0];
+        let outer_line = lines[1];
+        assert!(inner_line.contains("\"kind\":\"span\"") && inner_line.contains("\"name\":\"t.inner\""));
+        assert!(inner_line.contains(&format!("\"span\":{inner_id}")));
+        assert!(inner_line.contains(&format!("\"parent\":{outer_id}")));
+        assert!(inner_line.contains("\"ok\":false"));
+        assert!(inner_line.contains("\"step\":3"));
+        assert!(outer_line.contains("\"name\":\"t.outer\""));
+        assert!(outer_line.contains("\"parent\":null"));
+        assert!(outer_line.contains("\"ok\":true"));
+        for line in lines {
+            assert!(line.contains("\"thread\":"));
+            assert!(line.contains("\"start_us\":"));
+            assert!(line.contains("\"dur_us\":"));
+        }
+    }
+
+    #[test]
+    fn span_stack_survives_disable_mid_span() {
+        let _g = test_guard();
+        reset();
+        enable();
+        let sp = span("t.mid_disable");
+        assert!(sp.id().is_some());
+        disable();
+        drop(sp); // must still pop the stack without writing
+        assert_eq!(current_span_id(), None);
+        reset();
     }
 
     #[test]

@@ -19,6 +19,9 @@ use std::time::Instant;
 fn main() {
     pdn_core::threads::configure_from_env();
     pdn_core::telemetry::init_from_env();
+    // Flush the telemetry sink (with summary records) even if a driver
+    // panics partway through the suite.
+    let _flush = pdn_core::telemetry::FlushGuard::new();
     let quick = std::env::args().any(|a| a == "--quick");
     let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::ci() };
     let out_dir = PathBuf::from("target/experiments");

@@ -107,6 +107,9 @@ impl PreparedDesign {
         preset: DesignPreset,
         config: &ExperimentConfig,
     ) -> Result<PreparedDesign, pdn_sim::error::SimError> {
+        let mut span = pdn_core::telemetry::span("eval.prepare");
+        span.field("design", preset.name());
+        span.field("vectors", config.vectors);
         let spec = preset.spec(config.scale);
         let grid = spec.build(config.seed).expect("preset specs are valid");
         let gen = VectorGenerator::new(
@@ -210,15 +213,24 @@ impl EvaluatedDesign {
             WnvModel::new(prepared.grid.bumps().len(), config.model, config.seed);
         let trainer = Trainer::new(config.train);
         let t_train = Instant::now();
-        let history = trainer.train(&mut model, &dataset, &split);
+        let history = {
+            let mut span = pdn_core::telemetry::span("eval.train");
+            span.field("design", prepared.preset.name());
+            trainer.train(&mut model, &dataset, &split)
+        };
         let train_wall = t_train.elapsed();
         let mut predictor = Predictor::new(model, &dataset, Some(compressor));
 
         let mut test_pairs = Vec::with_capacity(split.test.len());
         let start = Instant::now();
-        for &idx in &split.test {
-            let pred = predictor.predict(&prepared.grid, &prepared.vectors[idx]);
-            test_pairs.push((pred, prepared.reports[idx].worst_noise.clone()));
+        {
+            let mut span = pdn_core::telemetry::span("eval.predict_test");
+            span.field("design", prepared.preset.name());
+            span.field("test_vectors", split.test.len());
+            for &idx in &split.test {
+                let pred = predictor.predict(&prepared.grid, &prepared.vectors[idx]);
+                test_pairs.push((pred, prepared.reports[idx].worst_noise.clone()));
+            }
         }
         let predict_time_per_vector = start.elapsed() / split.test.len().max(1) as u32;
         if pdn_core::telemetry::enabled() {

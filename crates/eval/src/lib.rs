@@ -14,7 +14,11 @@
 //!   [`experiments::fig5`] (D4 error analysis),
 //!   [`experiments::fig6`] (temporal-compression sweep);
 //! * [`render`] — ASCII heat maps and CSV export for the figure artifacts;
-//! * [`report`] — plain-text table formatting.
+//! * [`report`] — plain-text table formatting;
+//! * [`jsonl`] — a dependency-free JSON / JSON-lines parser;
+//! * [`tracereport`] — telemetry run analysis: aggregated span trees,
+//!   Chrome-trace (Perfetto) export, and the markdown report behind
+//!   `pdn report`.
 //!
 //! The `experiments` binary (`cargo run -p pdn-eval --release --bin
 //! experiments`) runs the full suite and writes artifacts under
@@ -22,9 +26,11 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod jsonl;
 pub mod metrics;
 pub mod render;
 pub mod report;
+pub mod tracereport;
 
 pub use harness::{EvaluatedDesign, ExperimentConfig, PreparedDesign};
 pub use metrics::ErrorStats;

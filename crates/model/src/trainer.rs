@@ -115,6 +115,8 @@ impl Trainer {
         let mut history = TrainHistory::default();
 
         for epoch in 0..self.config.epochs {
+            let mut ep_span = telemetry::span("train.epoch");
+            ep_span.field("epoch", epoch);
             let t_epoch = telemetry::enabled().then(std::time::Instant::now);
             adam.learning_rate =
                 self.config.learning_rate * self.config.lr_decay.powi(epoch as i32);
@@ -154,6 +156,8 @@ impl Trainer {
             let train_loss = (epoch_loss / split.train.len() as f64) as f32;
             let val_loss = self.evaluate(model, dataset, &split.val);
             history.epochs.push(EpochStats { train_loss, val_loss });
+            ep_span.field("train_loss", train_loss);
+            ep_span.field("val_loss", val_loss);
             if let Some(t) = t_epoch {
                 let elapsed = t.elapsed();
                 telemetry::counter_add("train.epochs", 1);

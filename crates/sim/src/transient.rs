@@ -216,6 +216,8 @@ impl TransientSimulator {
                 actual: vector.load_count(),
             });
         }
+        let mut span = telemetry::span("sim.transient.run");
+        span.field("steps", vector.step_count());
         // DC initial condition from the first step's currents.
         let mut v = self.dc.solve(vector.step(0))?;
         // Initial bump branch currents from the DC solution.
@@ -315,6 +317,9 @@ impl TransientSimulator {
                 });
             }
         }
+        let mut span = telemetry::span("sim.transient.batch");
+        span.field("vectors", k);
+        span.field("steps", steps);
         let n = self.node_count;
         // Interleaved state: entry i of vector t lives at v[i * k + t].
         let mut v = vec![0.0; n * k];

@@ -106,6 +106,7 @@ impl WnvRunner {
     ///
     /// Propagates simulator failures (vector mismatch, non-convergence).
     pub fn run(&self, vector: &TestVector) -> SimResult<NoiseReport> {
+        let _span = pdn_core::telemetry::span("sim.wnv.run");
         let start = Instant::now();
         let mut worst = TileMap::zeros(self.tile_shape.0, self.tile_shape.1);
         let vdd = self.vdd;
@@ -142,6 +143,8 @@ impl WnvRunner {
     ///
     /// Same as [`TransientSimulator::run_batch_with`].
     pub fn run_batch(&self, vectors: &[&TestVector]) -> SimResult<Vec<NoiseReport>> {
+        let mut span = pdn_core::telemetry::span("sim.wnv.batch");
+        span.field("vectors", vectors.len());
         let start = Instant::now();
         let mut maps: Vec<TileMap> = (0..vectors.len())
             .map(|_| TileMap::zeros(self.tile_shape.0, self.tile_shape.1))
@@ -193,6 +196,8 @@ impl WnvRunner {
     ///
     /// Fails on the first vector that fails.
     pub fn run_group(&self, vectors: &[TestVector]) -> SimResult<Vec<NoiseReport>> {
+        let mut span = pdn_core::telemetry::span("sim.wnv.group");
+        span.field("vectors", vectors.len());
         let chunked: Vec<Vec<NoiseReport>> = vectors
             .par_chunks(DEFAULT_BATCH)
             .map(|chunk| {

@@ -18,6 +18,9 @@ fn record_solve(iterations: usize, residual: f64) {
     }
     telemetry::counter_add("sparse.cg.solves", 1);
     telemetry::counter_add("sparse.cg.iterations", iterations as u64);
+    // Histogram twin of the iteration counter: `pdn report` reads its log₂
+    // buckets for the p50/p95/p99 iteration distribution.
+    telemetry::observe("sparse.cg.iterations_per_solve", iterations as f64);
     telemetry::observe("sparse.cg.final_residual", residual);
 }
 

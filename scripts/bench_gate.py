@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare two component-benchmark median JSONs and fail on regressions.
+
+Usage:
+    bench_gate.py BASELINE.json CURRENT.json
+
+Both files are flat ``{"group/bench/param": median_ns, ...}`` maps as
+written by ``scripts/bench_smoke.sh``. A kernel regresses when
+
+    current / baseline > PDN_BENCH_GATE_FACTOR    (default 2.0)
+
+subject to a noise floor: kernels whose baseline or current median is
+below PDN_BENCH_GATE_MIN_NS (default 20000 ns) are never flagged — at
+smoke-run sample counts, sub-20 µs medians are dominated by scheduler
+jitter. Keys present in only one file are reported but never fail the
+gate (benches come and go across PRs).
+
+Exit status: 0 when no kernel regresses, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    factor = float(os.environ.get("PDN_BENCH_GATE_FACTOR", "2.0"))
+    min_ns = float(os.environ.get("PDN_BENCH_GATE_MIN_NS", "20000"))
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+
+    shared = sorted(set(baseline) & set(current))
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    for key in only_base:
+        print(f"note: {key} only in baseline (skipped)")
+    for key in only_cur:
+        print(f"note: {key} only in current run (skipped)")
+
+    rows = []
+    for key in shared:
+        base, cur = float(baseline[key]), float(current[key])
+        if base <= 0.0:
+            continue
+        ratio = cur / base
+        noisy = base < min_ns or cur < min_ns
+        rows.append((ratio, key, base, cur, noisy))
+    rows.sort(reverse=True)
+
+    regressions = [r for r in rows if r[0] > factor and not r[4]]
+    print(f"\nbench gate: {len(shared)} shared kernels, "
+          f"threshold {factor:.2f}x, noise floor {min_ns:.0f} ns")
+    print("worst ratios:")
+    for ratio, key, base, cur, noisy in rows[:8]:
+        tag = " (below noise floor)" if noisy else ""
+        flag = "  <-- REGRESSED" if (ratio, key, base, cur, noisy) in regressions else ""
+        print(f"  {ratio:6.2f}x  {key}: {base:.0f} -> {cur:.0f} ns{tag}{flag}")
+
+    if regressions:
+        print(f"\nbench gate FAILED: {len(regressions)} kernel(s) slower "
+              f"than {factor:.2f}x the baseline", file=sys.stderr)
+        return 1
+    print("\nbench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

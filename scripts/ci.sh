@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
 # The tier-1 gate: everything a PR must pass before merging.
 #
-#   scripts/ci.sh          # build + tests + clippy
+#   scripts/ci.sh          # build + tests + clippy + bench regression gate
 #
 # Runs offline (the workspace vendors its dependency shims in shims/), so
 # it works in sandboxes without crates.io access.
+#
+# The bench gate re-measures the component kernels (smoke sample counts)
+# and compares them against the committed BENCH_components.json baseline,
+# failing on any kernel slower than PDN_BENCH_GATE_FACTOR x (default 2.0,
+# noise-tolerant — see scripts/bench_gate.py). Skip it with
+# PDN_BENCH_GATE=0 (e.g. on very loaded machines).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +24,16 @@ cargo test -q --offline --workspace
 echo
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [[ "${PDN_BENCH_GATE:-1}" != "0" && -f BENCH_components.json ]]; then
+    echo
+    echo "== bench regression gate (PDN_BENCH_GATE=0 to skip) =="
+    gate_json="$(mktemp -t pdn-bench-gate-XXXXXX.json)"
+    trap 'rm -f "$gate_json"' EXIT
+    PDN_BENCH_JSON="$gate_json" PDN_BENCH_QUICK=1 \
+        cargo bench --offline -p pdn-bench --bench components >/dev/null
+    python3 scripts/bench_gate.py BENCH_components.json "$gate_json"
+fi
 
 echo
 echo "ci.sh: all green"

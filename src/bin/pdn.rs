@@ -9,25 +9,31 @@
 //!
 //! `train` produces a self-contained predictor bundle; `predict` restores
 //! it and answers a sign-off query orders of magnitude faster than
-//! `simulate` — the paper's deployment story as a terminal tool.
+//! `simulate` — the paper's deployment story as a terminal tool. `report`
+//! turns a telemetry sink back into a human-readable run analysis and a
+//! Perfetto trace.
 
 use pdn_wnv::core::telemetry;
 use pdn_wnv::core::units::Volts;
 use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
 use pdn_wnv::eval::render::{ascii_map, write_csv};
+use pdn_wnv::eval::tracereport::{self, ReportOptions, TelemetryLog};
 use pdn_wnv::grid::design::{DesignPreset, DesignScale};
 use pdn_wnv::model::model::Predictor;
 use pdn_wnv::model::trainer::TrainConfig;
 use pdn_wnv::sim::wnv::WnvRunner;
 use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
     pdn_wnv::core::threads::configure_from_env();
     telemetry::init_from_env();
+    // Flushes the sink (with summary records) even when `run` errors out
+    // or panics, so a partial run still yields an analysable JSONL file.
+    let _flush = telemetry::FlushGuard::new();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -49,22 +55,38 @@ const USAGE: &str = "usage:
                       [--vector FILE.csv] [--out DIR]
   pdn export-netlist  --design D1..D4 [--scale S] --out FILE.sp
   pdn export-vector   --design D1..D4 [--scale S] [--steps N] [--seed K] --out FILE.csv
+  pdn report          RUN.jsonl [BASELINE.jsonl] [--out REPORT.md] [--trace TRACE.json]
+                      [--slow-ratio R] [--strict true]
 
-every command also accepts:
-  --telemetry FILE.jsonl   record per-stage timing, solver and training
-                           metrics to FILE.jsonl and print a summary table
-                           (PDN_TELEMETRY=<path|1> does the same from the
-                           environment)";
+every command (except report) also accepts:
+  --telemetry FILE.jsonl   record per-stage timing, trace spans, solver and
+                           training metrics to FILE.jsonl and print a summary
+                           table (PDN_TELEMETRY=<path|1> does the same from
+                           the environment)
+
+`pdn report` renders a telemetry sink as markdown (stage tree, solver
+percentiles, training curve, speedup table); with a BASELINE it also diffs
+the two runs and flags stages slower than R x (default 2.0). --trace writes
+a Chrome-trace JSON loadable at https://ui.perfetto.dev. --strict true
+exits non-zero when a regression is flagged.";
 
 fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some((command, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
+    if command == "report" {
+        // `report` takes positional file arguments and never records
+        // telemetry about itself.
+        return report_cmd(rest);
+    }
     let opts = parse_flags(rest)?;
     if let Some(path) = opts.get("telemetry") {
-        telemetry::enable_with_sink(std::path::Path::new(path))
+        telemetry::enable_with_sink(Path::new(path))
             .map_err(|e| format!("--telemetry {path}: {e}"))?;
     }
+    // The root span covers the whole command, so every stage span in the
+    // sink hangs off it and its duration matches the `cli.command` event.
+    let mut root = telemetry::span(&format!("cli.{command}"));
     let t_command = Instant::now();
     let result = match command.as_str() {
         "info" => info(&opts),
@@ -75,6 +97,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "export-vector" => export_vector(&opts),
         other => Err(format!("unknown command `{other}`").into()),
     };
+    root.set_ok(result.is_ok());
+    drop(root);
     if telemetry::enabled() {
         telemetry::event(
             "cli.command",
@@ -91,13 +115,31 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     result
 }
 
-/// Runs one named pipeline stage, recording its wall clock as both a
-/// `cli.stage` event and a `cli.stage.<name>` histogram sample. The stages
-/// of a command partition its whole runtime, so the per-stage records in
-/// the sink sum to the command's wall clock.
+/// Runs one named pipeline stage inside a `cli.stage.<name>` span, also
+/// recording its wall clock as a `cli.stage` event and a `cli.stage.<name>`
+/// histogram sample. The stages of a command partition its whole runtime,
+/// so the per-stage records in the sink sum to the command's wall clock.
+/// If `f` panics, the span still reaches the sink, tagged `ok:false`.
 fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let _span = telemetry::span(&format!("cli.stage.{name}"));
     let start = Instant::now();
     let out = f();
+    record_stage(name, start);
+    out
+}
+
+/// Like [`stage`] for fallible stages: the span is tagged `ok:false` when
+/// `f` returns `Err` (or unwinds).
+fn try_stage<T, E>(name: &str, f: impl FnOnce() -> Result<T, E>) -> Result<T, E> {
+    let mut span = telemetry::span(&format!("cli.stage.{name}"));
+    let start = Instant::now();
+    let out = f();
+    span.set_ok(out.is_ok());
+    record_stage(name, start);
+    out
+}
+
+fn record_stage(name: &str, start: Instant) {
     if telemetry::enabled() {
         let seconds = start.elapsed().as_secs_f64();
         telemetry::observe(&format!("cli.stage.{name}"), seconds);
@@ -106,7 +148,68 @@ fn stage<T>(name: &str, f: impl FnOnce() -> T) -> T {
             &[("stage", name.into()), ("seconds", seconds.into())],
         );
     }
-    out
+}
+
+/// `pdn report RUN.jsonl [BASELINE.jsonl] [--out F] [--trace F]
+/// [--slow-ratio R] [--strict true]`.
+fn report_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut files: Vec<&String> = Vec::new();
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{name} needs a value").into());
+            };
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            files.push(arg);
+        }
+    }
+    let [run_path, baseline_path @ ..] = files.as_slice() else {
+        return Err("report needs a RUN.jsonl file".into());
+    };
+    if baseline_path.len() > 1 {
+        return Err("report takes at most two files (RUN and BASELINE)".into());
+    }
+    let run = TelemetryLog::load(Path::new(run_path.as_str()))?;
+    let baseline = baseline_path
+        .first()
+        .map(|p| TelemetryLog::load(Path::new(p.as_str())))
+        .transpose()?;
+    let opts = ReportOptions {
+        slow_ratio: parse(&flags, "slow-ratio", 2.0f64)?,
+        ..ReportOptions::default()
+    };
+    let out = tracereport::report(&run, baseline.as_ref(), &opts);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &out.markdown).map_err(|e| format!("--out {path}: {e}"))?;
+            println!("report written to {path}");
+        }
+        None => print!("{}", out.markdown),
+    }
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, run.chrome_trace()).map_err(|e| format!("--trace {path}: {e}"))?;
+        println!("Perfetto trace written to {path} (open at https://ui.perfetto.dev)");
+    }
+    if !out.regressions.is_empty() {
+        for r in &out.regressions {
+            eprintln!(
+                "regression: {} went {:.4}s -> {:.4}s ({:.2}x)",
+                r.path, r.baseline_s, r.run_s, r.ratio
+            );
+        }
+        if parse(&flags, "strict", false)? {
+            return Err(format!(
+                "{} stage(s) regressed beyond {:.1}x the baseline",
+                out.regressions.len(),
+                opts.slow_ratio
+            )
+            .into());
+        }
+    }
+    Ok(())
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn std::error::Error>> {
@@ -200,15 +303,15 @@ fn load_or_generate_vector(
 
 fn simulate(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
     let preset = design(opts)?;
-    let grid = stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
+    let grid = try_stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
         Ok(preset.spec(scale(opts)?).build(1)?)
     })?;
-    let vector = stage("load_vector", || load_or_generate_vector(opts, &grid))?;
+    let vector = try_stage("load_vector", || load_or_generate_vector(opts, &grid))?;
     let steps = vector.step_count();
     let seed = parse(opts, "seed", 7u64)?;
-    let runner = stage("factorize", || WnvRunner::new(&grid))?;
+    let runner = try_stage("factorize", || WnvRunner::new(&grid))?;
     let t0 = Instant::now();
-    let report = stage("simulate", || runner.run(&vector))?;
+    let report = try_stage("simulate", || runner.run(&vector))?;
     println!(
         "simulated {} steps on {} nodes in {:.2}s ({} CG iterations)",
         steps,
@@ -223,7 +326,7 @@ fn simulate(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Er
         report.hotspot_ratio(grid.spec().hotspot_threshold()) * 100.0
     );
     println!("\n{}", ascii_map(&report.worst_noise, 0.0, report.worst_noise.max()));
-    stage("report", || -> Result<(), Box<dyn std::error::Error>> {
+    try_stage("report", || -> Result<(), Box<dyn std::error::Error>> {
         if let Some(dir) = opts.get("out") {
             let path =
                 PathBuf::from(dir).join(format!("{}_seed{}_noise.csv", grid.spec().name(), seed));
@@ -254,10 +357,10 @@ fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error
         config.vectors, config.steps, config.train.epochs
     );
     let t0 = Instant::now();
-    let mut eval = stage("simulate_and_train", || EvaluatedDesign::evaluate(preset, &config))?;
+    let mut eval = try_stage("simulate_and_train", || EvaluatedDesign::evaluate(preset, &config))?;
     let stats = pdn_wnv::eval::metrics::pooled_error_stats(&eval.test_pairs);
     println!("done in {:.1}s; held-out accuracy: {stats}", t0.elapsed().as_secs_f64());
-    stage("save_model", || eval.predictor.save_to(out))?;
+    try_stage("save_model", || eval.predictor.save_to(out))?;
     println!("predictor bundle written to {out}");
     Ok(())
 }
@@ -265,12 +368,12 @@ fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error
 fn predict(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
     let preset = design(opts)?;
     let model_path = opts.get("model").ok_or("--model MODEL is required")?;
-    let grid = stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
+    let grid = try_stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
         Ok(preset.spec(scale(opts)?).build(1)?)
     })?;
     let seed = parse(opts, "seed", 7u64)?;
-    let mut predictor = stage("load_model", || Predictor::load_from(model_path))?;
-    let vector = stage("load_vector", || load_or_generate_vector(opts, &grid))?;
+    let mut predictor = try_stage("load_model", || Predictor::load_from(model_path))?;
+    let vector = try_stage("load_vector", || load_or_generate_vector(opts, &grid))?;
     let t0 = Instant::now();
     let map = stage("predict", || predictor.predict(&grid, &vector));
     println!(

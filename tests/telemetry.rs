@@ -58,6 +58,19 @@ fn disabled_hot_path_overhead_is_negligible() {
         "1e6 disabled counter_add calls took {:?}",
         start.elapsed()
     );
+
+    // Disabled spans are equally inert: no allocation, no clock read, no
+    // thread-local traffic — the same one-atomic-load bound applies with
+    // the span instrumentation compiled in.
+    let start = std::time::Instant::now();
+    for _ in 0..1_000_000u64 {
+        let _span = telemetry::span("it.overhead.span");
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_millis(500),
+        "1e6 disabled span guards took {:?}",
+        start.elapsed()
+    );
 }
 
 #[test]
