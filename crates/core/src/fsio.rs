@@ -1,0 +1,280 @@
+//! Crash-safe filesystem primitives and content digests.
+//!
+//! Every artifact this workspace persists — predictor bundles, training
+//! checkpoints, ground-truth cache entries, noise-map CSVs, SPICE decks,
+//! reports — goes through [`atomic_write`]/[`atomic_write_with`]: the bytes
+//! are written to a temporary file in the destination directory, flushed to
+//! disk, and then renamed over the destination. A crash at any point leaves
+//! either the previous file or the new one, never a truncated hybrid.
+//!
+//! [`Digest`] is the workspace's dependency-free content hash (FNV-1a,
+//! 64-bit). It keys the ground-truth cache and seals checkpoint and cache
+//! payloads against torn or bit-flipped reads. It is *not* cryptographic —
+//! collisions are adversarially easy — but for cache addressing of our own
+//! artifacts the 64-bit collision floor is far below the number of entries
+//! any run produces.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic discriminator so concurrent writers (threads or processes
+/// sharing a PID namespace) never collide on the same temporary name.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_path_for(path: &Path) -> PathBuf {
+    let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path.file_name().unwrap_or_default().to_string_lossy();
+    path.with_file_name(format!(".{name}.tmp.{pid}.{n}"))
+}
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// The bytes are staged in a hidden temporary file in the same directory
+/// (so the final rename never crosses a filesystem), fsynced, and renamed
+/// into place. On any error the temporary file is removed and `path` is
+/// left untouched.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creation, writing, syncing or renaming.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with(path, |w| w.write_all(bytes))
+}
+
+/// Streaming variant of [`atomic_write`]: `f` receives a buffered writer
+/// for the staging file; the destination is only replaced after `f`
+/// succeeds and the staged bytes are synced.
+///
+/// # Errors
+///
+/// Propagates errors from `f` and from the underlying filesystem
+/// operations; the staging file is cleaned up on every error path.
+pub fn atomic_write_with<F>(path: impl AsRef<Path>, f: F) -> io::Result<()>
+where
+    F: FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+{
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_path_for(path);
+    let result = (|| {
+        let file = OpenOptions::new().write(true).create_new(true).open(&tmp)?;
+        let mut writer = BufWriter::new(file);
+        f(&mut writer)?;
+        writer.flush()?;
+        writer.get_ref().sync_all()?;
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself: fsync the containing directory so the
+        // new directory entry survives a crash (best-effort on filesystems
+        // that reject directory fsync).
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Ok(dir) = File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit content digest.
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::fsio::Digest;
+///
+/// let mut d = Digest::new();
+/// d.update(b"hello");
+/// d.update_f64(1.5);
+/// let a = d.finish();
+/// assert_eq!(a, {
+///     let mut d = Digest::new();
+///     d.update(b"hello");
+///     d.update_f64(1.5);
+///     d.finish()
+/// });
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    state: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Digest {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    /// Starts a fresh digest.
+    pub fn new() -> Digest {
+        Digest { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by its bit pattern, so `-0.0` and `0.0` (and every
+    /// NaN payload) digest distinctly — the digest keys *bytes*, not values.
+    pub fn update_f64(&mut self, v: f64) {
+        self.update(&v.to_bits().to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed string, so `("ab","c")` and `("a","bc")`
+    /// digest differently.
+    pub fn update_str(&mut self, s: &str) {
+        self.update_u64(s.len() as u64);
+        self.update(s.as_bytes());
+    }
+
+    /// The 64-bit digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as a fixed-width lowercase hex string (filesystem-safe;
+    /// used as cache file names).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut d = Digest::new();
+    d.update(bytes);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pdn_fsio_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_creates_and_replaces() {
+        let dir = tmp_dir("create");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer payload").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer payload");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_creates_missing_parents() {
+        let dir = tmp_dir("parents");
+        let path = dir.join("a/b/c.txt");
+        atomic_write(&path, b"nested").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"nested");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_leaves_destination_and_no_temp() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"intact").unwrap();
+        let err = atomic_write_with(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("simulated crash"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // The destination still holds the previous bytes...
+        assert_eq!(fs::read(&path).unwrap(), b"intact");
+        // ...and no staging debris is left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "staging files left: {leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unrenamed_staging_file_does_not_shadow_destination() {
+        // A crash *between* staging and rename leaves only a hidden temp
+        // file; the destination path itself is absent or old, so loaders
+        // never see a torn artifact.
+        let dir = tmp_dir("stage");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"old").unwrap();
+        fs::write(tmp_path_for(&path), b"torn").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"old");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let a = digest_bytes(b"pdn");
+        assert_eq!(a, digest_bytes(b"pdn"));
+        assert_ne!(a, digest_bytes(b"pdm"));
+        assert_ne!(digest_bytes(b""), 0);
+    }
+
+    #[test]
+    fn digest_field_framing_distinguishes_splits() {
+        let mut a = Digest::new();
+        a.update_str("ab");
+        a.update_str("c");
+        let mut b = Digest::new();
+        b.update_str("a");
+        b.update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn digest_separates_float_bit_patterns() {
+        let mut a = Digest::new();
+        a.update_f64(0.0);
+        let mut b = Digest::new();
+        b.update_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_16_lowercase_chars() {
+        let mut d = Digest::new();
+        d.update(b"x");
+        let h = d.hex();
+        assert_eq!(h.len(), 16);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+}

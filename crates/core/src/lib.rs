@@ -9,6 +9,9 @@
 //!   (Eq. (2) of the DAC'22 paper);
 //! * [`TileMap`], the dense `m × n` scalar map that carries current maps,
 //!   distance maps and noise maps between crates;
+//! * crash-safe [`fsio`] primitives — atomic write-temp-fsync-rename plus
+//!   the dependency-free content digest that keys the ground-truth cache
+//!   and seals checkpoints against torn reads;
 //! * deterministic [`rng`] construction so every experiment is reproducible;
 //! * process-wide [`threads`] configuration (the `PDN_THREADS` override);
 //! * the [`telemetry`] registry — counters, gauges, histograms, scoped
@@ -32,6 +35,7 @@
 //! ```
 
 pub mod error;
+pub mod fsio;
 pub mod geom;
 pub mod map;
 pub mod rng;

@@ -42,6 +42,16 @@ impl TileMap {
         TileMap { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Creates the degenerate zero-tile map. Regular construction
+    /// ([`TileMap::zeros`], [`TileMap::from_vec`]) rejects empty dimensions,
+    /// but boundary cases (a design with no analyzable tiles, defensive
+    /// tests) need a representable empty value; iteration yields nothing
+    /// and consumers must guard their divisions (see
+    /// `NoiseReport::hotspot_ratio` in `pdn-sim`).
+    pub fn empty() -> TileMap {
+        TileMap { rows: 0, cols: 0, data: Vec::new() }
+    }
+
     /// Creates a map filled with a constant.
     pub fn filled(rows: usize, cols: usize, value: f64) -> TileMap {
         assert!(rows > 0 && cols > 0, "tile map must be non-empty");
@@ -93,9 +103,9 @@ impl TileMap {
         self.data.len()
     }
 
-    /// Whether the map has zero tiles. Always `false` by construction.
+    /// Whether the map has zero tiles (only [`TileMap::empty`] qualifies).
     pub fn is_empty(&self) -> bool {
-        false
+        self.data.is_empty()
     }
 
     /// Raw row-major view of the values.

@@ -45,6 +45,34 @@ pub fn seeded(seed: u64) -> Rng {
 /// let mut d2 = rng::derived(7, "design-2");
 /// assert_ne!(d1.gen::<u64>(), d2.gen::<u64>());
 /// ```
+/// Size in bytes of a serialized RNG state ([`save_state`]).
+pub const STATE_BYTES: usize = rand_chacha::STATE_BYTES;
+
+/// Serializes the full state of a workspace RNG so a consumer (e.g. a
+/// training checkpoint) can persist it and later continue the stream
+/// bit-identically with [`restore_state`].
+///
+/// # Example
+///
+/// ```
+/// use pdn_core::rng;
+/// use rand::Rng as _;
+///
+/// let mut r = rng::seeded(5);
+/// let _ = r.gen::<f64>(); // advance mid-stream
+/// let saved = rng::save_state(&r);
+/// let mut resumed = rng::restore_state(&saved);
+/// assert_eq!(r.gen::<u64>(), resumed.gen::<u64>());
+/// ```
+pub fn save_state(rng: &Rng) -> [u8; STATE_BYTES] {
+    rng.state_bytes()
+}
+
+/// Reconstructs a workspace RNG from [`save_state`] output.
+pub fn restore_state(state: &[u8; STATE_BYTES]) -> Rng {
+    ChaCha8Rng::from_state_bytes(state)
+}
+
 pub fn derived(seed: u64, label: &str) -> Rng {
     // FNV-1a over the label, mixed with the parent seed. Stable and cheap;
     // cryptographic strength is irrelevant here.

@@ -53,13 +53,15 @@ fn main() {
     let prepared: Vec<&PreparedDesign> = evaluated.iter().map(|e| &e.prepared).collect();
     let t1 = table1::run(&prepared);
     println!("Table 1: design characteristics\n{t1}");
-    std::fs::write(out_dir.join("table1.txt"), t1.to_string()).expect("write table1");
+    pdn_core::fsio::atomic_write(out_dir.join("table1.txt"), t1.to_string().as_bytes())
+        .expect("write table1");
 
     // --- Table 2 ---
     let refs: Vec<&EvaluatedDesign> = evaluated.iter().collect();
     let t2 = table2::run(&refs);
     println!("Table 2: proposed framework vs simulator\n{t2}");
-    std::fs::write(out_dir.join("table2.txt"), t2.to_string()).expect("write table2");
+    pdn_core::fsio::atomic_write(out_dir.join("table2.txt"), t2.to_string().as_bytes())
+        .expect("write table2");
 
     // --- Table 3: PowerNet on D4 ---
     let d4 = &evaluated[3];
@@ -93,7 +95,8 @@ fn main() {
         d4.prepared.preset.name(),
         t0.elapsed().as_secs_f64()
     );
-    std::fs::write(out_dir.join("table3.txt"), t3.to_string()).expect("write table3");
+    pdn_core::fsio::atomic_write(out_dir.join("table3.txt"), t3.to_string().as_bytes())
+        .expect("write table3");
 
     // --- Fig. 4: D1-D3 maps ---
     let f4 = fig4::run(&refs[..3]);
@@ -123,9 +126,9 @@ fn main() {
         let f6 = fig6::run(prep, rates, &sweep_config);
         println!("Fig. 6 ({}): compression sweep\n{f6}", preset.name());
         f6.write_artifacts(&out_dir).expect("write fig6");
-        std::fs::write(
+        pdn_core::fsio::atomic_write(
             out_dir.join(format!("fig6_{}.txt", preset.name())),
-            f6.to_string(),
+            f6.to_string().as_bytes(),
         )
         .expect("write fig6 text");
     }
@@ -134,7 +137,8 @@ fn main() {
     let prep = PreparedDesign::prepare(DesignPreset::D1, &sweep_config).expect("prepare");
     let abl = ablations::run(prep, &sweep_config);
     println!("{abl}");
-    std::fs::write(out_dir.join("ablations_D1.txt"), abl.to_string()).expect("write ablations");
+    pdn_core::fsio::atomic_write(out_dir.join("ablations_D1.txt"), abl.to_string().as_bytes())
+        .expect("write ablations");
 
     println!(
         "\nAll artifacts written to {} (total {:.1} min)",

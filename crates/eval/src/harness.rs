@@ -9,12 +9,28 @@ use pdn_core::map::TileMap;
 use pdn_features::dataset::{Dataset, SplitIndices};
 use pdn_grid::build::PowerGrid;
 use pdn_grid::design::{DesignPreset, DesignScale};
+use pdn_model::checkpoint::CheckpointConfig;
 use pdn_model::model::{ModelConfig, Predictor, WnvModel};
 use pdn_model::trainer::{TrainConfig, TrainHistory, Trainer};
+use pdn_sim::cache::run_group_cached;
 use pdn_sim::wnv::{NoiseReport, WnvRunner};
+use pdn_sim::WnvCache;
 use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
 use pdn_vectors::vector::TestVector;
 use std::time::{Duration, Instant};
+
+/// Optional crash-safety/caching features threaded through an evaluation:
+/// a ground-truth cache (skips re-simulating identical designs) and
+/// resumable training checkpoints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions<'a> {
+    /// Serve/store simulated ground truth from this cache.
+    pub cache: Option<&'a WnvCache>,
+    /// Checkpoint (and possibly resume) training through this config.
+    pub checkpoints: Option<&'a CheckpointConfig>,
+    /// Zero the distance feature (the `no-distance` ablation).
+    pub zero_distance: bool,
+}
 
 /// Configuration of a full experiment run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,6 +123,23 @@ impl PreparedDesign {
         preset: DesignPreset,
         config: &ExperimentConfig,
     ) -> Result<PreparedDesign, pdn_sim::error::SimError> {
+        Self::prepare_with(preset, config, None)
+    }
+
+    /// Like [`PreparedDesign::prepare`], serving the ground-truth reports
+    /// from `cache` when an identical (design, vectors, solver) run was
+    /// simulated before. Cache hits skip the transient solves entirely;
+    /// the cached reports keep their original per-vector simulator times,
+    /// so speedup tables remain meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn prepare_with(
+        preset: DesignPreset,
+        config: &ExperimentConfig,
+        cache: Option<&WnvCache>,
+    ) -> Result<PreparedDesign, pdn_sim::error::SimError> {
         let mut span = pdn_core::telemetry::span("eval.prepare");
         span.field("design", preset.name());
         span.field("vectors", config.vectors);
@@ -119,7 +152,7 @@ impl PreparedDesign {
         let vectors = gen.generate_group(config.vectors, config.seed);
         let runner = WnvRunner::new(&grid)?;
         let t_sim = Instant::now();
-        let reports = runner.run_group(&vectors)?;
+        let reports = run_group_cached(cache, &runner, &grid, &vectors)?;
         let sim_wall = t_sim.elapsed();
         let total: Duration = reports.iter().map(|r| r.elapsed).sum();
         let sim_time_per_vector = total / reports.len().max(1) as u32;
@@ -186,6 +219,21 @@ impl EvaluatedDesign {
         Ok(Self::evaluate_prepared(prepared, config))
     }
 
+    /// Runs the full pipeline with crash-safety options: cached ground
+    /// truth and/or resumable training checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures and checkpoint I/O errors.
+    pub fn evaluate_with(
+        preset: DesignPreset,
+        config: &ExperimentConfig,
+        options: &EvalOptions<'_>,
+    ) -> Result<EvaluatedDesign, Box<dyn std::error::Error>> {
+        let prepared = PreparedDesign::prepare_with(preset, config, options.cache)?;
+        Ok(Self::evaluate_prepared_opts(prepared, config, options)?)
+    }
+
     /// Runs dataset assembly, training and test-set prediction on an
     /// already-simulated design.
     pub fn evaluate_prepared(
@@ -202,10 +250,26 @@ impl EvaluatedDesign {
         config: &ExperimentConfig,
         zero_distance: bool,
     ) -> EvaluatedDesign {
+        let options = EvalOptions { zero_distance, ..EvalOptions::default() };
+        Self::evaluate_prepared_opts(prepared, config, &options)
+            .expect("checkpointing disabled, no I/O can fail")
+    }
+
+    /// The option-carrying core of [`EvaluatedDesign::evaluate_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates training-checkpoint I/O errors (corrupt resume file,
+    /// failed checkpoint write).
+    pub fn evaluate_prepared_opts(
+        prepared: PreparedDesign,
+        config: &ExperimentConfig,
+        options: &EvalOptions<'_>,
+    ) -> std::io::Result<EvaluatedDesign> {
         let compressor = config.compressor();
         let mut dataset =
             Dataset::build(&prepared.grid, &prepared.vectors, &prepared.reports, Some(&compressor));
-        if zero_distance {
+        if options.zero_distance {
             dataset.distance.zero();
         }
         let split = dataset.split(0.6, config.seed);
@@ -216,7 +280,7 @@ impl EvaluatedDesign {
         let history = {
             let mut span = pdn_core::telemetry::span("eval.train");
             span.field("design", prepared.preset.name());
-            trainer.train(&mut model, &dataset, &split)
+            trainer.train_with_checkpoints(&mut model, &dataset, &split, options.checkpoints)?
         };
         let train_wall = t_train.elapsed();
         let mut predictor = Predictor::new(model, &dataset, Some(compressor));
@@ -254,7 +318,7 @@ impl EvaluatedDesign {
                 ],
             );
         }
-        EvaluatedDesign {
+        Ok(EvaluatedDesign {
             prepared,
             dataset,
             split: split.clone(),
@@ -263,7 +327,7 @@ impl EvaluatedDesign {
             test_pairs,
             test_indices: split.test,
             predict_time_per_vector,
-        }
+        })
     }
 
     /// Simulator-time / predictor-time — the "Speedup" column of Table 2.

@@ -138,7 +138,7 @@ pub(crate) fn write_escaped(f: &mut impl std::fmt::Write, s: &str) -> std::fmt::
 ///
 /// Returns a human-readable description of the first syntax error.
 pub fn parse(text: &str) -> Result<Json, String> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -164,9 +164,16 @@ pub fn parse_lines(text: &str) -> Result<Vec<Json>, String> {
     Ok(out)
 }
 
+/// Maximum container-nesting depth. Real telemetry records nest two or
+/// three levels; the cap exists so adversarial input like a megabyte of
+/// `[[[[…` is rejected with an error instead of overflowing the stack
+/// through the recursive-descent parser.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -281,12 +288,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", self.pos));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -297,6 +314,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -306,10 +324,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(map));
         }
         loop {
@@ -325,6 +345,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(map));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -376,6 +397,47 @@ mod tests {
         assert_eq!(ok.len(), 2);
         let err = parse_lines("{\"a\":1}\n{bad}\n").unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn truncated_unicode_escapes_rejected() {
+        // Every torn prefix of a \u escape must be a clean parse error.
+        for text in [r#""\u"#, r#""\u0"#, r#""\u00"#, r#""\u004"#, r#""A"#] {
+            assert!(parse(text).is_err(), "{text:?}");
+        }
+        // And non-hex digits inside the escape.
+        assert!(parse(r#""\u00zz""#).is_err());
+        // The complete, terminated escape still works.
+        assert_eq!(parse(r#""A""#).unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn unterminated_strings_and_escapes_rejected() {
+        for text in [r#"""#, r#""abc"#, r#""abc\"#, r#""abc\""#, r#"{"key"#, r#"{"a":"b"#] {
+            assert!(parse(text).is_err(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_rejected_without_stack_overflow() {
+        // A megabyte of `[` would blow the stack in a naive recursive
+        // parser; the depth cap must turn it into an ordinary error.
+        let bomb = "[".repeat(1 << 20);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        let obj_bomb = r#"{"a":"#.repeat(100_000) + "1";
+        assert!(parse(&obj_bomb).unwrap_err().contains("nesting"));
+        // Moderate nesting stays accepted.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn junk_trailing_bytes_rejected() {
+        for text in ["{} x", "[1] 2", "1 2", "null,", "{\"a\":1}{\"b\":2}", "true\u{0}"] {
+            let err = parse(text).unwrap_err();
+            assert!(err.contains("trailing"), "{text:?}: {err}");
+        }
     }
 
     #[test]

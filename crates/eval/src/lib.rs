@@ -32,5 +32,5 @@ pub mod render;
 pub mod report;
 pub mod tracereport;
 
-pub use harness::{EvaluatedDesign, ExperimentConfig, PreparedDesign};
+pub use harness::{EvalOptions, EvaluatedDesign, ExperimentConfig, PreparedDesign};
 pub use metrics::ErrorStats;

@@ -59,26 +59,25 @@ pub fn ascii_side_by_side(left: &TileMap, right: &TileMap, caption_left: &str, c
     out
 }
 
-/// Writes a tile map as CSV (row 0 first, comma-separated columns).
+/// Writes a tile map as CSV (row 0 first, comma-separated columns). The
+/// file is written atomically: a torn artifact is never left behind.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from file creation and writing.
 pub fn write_csv(map: &TileMap, path: &Path) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let mut f = std::fs::File::create(path)?;
-    for r in 0..map.rows() {
-        let row: Vec<String> = (0..map.cols())
-            .map(|c| format!("{:.6e}", map.get(r, c).expect("in range")))
-            .collect();
-        writeln!(f, "{}", row.join(","))?;
-    }
-    Ok(())
+    pdn_core::fsio::atomic_write_with(path, |f| {
+        for r in 0..map.rows() {
+            let row: Vec<String> = (0..map.cols())
+                .map(|c| format!("{:.6e}", map.get(r, c).expect("in range")))
+                .collect();
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    })
 }
 
-/// Writes `(x, y)` series as a two-column CSV with a header.
+/// Writes `(x, y)` series as a two-column CSV with a header, atomically.
 ///
 /// # Errors
 ///
@@ -88,15 +87,13 @@ pub fn write_series_csv(
     points: &[(f64, f64)],
     path: &Path,
 ) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let mut f = std::fs::File::create(path)?;
-    writeln!(f, "{},{}", header.0, header.1)?;
-    for (x, y) in points {
-        writeln!(f, "{x},{y}")?;
-    }
-    Ok(())
+    pdn_core::fsio::atomic_write_with(path, |f| {
+        writeln!(f, "{},{}", header.0, header.1)?;
+        for (x, y) in points {
+            writeln!(f, "{x},{y}")?;
+        }
+        Ok(())
+    })
 }
 
 #[cfg(test)]

@@ -102,6 +102,16 @@ fn get_f64(obj: &BTreeMap<String, Json>, key: &str) -> Option<f64> {
     obj.get(key).and_then(Json::as_f64)
 }
 
+/// Returns `text` with its last non-empty line removed (trailing blank
+/// lines are removed along with it). Empty input stays empty.
+fn strip_last_nonempty_line(text: &str) -> &str {
+    let trimmed = text.trim_end();
+    match trimmed.rfind('\n') {
+        Some(pos) => &trimmed[..=pos],
+        None => "",
+    }
+}
+
 impl TelemetryLog {
     /// Parses a telemetry JSON-lines document.
     ///
@@ -194,13 +204,33 @@ impl TelemetryLog {
 
     /// Reads and parses a telemetry sink file.
     ///
+    /// A sink is appended live, so a process killed mid-write commonly
+    /// leaves one torn final line; that single trailing line is dropped
+    /// rather than failing the whole report. Corruption anywhere *earlier*
+    /// in the file is still an error.
+    ///
     /// # Errors
     ///
     /// I/O and parse errors, both as strings naming the file.
     pub fn load(path: &Path) -> Result<TelemetryLog, String> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("{}: {e}", path.display()))?;
-        Self::parse_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+        match Self::parse_str(&text) {
+            Ok(log) => Ok(log),
+            Err(e) => {
+                let stripped = strip_last_nonempty_line(&text);
+                if !stripped.is_empty() && stripped.len() < text.len() {
+                    if let Ok(log) = Self::parse_str(stripped) {
+                        eprintln!(
+                            "warning: {}: dropped torn final line ({e})",
+                            path.display()
+                        );
+                        return Ok(log);
+                    }
+                }
+                Err(format!("{}: {e}", path.display()))
+            }
+        }
     }
 
     /// Events with the given name, in file order.
@@ -901,6 +931,40 @@ mod tests {
         assert!(err.contains("line 1"), "{err}");
         let err = TelemetryLog::parse_str("not json\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn load_tolerates_torn_final_line_only() {
+        let dir = std::env::temp_dir()
+            .join(format!("pdn_tracereport_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.jsonl");
+
+        // A good file with the final line torn mid-record, as a killed
+        // process leaves behind.
+        let good = "{\"ts_us\":1,\"kind\":\"counter\",\"name\":\"a\",\"value\":1}\n\
+                    {\"ts_us\":2,\"kind\":\"counter\",\"name\":\"b\",\"value\":2}\n";
+        let torn = format!("{good}{{\"ts_us\":3,\"kind\":\"cou");
+        std::fs::write(&path, &torn).unwrap();
+        let log = TelemetryLog::load(&path).unwrap();
+        assert_eq!(log.counters["a"], 1);
+        assert_eq!(log.counters["b"], 2);
+        assert_eq!(log.counters.len(), 2);
+
+        // Corruption *before* the final line is still an error.
+        let mid = format!("garbage\n{good}");
+        std::fs::write(&path, &mid).unwrap();
+        assert!(TelemetryLog::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn strip_last_line_shapes() {
+        assert_eq!(strip_last_nonempty_line(""), "");
+        assert_eq!(strip_last_nonempty_line("one"), "");
+        assert_eq!(strip_last_nonempty_line("one\n"), "");
+        assert_eq!(strip_last_nonempty_line("one\ntwo"), "one\n");
+        assert_eq!(strip_last_nonempty_line("one\ntwo\n\n"), "one\n");
     }
 
     #[test]

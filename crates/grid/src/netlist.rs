@@ -74,14 +74,14 @@ pub fn write_spice<W: Write>(grid: &PowerGrid, mut w: W) -> io::Result<()> {
     writeln!(w, ".end")
 }
 
-/// Writes the SPICE deck to a file path.
+/// Writes the SPICE deck to a file path atomically (no torn deck is ever
+/// left behind by an interrupted export).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_spice_file(grid: &PowerGrid, path: impl AsRef<Path>) -> io::Result<()> {
-    let f = std::fs::File::create(path)?;
-    write_spice(grid, io::BufWriter::new(f))
+    pdn_core::fsio::atomic_write_with(path.as_ref(), |w| write_spice(grid, w))
 }
 
 #[cfg(test)]

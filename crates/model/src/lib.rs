@@ -33,6 +33,7 @@
 //! assert_eq!(noise.shape(), &[1, 8, 8]);
 //! ```
 
+pub mod checkpoint;
 pub mod fusion;
 pub mod io;
 pub mod model;
@@ -41,5 +42,6 @@ pub mod stats;
 pub mod trainer;
 pub mod unet;
 
+pub use checkpoint::CheckpointConfig;
 pub use model::{ModelConfig, WnvModel};
 pub use trainer::{TrainConfig, TrainHistory, Trainer};

@@ -1,5 +1,6 @@
 //! The training loop (paper §3.4.4): Adam, L1 loss, expansion split.
 
+use crate::checkpoint::{self, CheckpointConfig, TrainState};
 use crate::model::WnvModel;
 use pdn_core::rng;
 use pdn_core::telemetry;
@@ -7,6 +8,7 @@ use pdn_features::dataset::{Dataset, SplitIndices};
 use pdn_nn::loss;
 use pdn_nn::optim::Adam;
 use rand::seq::SliceRandom as _;
+use std::io;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,6 +107,35 @@ impl Trainer {
         dataset: &Dataset,
         split: &SplitIndices,
     ) -> TrainHistory {
+        self.train_with_checkpoints(model, dataset, split, None)
+            .expect("checkpointing disabled, no I/O can fail")
+    }
+
+    /// Trains the model in place, optionally checkpointing every
+    /// `checkpoint.every` epochs and resuming a prior run.
+    ///
+    /// A resumed run is bit-identical to an uninterrupted one: the
+    /// checkpoint carries the model weights, Adam moments and step counter,
+    /// the shuffle RNG's mid-stream state, and the cumulatively shuffled
+    /// sample order, so the loss trajectory and final weights match exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` when resuming from a torn/corrupt checkpoint,
+    /// or one written with different hyper-parameters or a different
+    /// training split; propagates checkpoint-write I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split's training set is empty or references samples
+    /// outside the dataset.
+    pub fn train_with_checkpoints(
+        &self,
+        model: &mut WnvModel,
+        dataset: &Dataset,
+        split: &SplitIndices,
+        checkpoints: Option<&CheckpointConfig>,
+    ) -> io::Result<TrainHistory> {
         assert!(!split.train.is_empty(), "empty training set");
         for &i in split.train.iter().chain(&split.val) {
             assert!(i < dataset.len(), "split index {i} out of range");
@@ -113,8 +144,26 @@ impl Trainer {
         let mut order = split.train.clone();
         let mut shuffle_rng = rng::derived(self.config.seed, "trainer-shuffle");
         let mut history = TrainHistory::default();
+        let mut start_epoch = 0usize;
 
-        for epoch in 0..self.config.epochs {
+        if let Some(ck) = checkpoints {
+            if ck.resume && ck.path.exists() {
+                let state = checkpoint::load(&ck.path)?;
+                self.validate_resume(&state, split)?;
+                state.apply_params(model)?;
+                adam.set_steps(state.adam_steps);
+                order = state.order.clone();
+                shuffle_rng = rng::restore_state(&state.rng_state);
+                history = state.history.clone();
+                start_epoch = state.epochs_done;
+                telemetry::counter_add("train.resumes", 1);
+                if start_epoch >= self.config.epochs {
+                    return Ok(history);
+                }
+            }
+        }
+
+        for epoch in start_epoch..self.config.epochs {
             let mut ep_span = telemetry::span("train.epoch");
             ep_span.field("epoch", epoch);
             let t_epoch = telemetry::enabled().then(std::time::Instant::now);
@@ -174,8 +223,45 @@ impl Trainer {
                     ],
                 );
             }
+            if let Some(ck) = checkpoints {
+                let done = epoch + 1;
+                if done % ck.every == 0 || done == self.config.epochs {
+                    let state = TrainState {
+                        epochs_done: done,
+                        order: order.clone(),
+                        adam_steps: adam.steps(),
+                        rng_state: rng::save_state(&shuffle_rng),
+                        history: history.clone(),
+                        params: TrainState::capture_params(model),
+                        config_digest: checkpoint::config_digest(&self.config),
+                    };
+                    checkpoint::save(&ck.path, &state)?;
+                    telemetry::counter_add("train.checkpoints", 1);
+                }
+            }
         }
-        history
+        Ok(history)
+    }
+
+    /// Rejects a checkpoint that was written by an incompatible run.
+    fn validate_resume(&self, state: &TrainState, split: &SplitIndices) -> io::Result<()> {
+        if state.config_digest != checkpoint::config_digest(&self.config) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint was written with different training hyper-parameters",
+            ));
+        }
+        let mut saved = state.order.clone();
+        let mut ours = split.train.clone();
+        saved.sort_unstable();
+        ours.sort_unstable();
+        if saved != ours {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint was written for a different training split",
+            ));
+        }
+        Ok(())
     }
 
     /// Mean per-sample L1 loss over a set of sample indices (0 if empty).
@@ -260,6 +346,115 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("pdn_trainer_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn weights_of(model: &mut WnvModel) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        model.visit_params(&mut |p| out.push(p.value.as_slice().to_vec()));
+        out
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let (ds, bumps) = tiny_dataset(5);
+        let split = SplitIndices { train: vec![0, 1, 2], val: vec![3], test: vec![4] };
+        let cfg = ModelConfig { c1: 2, c2: 2, c3: 2 };
+        let full_cfg =
+            TrainConfig { epochs: 6, batch_size: 2, learning_rate: 1e-3, seed: 5, lr_decay: 0.98 };
+
+        // Reference: an uninterrupted run.
+        let mut ref_model = WnvModel::new(bumps, cfg, 13);
+        let ref_history = Trainer::new(full_cfg).train(&mut ref_model, &ds, &split);
+
+        // Interrupted run: 3 epochs, checkpoint, then a *fresh* model resumes
+        // to the full 6 epochs from the checkpoint file alone.
+        let dir = ckpt_dir("resume");
+        let ck = crate::checkpoint::CheckpointConfig::resumable(dir.join("train.ckpt"), 1);
+        let mut model_a = WnvModel::new(bumps, cfg, 13);
+        let half_cfg = TrainConfig { epochs: 3, ..full_cfg };
+        Trainer::new(half_cfg)
+            .train_with_checkpoints(&mut model_a, &ds, &split, Some(&ck))
+            .unwrap();
+        let mut model_b = WnvModel::new(bumps, cfg, 13);
+        let resumed = Trainer::new(full_cfg)
+            .train_with_checkpoints(&mut model_b, &ds, &split, Some(&ck))
+            .unwrap();
+
+        assert_eq!(resumed, ref_history, "loss trajectory must match exactly");
+        assert_eq!(
+            weights_of(&mut model_b),
+            weights_of(&mut ref_model),
+            "final weights must be bit-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_past_end_returns_saved_history_untouched() {
+        let (ds, bumps) = tiny_dataset(3);
+        let split = SplitIndices { train: vec![0, 1], val: vec![2], test: vec![] };
+        let cfg = TrainConfig { epochs: 2, batch_size: 2, learning_rate: 1e-3, seed: 2, lr_decay: 1.0 };
+        let dir = ckpt_dir("done");
+        let ck = crate::checkpoint::CheckpointConfig::resumable(dir.join("train.ckpt"), 1);
+        let mut model = WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 1);
+        let first = Trainer::new(cfg)
+            .train_with_checkpoints(&mut model, &ds, &split, Some(&ck))
+            .unwrap();
+        let mut model2 = WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 1);
+        let again = Trainer::new(cfg)
+            .train_with_checkpoints(&mut model2, &ds, &split, Some(&ck))
+            .unwrap();
+        assert_eq!(again, first);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_checkpoint_is_invalid_data_not_a_panic() {
+        let (ds, bumps) = tiny_dataset(3);
+        let split = SplitIndices { train: vec![0, 1], val: vec![2], test: vec![] };
+        let cfg = TrainConfig { epochs: 2, batch_size: 2, learning_rate: 1e-3, seed: 2, lr_decay: 1.0 };
+        let dir = ckpt_dir("torn");
+        let ck = crate::checkpoint::CheckpointConfig::resumable(dir.join("train.ckpt"), 1);
+        let mut model = WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 1);
+        Trainer::new(cfg)
+            .train_with_checkpoints(&mut model, &ds, &split, Some(&ck))
+            .unwrap();
+        // Simulate a crash mid-write having somehow torn the file.
+        let bytes = std::fs::read(&ck.path).unwrap();
+        std::fs::write(&ck.path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut model2 = WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 1);
+        let err = Trainer::new(cfg)
+            .train_with_checkpoints(&mut model2, &ds, &split, Some(&ck))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_different_hyperparameters_rejected() {
+        let (ds, bumps) = tiny_dataset(3);
+        let split = SplitIndices { train: vec![0, 1], val: vec![2], test: vec![] };
+        let cfg = TrainConfig { epochs: 2, batch_size: 2, learning_rate: 1e-3, seed: 2, lr_decay: 1.0 };
+        let dir = ckpt_dir("cfg");
+        let ck = crate::checkpoint::CheckpointConfig::resumable(dir.join("train.ckpt"), 1);
+        let mut model = WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 1);
+        Trainer::new(cfg)
+            .train_with_checkpoints(&mut model, &ds, &split, Some(&ck))
+            .unwrap();
+        let other = TrainConfig { learning_rate: 2e-3, epochs: 4, ..cfg };
+        let mut model2 = WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 1);
+        let err = Trainer::new(other)
+            .train_with_checkpoints(&mut model2, &ds, &split, Some(&ck))
+            .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

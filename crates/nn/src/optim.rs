@@ -60,6 +60,13 @@ impl Adam {
         self.t += 1;
     }
 
+    /// Restores the step counter from a saved training state. Together
+    /// with restored per-parameter moments this resumes the bias
+    /// correction exactly where a checkpointed run left off.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
     /// Updates one parameter using its accumulated gradient; assumes
     /// [`Adam::begin_step`] was called for this step.
     ///

@@ -1,0 +1,451 @@
+//! Content-addressed ground-truth cache.
+//!
+//! Simulating the WNV ground truth dominates every experiment's wall clock
+//! — the very cost the paper's CNN exists to avoid — yet repeated runs with
+//! identical inputs used to pay it again each time. This module caches
+//! [`NoiseReport`] groups on disk, keyed by a content digest of everything
+//! that determines the simulator's output:
+//!
+//! * the elaborated grid — the spec (which encodes design, scale and every
+//!   electrical constant) *and* the built structure (resistors, per-node
+//!   capacitance, bumps, loads), so the build seed's placement jitter is
+//!   captured by content rather than by trusting a seed label;
+//! * every test vector, byte for byte (`dt` + all current samples);
+//! * the solver settings ([`TransientSimulator::digest_solver_settings`]);
+//! * a format-version tag, so changing this file's layout invalidates old
+//!   entries instead of misreading them.
+//!
+//! Entries are written atomically ([`pdn_core::fsio`]) and sealed with a
+//! trailing payload digest; a torn or bit-flipped entry fails the integrity
+//! check on load, is deleted, and the group is re-simulated — a corrupt
+//! cache can cost time but can never poison training data.
+//!
+//! Telemetry: `sim.wnv.cache.hits` / `.misses` / `.invalidations` /
+//! `.stores` count cache outcomes per process.
+
+use crate::error::SimResult;
+use crate::transient::TransientStats;
+use crate::wnv::{NoiseReport, WnvRunner};
+use pdn_core::fsio::{self, Digest};
+use pdn_core::map::TileMap;
+use pdn_core::telemetry;
+use pdn_core::units::Volts;
+use pdn_grid::build::PowerGrid;
+use pdn_vectors::vector::TestVector;
+use std::io::{self, Read};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const MAGIC: &[u8; 8] = b"PDNWNVC1";
+/// Bump this when the entry layout or key recipe changes: old entries then
+/// simply never match, rather than being misparsed.
+const FORMAT_TAG: &str = "pdn-wnv-cache-v1";
+/// Upper bound on tile-map dimensions accepted from a cache entry; guards
+/// the deserializer against allocating garbage-sized buffers from a
+/// corrupt length field before the integrity digest is even checked.
+const MAX_DIM: u32 = 1 << 20;
+
+/// The content-addressed key of one ground-truth group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(pub u64);
+
+impl CacheKey {
+    /// The key as the fixed-width hex string used for entry file names.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Computes the cache key for simulating `vectors` on `grid` with the
+/// given runner's solver settings.
+pub fn cache_key(grid: &PowerGrid, vectors: &[TestVector], runner: &WnvRunner) -> CacheKey {
+    let mut d = Digest::new();
+    d.update_str(FORMAT_TAG);
+    // The spec's Debug form covers every electrical and geometric constant
+    // (design, scale, vdd, dt, layer stack, tile grid, thresholds).
+    d.update_str(&format!("{:?}", grid.spec()));
+    // Built structure: captures the build seed's load placement and decap
+    // jitter by content.
+    d.update_u64(grid.node_count() as u64);
+    for r in grid.resistors() {
+        d.update_u64(r.a.index() as u64);
+        d.update_u64(r.b.index() as u64);
+        d.update_f64(r.resistance.0);
+    }
+    for c in grid.capacitance() {
+        d.update_f64(c.0);
+    }
+    for b in grid.bumps() {
+        d.update_u64(b.node.index() as u64);
+        d.update_f64(b.resistance.0);
+        d.update_f64(b.inductance.0);
+        d.update_f64(b.position.x);
+        d.update_f64(b.position.y);
+    }
+    for l in grid.loads() {
+        d.update_u64(l.node.index() as u64);
+        d.update_f64(l.position.x);
+        d.update_f64(l.position.y);
+        d.update_u64(l.cluster as u64);
+    }
+    runner.simulator().digest_solver_settings(&mut d);
+    d.update_u64(vectors.len() as u64);
+    for v in vectors {
+        d.update_f64(v.time_step().0);
+        d.update_u64(v.step_count() as u64);
+        d.update_u64(v.load_count() as u64);
+        for k in 0..v.step_count() {
+            for &i in v.step(k) {
+                d.update_f64(i);
+            }
+        }
+    }
+    CacheKey(d.finish())
+}
+
+/// An on-disk cache of simulated [`NoiseReport`] groups.
+#[derive(Debug, Clone)]
+pub struct WnvCache {
+    dir: PathBuf,
+}
+
+impl WnvCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation errors.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<WnvCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(WnvCache { dir })
+    }
+
+    /// The default cache directory: `PDN_CACHE_DIR` if set (the values
+    /// `0`, `none` and `off` disable caching), else `~/.cache/pdn-wnv`,
+    /// else `None` when no home directory is known.
+    pub fn default_dir() -> Option<PathBuf> {
+        match std::env::var("PDN_CACHE_DIR") {
+            Ok(raw) => {
+                let raw = raw.trim();
+                match raw {
+                    "" | "0" | "none" | "off" => None,
+                    path => Some(PathBuf::from(path)),
+                }
+            }
+            Err(_) => {
+                std::env::var_os("HOME").map(|home| PathBuf::from(home).join(".cache/pdn-wnv"))
+            }
+        }
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.wnv", key.hex()))
+    }
+
+    /// Looks an entry up, verifying its integrity digest. A missing entry
+    /// returns `None`; a corrupt one is deleted, counted as an
+    /// invalidation, and also returns `None` so the caller re-simulates.
+    pub fn lookup(&self, key: CacheKey) -> Option<Vec<NoiseReport>> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!("warning: wnv cache: cannot read {}: {e}", path.display());
+                return None;
+            }
+        };
+        match decode_entry(&bytes, key) {
+            Ok(reports) => Some(reports),
+            Err(e) => {
+                eprintln!(
+                    "warning: wnv cache: dropping corrupt entry {}: {e}",
+                    path.display()
+                );
+                telemetry::counter_add("sim.wnv.cache.invalidations", 1);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Atomically stores a report group under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the cache is left without the entry (never
+    /// with a partial one).
+    pub fn store(&self, key: CacheKey, reports: &[NoiseReport]) -> io::Result<()> {
+        let payload = encode_entry(key, reports);
+        fsio::atomic_write(self.entry_path(key), &payload)
+    }
+
+    /// Cached [`WnvRunner::run_group`]: returns the stored reports when the
+    /// key hits (skipping simulation entirely), otherwise simulates and
+    /// stores the result. A store failure degrades to a warning — the
+    /// simulated reports are still returned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures on the miss path.
+    pub fn run_group(
+        &self,
+        runner: &WnvRunner,
+        grid: &PowerGrid,
+        vectors: &[TestVector],
+    ) -> SimResult<Vec<NoiseReport>> {
+        let key = cache_key(grid, vectors, runner);
+        if let Some(reports) = self.lookup(key) {
+            telemetry::counter_add("sim.wnv.cache.hits", 1);
+            return Ok(reports);
+        }
+        telemetry::counter_add("sim.wnv.cache.misses", 1);
+        let reports = runner.run_group(vectors)?;
+        match self.store(key, &reports) {
+            Ok(()) => telemetry::counter_add("sim.wnv.cache.stores", 1),
+            Err(e) => eprintln!("warning: wnv cache: cannot store entry {}: {e}", key.hex()),
+        }
+        Ok(reports)
+    }
+}
+
+fn encode_entry(key: CacheKey, reports: &[NoiseReport]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&key.0.to_le_bytes());
+    out.extend_from_slice(&(reports.len() as u32).to_le_bytes());
+    for r in reports {
+        let (rows, cols) = r.worst_noise.shape();
+        out.extend_from_slice(&(rows as u32).to_le_bytes());
+        out.extend_from_slice(&(cols as u32).to_le_bytes());
+        for v in r.worst_noise.as_slice() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&r.max_noise.0.to_le_bytes());
+        out.extend_from_slice(&(r.elapsed.as_nanos() as u64).to_le_bytes());
+        out.extend_from_slice(&(r.stats.steps as u64).to_le_bytes());
+        out.extend_from_slice(&(r.stats.cg_iterations as u64).to_le_bytes());
+        out.extend_from_slice(&r.stats.worst_residual.to_le_bytes());
+    }
+    // Seal everything after the magic with a content digest; a torn write
+    // or flipped bit fails verification on load.
+    let seal = fsio::digest_bytes(&out[MAGIC.len()..]);
+    out.extend_from_slice(&seal.to_le_bytes());
+    out
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn decode_entry(bytes: &[u8], expected: CacheKey) -> io::Result<Vec<NoiseReport>> {
+    if bytes.len() < MAGIC.len() + 8 + 4 + 8 {
+        return Err(invalid("entry shorter than header"));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(invalid("bad cache-entry magic"));
+    }
+    let (body, seal_bytes) = bytes.split_at(bytes.len() - 8);
+    let seal = u64::from_le_bytes(seal_bytes.try_into().expect("8 bytes"));
+    if fsio::digest_bytes(&body[MAGIC.len()..]) != seal {
+        return Err(invalid("integrity digest mismatch (torn or corrupt entry)"));
+    }
+    let mut r = &body[MAGIC.len()..];
+    let key = read_u64(&mut r)?;
+    if key != expected.0 {
+        return Err(invalid("entry key does not match its address"));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut reports = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        let rows = read_u32(&mut r)?;
+        let cols = read_u32(&mut r)?;
+        if rows > MAX_DIM || cols > MAX_DIM {
+            return Err(invalid("implausible tile-map dimensions"));
+        }
+        let n = (rows as usize) * (cols as usize);
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(read_f64(&mut r)?);
+        }
+        let worst_noise = TileMap::from_vec(rows as usize, cols as usize, data)
+            .map_err(|e| invalid(format!("bad tile map: {e}")))?;
+        let max_noise = Volts(read_f64(&mut r)?);
+        let elapsed = Duration::from_nanos(read_u64(&mut r)?);
+        let stats = TransientStats {
+            steps: read_u64(&mut r)? as usize,
+            cg_iterations: read_u64(&mut r)? as usize,
+            worst_residual: read_f64(&mut r)?,
+        };
+        reports.push(NoiseReport { worst_noise, max_noise, elapsed, stats });
+    }
+    if !r.is_empty() {
+        return Err(invalid("trailing bytes after last report"));
+    }
+    Ok(reports)
+}
+
+fn read_u32(r: &mut &[u8]) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(|_| invalid("truncated entry"))?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut &[u8]) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(|_| invalid("truncated entry"))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut &[u8]) -> io::Result<f64> {
+    read_u64(r).map(f64::from_bits)
+}
+
+/// Convenience: runs the group through `cache` when one is provided,
+/// otherwise simulates directly.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_group_cached(
+    cache: Option<&WnvCache>,
+    runner: &WnvRunner,
+    grid: &PowerGrid,
+    vectors: &[TestVector],
+) -> SimResult<Vec<NoiseReport>> {
+    match cache {
+        Some(c) => c.run_group(runner, grid, vectors),
+        None => runner.run_group(vectors),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdn_grid::design::{DesignPreset, DesignScale};
+    use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+
+    fn fixture() -> (PowerGrid, WnvRunner, Vec<TestVector>) {
+        let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+        let runner = WnvRunner::new(&grid).unwrap();
+        let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 30, ..Default::default() });
+        let vectors = gen.generate_group(3, 17);
+        (grid, runner, vectors)
+    }
+
+    fn tmp_cache(tag: &str) -> WnvCache {
+        let dir = std::env::temp_dir().join(format!("pdn_wnv_cache_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        WnvCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let (grid, runner, vectors) = fixture();
+        let cache = tmp_cache("roundtrip");
+        let first = cache.run_group(&runner, &grid, &vectors).unwrap();
+        let second = cache.run_group(&runner, &grid, &vectors).unwrap();
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.worst_noise, b.worst_noise);
+            assert_eq!(a.max_noise, b.max_noise);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.elapsed, b.elapsed);
+        }
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn second_run_hits_and_skips_simulation() {
+        let (grid, runner, vectors) = fixture();
+        let cache = tmp_cache("hits");
+        pdn_core::telemetry::reset();
+        pdn_core::telemetry::enable();
+        let _ = cache.run_group(&runner, &grid, &vectors).unwrap();
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.misses"), 1);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.stores"), 1);
+        let simulated_after_first =
+            pdn_core::telemetry::counter_value("sim.wnv.vectors");
+        let _ = cache.run_group(&runner, &grid, &vectors).unwrap();
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.hits"), 1);
+        // No additional vectors were simulated on the hit path.
+        assert_eq!(
+            pdn_core::telemetry::counter_value("sim.wnv.vectors"),
+            simulated_after_first
+        );
+        pdn_core::telemetry::reset();
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn key_changes_with_inputs() {
+        let (grid, runner, vectors) = fixture();
+        let base = cache_key(&grid, &vectors, &runner);
+        // Different vector bytes.
+        let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 30, ..Default::default() });
+        let other = gen.generate_group(3, 18);
+        assert_ne!(base, cache_key(&grid, &other, &runner));
+        // Different grid build seed (same spec).
+        let grid2 = DesignPreset::D1.spec(DesignScale::Tiny).build(2).unwrap();
+        let runner2 = WnvRunner::new(&grid2).unwrap();
+        assert_ne!(base, cache_key(&grid2, &vectors, &runner2));
+        // Subset of the vectors.
+        assert_ne!(base, cache_key(&grid, &vectors[..2], &runner));
+    }
+
+    #[test]
+    fn corrupt_entry_falls_back_to_simulation() {
+        let (grid, runner, vectors) = fixture();
+        let cache = tmp_cache("corrupt");
+        let first = cache.run_group(&runner, &grid, &vectors).unwrap();
+        let key = cache_key(&grid, &vectors, &runner);
+        let path = cache.dir().join(format!("{}.wnv", key.hex()));
+        // Flip one payload byte: the integrity seal must reject the entry.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        pdn_core::telemetry::reset();
+        pdn_core::telemetry::enable();
+        let again = cache.run_group(&runner, &grid, &vectors).unwrap();
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.invalidations"), 1);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.misses"), 1);
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a.worst_noise, b.worst_noise);
+        }
+        pdn_core::telemetry::reset();
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn truncated_entries_rejected_at_every_offset() {
+        let (grid, runner, vectors) = fixture();
+        let cache = tmp_cache("truncate");
+        let reports = runner.run_group(&vectors).unwrap();
+        let key = cache_key(&grid, &vectors, &runner);
+        cache.store(key, &reports).unwrap();
+        let full = std::fs::read(cache.dir().join(format!("{}.wnv", key.hex()))).unwrap();
+        for cut in [0, 1, 7, 8, 19, full.len() / 2, full.len() - 1] {
+            let err = decode_entry(&full[..cut], key).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        assert_eq!(decode_entry(&full, key).unwrap().len(), reports.len());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn entry_under_wrong_address_rejected() {
+        let (grid, runner, vectors) = fixture();
+        let reports = runner.run_group(&vectors).unwrap();
+        let key = cache_key(&grid, &vectors, &runner);
+        let bytes = encode_entry(key, &reports);
+        let err = decode_entry(&bytes, CacheKey(key.0 ^ 1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -38,12 +38,14 @@
 //! assert!(report.worst_noise.max() > 0.0); // some droop somewhere
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod probe;
 pub mod static_ir;
 pub mod transient;
 pub mod wnv;
 
+pub use cache::{CacheKey, WnvCache};
 pub use error::{SimError, SimResult};
 pub use probe::{ProbeSet, ProbeTrace};
 pub use static_ir::StaticAnalysis;

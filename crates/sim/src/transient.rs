@@ -188,6 +188,29 @@ impl TransientSimulator {
     }
 
     /// Nominal supply voltage.
+    /// The solver strategy this engine was built with.
+    pub fn solver_kind(&self) -> SolverKind {
+        match self.solver {
+            SolverState::Cg { .. } => SolverKind::IterativeCg,
+            SolverState::Direct { .. } => SolverKind::DirectCholesky,
+        }
+    }
+
+    /// Folds every solver setting that affects numeric output — solver
+    /// kind plus, for CG, tolerance and iteration budget — into `d`. Part
+    /// of the ground-truth cache key, so changing a solver constant
+    /// invalidates cached noise maps.
+    pub fn digest_solver_settings(&self, d: &mut pdn_core::fsio::Digest) {
+        match &self.solver {
+            SolverState::Cg { opts, .. } => {
+                d.update_str("cg");
+                d.update_f64(opts.tolerance);
+                d.update_u64(opts.max_iterations as u64);
+            }
+            SolverState::Direct { .. } => d.update_str("cholesky"),
+        }
+    }
+
     pub fn vdd(&self) -> Volts {
         Volts(self.vdd)
     }

@@ -42,7 +42,11 @@ impl NoiseReport {
     }
 
     /// Hotspot ratio: hotspot tiles / all tiles (Table 1's last column).
+    /// An empty tile map has no hotspots, so its ratio is 0 (not NaN).
     pub fn hotspot_ratio(&self, threshold: Volts) -> f64 {
+        if self.worst_noise.is_empty() {
+            return 0.0;
+        }
         self.hotspots(threshold).len() as f64 / self.worst_noise.len() as f64
     }
 
@@ -268,6 +272,21 @@ mod tests {
         for t in hs {
             assert!(report.worst_noise[t] > thr.0);
         }
+    }
+
+    #[test]
+    fn hotspot_ratio_of_empty_map_is_zero() {
+        // Regression: this used to divide by zero and return NaN, which
+        // then propagated through Table 1 summaries.
+        let report = NoiseReport {
+            worst_noise: TileMap::empty(),
+            max_noise: Volts(0.0),
+            elapsed: std::time::Duration::ZERO,
+            stats: TransientStats::default(),
+        };
+        let ratio = report.hotspot_ratio(Volts(0.1));
+        assert_eq!(ratio, 0.0);
+        assert!(!ratio.is_nan());
     }
 
     #[test]

@@ -43,14 +43,14 @@ pub fn write_csv<W: Write>(vector: &TestVector, mut writer: W) -> io::Result<()>
     Ok(())
 }
 
-/// Writes a test vector to a file path.
+/// Writes a test vector to a file path atomically (staged to a temporary
+/// file and renamed, so an interrupted export never leaves a torn CSV).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_csv_file(vector: &TestVector, path: impl AsRef<Path>) -> io::Result<()> {
-    let f = std::fs::File::create(path)?;
-    write_csv(vector, io::BufWriter::new(f))
+    pdn_core::fsio::atomic_write_with(path.as_ref(), |w| write_csv(vector, w))
 }
 
 /// Reads a test vector from CSV produced by [`write_csv`] (or any file with
@@ -75,6 +75,15 @@ pub fn read_csv<R: io::Read>(reader: R) -> io::Result<TestVector> {
                 let ps: f64 = v.trim().parse().map_err(|e| {
                     io::Error::new(io::ErrorKind::InvalidData, format!("bad dt_ps: {e}"))
                 })?;
+                // A zero, negative, or non-finite time step would poison
+                // every backward-Euler companion term downstream; reject it
+                // here where the file and line are known.
+                if !ps.is_finite() || ps <= 0.0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("dt_ps must be a positive finite number, got {ps}"),
+                    ));
+                }
                 dt = Seconds::from_picos(ps);
             }
             continue;
@@ -155,6 +164,18 @@ mod tests {
     fn garbage_rejected() {
         assert!(read_csv("not,numbers\n".as_bytes()).is_err());
         assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn non_positive_or_non_finite_dt_rejected() {
+        for bad in ["0", "-5", "nan", "NaN", "inf", "-inf", "infinity"] {
+            let text = format!("# pdn-wnv test-vector, dt_ps={bad}\n1e-3\n");
+            let err = read_csv(text.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "dt_ps={bad}");
+        }
+        // The boundary: a tiny but positive dt is fine.
+        let v = read_csv("# pdn-wnv test-vector, dt_ps=1e-3\n1e-3\n".as_bytes()).unwrap();
+        assert!(v.time_step().0 > 0.0);
     }
 
     #[test]

@@ -25,11 +25,34 @@ echo
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo
+echo "== ground-truth cache round trip =="
+# Run the same tiny eval twice against a scratch cache: the first run must
+# simulate and store, the second must be served from the cache (hits > 0)
+# without running a single transient solve.
+cache_dir="$(mktemp -d -t pdn-cache-smoke-XXXXXX)"
+t1="$cache_dir/run1.jsonl"
+t2="$cache_dir/run2.jsonl"
+trap 'rm -rf "$cache_dir"' EXIT
+PDN_CACHE_DIR="$cache_dir/cache" ./target/release/pdn eval \
+    --design D1 --vectors 4 --steps 30 --epochs 2 --telemetry "$t1" >/dev/null
+PDN_CACHE_DIR="$cache_dir/cache" ./target/release/pdn eval \
+    --design D1 --vectors 4 --steps 30 --epochs 2 --telemetry "$t2" >/dev/null
+grep -q '"name":"sim.wnv.cache.stores","value":1' "$t1" \
+    || { echo "cache smoke: first run did not store"; exit 1; }
+grep -q '"name":"sim.wnv.cache.hits","value":1' "$t2" \
+    || { echo "cache smoke: second run did not hit the cache"; exit 1; }
+if grep -q '"name":"sim.wnv.vectors"' "$t2"; then
+    echo "cache smoke: second run simulated vectors despite a cache hit"
+    exit 1
+fi
+echo "cache round trip: store on run 1, hit (no simulation) on run 2"
+
 if [[ "${PDN_BENCH_GATE:-1}" != "0" && -f BENCH_components.json ]]; then
     echo
     echo "== bench regression gate (PDN_BENCH_GATE=0 to skip) =="
     gate_json="$(mktemp -t pdn-bench-gate-XXXXXX.json)"
-    trap 'rm -f "$gate_json"' EXIT
+    trap 'rm -rf "$cache_dir" "$gate_json"' EXIT
     PDN_BENCH_JSON="$gate_json" PDN_BENCH_QUICK=1 \
         cargo bench --offline -p pdn-bench --bench components >/dev/null
     python3 scripts/bench_gate.py BENCH_components.json "$gate_json"

@@ -233,8 +233,15 @@ impl Criterion {
             out.push_str(&format!("  \"{name}\": {ns:.1}{comma}\n"));
         }
         out.push_str("}\n");
-        if let Err(e) = std::fs::write(&path, out) {
-            eprintln!("warning: could not write {}: {e}", path.to_string_lossy());
+        // Stage-and-rename so a bench run killed mid-write can't leave a
+        // torn JSON for the comparison tooling. (The shim stays
+        // dependency-free, so this mirrors pdn-core's fsio helper locally.)
+        let path = std::path::PathBuf::from(path);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let staged = std::fs::write(&tmp, out).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = staged {
+            let _ = std::fs::remove_file(&tmp);
+            eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
 }

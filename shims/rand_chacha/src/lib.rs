@@ -78,6 +78,51 @@ impl ChaCha8Rng {
     }
 }
 
+/// Size in bytes of the serialized generator state
+/// ([`ChaCha8Rng::state_bytes`]): 256-bit key, 64-bit block counter,
+/// 64-bit word position.
+pub const STATE_BYTES: usize = 48;
+
+impl ChaCha8Rng {
+    /// Serializes the full generator state. Restoring with
+    /// [`ChaCha8Rng::from_state_bytes`] continues the stream at exactly the
+    /// next word — the property training checkpoints rely on for
+    /// bit-identical resume.
+    pub fn state_bytes(&self) -> [u8; STATE_BYTES] {
+        let mut out = [0u8; STATE_BYTES];
+        for (chunk, k) in out.chunks_exact_mut(4).zip(self.key) {
+            chunk.copy_from_slice(&k.to_le_bytes());
+        }
+        out[32..40].copy_from_slice(&self.counter.to_le_bytes());
+        out[40..48].copy_from_slice(&(self.word_pos as u64).to_le_bytes());
+        out
+    }
+
+    /// Reconstructs a generator from [`ChaCha8Rng::state_bytes`] output.
+    /// The block buffer is not stored: it is a pure function of key and
+    /// counter, so a partially consumed block is regenerated and fast-
+    /// forwarded to the saved word position.
+    pub fn from_state_bytes(state: &[u8; STATE_BYTES]) -> ChaCha8Rng {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(state[..32].chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let counter = u64::from_le_bytes(state[32..40].try_into().expect("8 bytes"));
+        let word_pos =
+            (u64::from_le_bytes(state[40..48].try_into().expect("8 bytes")) as usize).min(16);
+        let mut rng = ChaCha8Rng { key, counter, buf: [0; 16], word_pos: 16 };
+        if word_pos < 16 {
+            // The saved state was mid-block: the live buffer came from the
+            // block at `counter - 1` (refill advances the counter after
+            // generating). Regenerate it, then restore the read position.
+            rng.counter = counter.wrapping_sub(1);
+            rng.refill();
+            rng.word_pos = word_pos;
+        }
+        rng
+    }
+}
+
 impl RngCore for ChaCha8Rng {
     fn next_u32(&mut self) -> u32 {
         if self.word_pos >= 16 {
@@ -140,6 +185,21 @@ mod tests {
         let _ = a.gen::<f64>();
         let mut b = a.clone();
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream_mid_block() {
+        // Land mid-block (word_pos = 5) and across a block boundary.
+        for consumed in [0usize, 5, 16, 21, 37] {
+            let mut fresh = ChaCha8Rng::seed_from_u64(99);
+            for _ in 0..consumed {
+                let _ = fresh.next_u32();
+            }
+            let mut restored = ChaCha8Rng::from_state_bytes(&fresh.state_bytes());
+            for _ in 0..64 {
+                assert_eq!(fresh.next_u32(), restored.next_u32(), "after {consumed} words");
+            }
+        }
     }
 
     #[test]

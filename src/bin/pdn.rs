@@ -15,13 +15,15 @@
 
 use pdn_wnv::core::telemetry;
 use pdn_wnv::core::units::Volts;
-use pdn_wnv::eval::harness::{EvaluatedDesign, ExperimentConfig};
+use pdn_wnv::eval::harness::{EvalOptions, EvaluatedDesign, ExperimentConfig};
 use pdn_wnv::eval::render::{ascii_map, write_csv};
 use pdn_wnv::eval::tracereport::{self, ReportOptions, TelemetryLog};
 use pdn_wnv::grid::design::{DesignPreset, DesignScale};
+use pdn_wnv::model::checkpoint::CheckpointConfig;
 use pdn_wnv::model::model::Predictor;
 use pdn_wnv::model::trainer::TrainConfig;
 use pdn_wnv::sim::wnv::WnvRunner;
+use pdn_wnv::sim::WnvCache;
 use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -51,6 +53,11 @@ const USAGE: &str = "usage:
   pdn simulate        --design D1..D4 [--scale S] [--steps N] [--seed K]
                       [--vector FILE.csv] [--out DIR]
   pdn train           --design D1..D4 [--scale S] [--vectors N] [--epochs E] --out MODEL
+                      [--cache-dir DIR|none] [--checkpoint FILE.ckpt]
+                      [--checkpoint-every N] [--resume true]
+  pdn eval            --design D1..D4 [--scale S] [--vectors N] [--epochs E]
+                      [--cache-dir DIR|none] [--checkpoint FILE.ckpt]
+                      [--checkpoint-every N] [--resume true]
   pdn predict         --model MODEL --design D1..D4 [--scale S] [--seed K]
                       [--vector FILE.csv] [--out DIR]
   pdn export-netlist  --design D1..D4 [--scale S] --out FILE.sp
@@ -63,6 +70,11 @@ every command (except report) also accepts:
                            training metrics to FILE.jsonl and print a summary
                            table (PDN_TELEMETRY=<path|1> does the same from
                            the environment)
+
+`pdn train`/`pdn eval` cache simulated ground truth under --cache-dir
+(default: PDN_CACHE_DIR, else ~/.cache/pdn-wnv; `none` disables) so a
+repeated run skips the transient solves, and can checkpoint training with
+--checkpoint; --resume true continues an interrupted run bit-identically.
 
 `pdn report` renders a telemetry sink as markdown (stage tree, solver
 percentiles, training curve, speedup table); with a BASELINE it also diffs
@@ -92,6 +104,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "info" => info(&opts),
         "simulate" => simulate(&opts),
         "train" => train(&opts),
+        "eval" => eval_cmd(&opts),
         "predict" => predict(&opts),
         "export-netlist" => export_netlist(&opts),
         "export-vector" => export_vector(&opts),
@@ -184,13 +197,15 @@ fn report_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let out = tracereport::report(&run, baseline.as_ref(), &opts);
     match flags.get("out") {
         Some(path) => {
-            std::fs::write(path, &out.markdown).map_err(|e| format!("--out {path}: {e}"))?;
+            pdn_core::fsio::atomic_write(Path::new(path), out.markdown.as_bytes())
+                .map_err(|e| format!("--out {path}: {e}"))?;
             println!("report written to {path}");
         }
         None => print!("{}", out.markdown),
     }
     if let Some(path) = flags.get("trace") {
-        std::fs::write(path, run.chrome_trace()).map_err(|e| format!("--trace {path}: {e}"))?;
+        pdn_core::fsio::atomic_write(Path::new(path), run.chrome_trace().as_bytes())
+            .map_err(|e| format!("--trace {path}: {e}"))?;
         println!("Perfetto trace written to {path} (open at https://ui.perfetto.dev)");
     }
     if !out.regressions.is_empty() {
@@ -337,11 +352,48 @@ fn simulate(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Er
     })
 }
 
-fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
-    let preset = design(opts)?;
-    let out = opts.get("out").ok_or("--out MODEL is required")?;
+/// Resolves the ground-truth cache: `--cache-dir` wins, then
+/// `PDN_CACHE_DIR`, then `~/.cache/pdn-wnv`; `none`/`off`/`0`/empty
+/// disables caching.
+fn cache_from_opts(
+    opts: &HashMap<String, String>,
+) -> Result<Option<WnvCache>, Box<dyn std::error::Error>> {
+    let dir = match opts.get("cache-dir").map(|v| v.trim()) {
+        Some("" | "0" | "none" | "off") => None,
+        Some(path) => Some(PathBuf::from(path)),
+        None => WnvCache::default_dir(),
+    };
+    match dir {
+        Some(d) => Ok(Some(
+            WnvCache::open(&d).map_err(|e| format!("cache dir {}: {e}", d.display()))?,
+        )),
+        None => Ok(None),
+    }
+}
+
+/// Builds the training-checkpoint config from `--checkpoint FILE`,
+/// `--checkpoint-every N` (default 5) and `--resume true`.
+fn checkpoints_from_opts(
+    opts: &HashMap<String, String>,
+) -> Result<Option<CheckpointConfig>, Box<dyn std::error::Error>> {
+    let Some(path) = opts.get("checkpoint") else {
+        if opts.contains_key("resume") || opts.contains_key("checkpoint-every") {
+            return Err("--resume/--checkpoint-every need --checkpoint FILE".into());
+        }
+        return Ok(None);
+    };
+    Ok(Some(CheckpointConfig {
+        path: PathBuf::from(path),
+        every: parse(opts, "checkpoint-every", 5usize)?.max(1),
+        resume: parse(opts, "resume", false)?,
+    }))
+}
+
+fn experiment_config(
+    opts: &HashMap<String, String>,
+) -> Result<ExperimentConfig, Box<dyn std::error::Error>> {
     let base = ExperimentConfig::quick();
-    let config = ExperimentConfig {
+    Ok(ExperimentConfig {
         scale: scale(opts)?,
         vectors: parse(opts, "vectors", base.vectors)?,
         steps: parse(opts, "steps", base.steps)?,
@@ -351,17 +403,77 @@ fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error
         },
         seed: parse(opts, "seed", base.seed)?,
         ..base
+    })
+}
+
+fn run_pipeline(
+    preset: DesignPreset,
+    config: &ExperimentConfig,
+    opts: &HashMap<String, String>,
+) -> Result<EvaluatedDesign, Box<dyn std::error::Error>> {
+    let cache = cache_from_opts(opts)?;
+    let checkpoints = checkpoints_from_opts(opts)?;
+    if let Some(c) = &cache {
+        println!("ground-truth cache: {}", c.dir().display());
+    }
+    if let Some(ck) = &checkpoints {
+        println!(
+            "training checkpoints: {} (every {} epochs{})",
+            ck.path.display(),
+            ck.every,
+            if ck.resume { ", resume enabled" } else { "" }
+        );
+    }
+    let options = EvalOptions {
+        cache: cache.as_ref(),
+        checkpoints: checkpoints.as_ref(),
+        zero_distance: false,
     };
+    try_stage("simulate_and_train", || EvaluatedDesign::evaluate_with(preset, config, &options))
+}
+
+fn train(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = design(opts)?;
+    let out = opts.get("out").ok_or("--out MODEL is required")?;
+    let config = experiment_config(opts)?;
     println!(
         "simulating {} vectors of {} steps and training for {} epochs ...",
         config.vectors, config.steps, config.train.epochs
     );
     let t0 = Instant::now();
-    let mut eval = try_stage("simulate_and_train", || EvaluatedDesign::evaluate(preset, &config))?;
+    let mut eval = run_pipeline(preset, &config, opts)?;
     let stats = pdn_wnv::eval::metrics::pooled_error_stats(&eval.test_pairs);
     println!("done in {:.1}s; held-out accuracy: {stats}", t0.elapsed().as_secs_f64());
     try_stage("save_model", || eval.predictor.save_to(out))?;
     println!("predictor bundle written to {out}");
+    Ok(())
+}
+
+/// `pdn eval`: the full pipeline (simulate or cache-load ground truth,
+/// train, predict the test set) with the accuracy/runtime summary, without
+/// writing a model bundle.
+fn eval_cmd(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    let preset = design(opts)?;
+    let config = experiment_config(opts)?;
+    println!(
+        "evaluating {} at {:?} scale: {} vectors x {} steps, {} epochs ...",
+        preset.name(),
+        config.scale,
+        config.vectors,
+        config.steps,
+        config.train.epochs
+    );
+    let t0 = Instant::now();
+    let eval = run_pipeline(preset, &config, opts)?;
+    let stats = pdn_wnv::eval::metrics::pooled_error_stats(&eval.test_pairs);
+    println!("done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!("held-out accuracy : {stats}");
+    println!(
+        "runtime           : sim {:.4}s/vector, predict {:.4}s/vector, speedup {:.0}x",
+        eval.prepared.sim_time_per_vector.as_secs_f64(),
+        eval.predict_time_per_vector.as_secs_f64(),
+        eval.speedup()
+    );
     Ok(())
 }
 
