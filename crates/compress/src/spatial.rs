@@ -28,13 +28,29 @@ use pdn_vectors::vector::TestVector;
 /// assert!((map.sum() - 1e-3 * grid.loads().len() as f64).abs() < 1e-12);
 /// ```
 pub fn load_tile_map(grid: &PowerGrid, currents: &[f64]) -> TileMap {
-    assert_eq!(currents.len(), grid.loads().len(), "current count must match load count");
     let tiles = grid.tile_grid();
     let mut map = TileMap::zeros(tiles.rows(), tiles.cols());
+    load_tile_map_into(grid, currents, &mut map);
+    map
+}
+
+/// [`load_tile_map`] into a reused map: `map` is resized only when the
+/// grid's tile dimensions change, so steady-state calls allocate nothing.
+///
+/// # Panics
+///
+/// Panics if `currents.len()` differs from the grid's load count.
+pub fn load_tile_map_into(grid: &PowerGrid, currents: &[f64], map: &mut TileMap) {
+    assert_eq!(currents.len(), grid.loads().len(), "current count must match load count");
+    let tiles = grid.tile_grid();
+    if map.shape() != (tiles.rows(), tiles.cols()) {
+        *map = TileMap::zeros(tiles.rows(), tiles.cols());
+    } else {
+        map.as_mut_slice().fill(0.0);
+    }
     for (load, &i) in grid.loads().iter().zip(currents) {
         map[load.tile] += i;
     }
-    map
 }
 
 /// Converts a whole test vector into its sequence of tile current maps
@@ -68,6 +84,17 @@ mod tests {
             assert!((m.sum() - v.total_at(k)).abs() < 1e-12, "step {k}");
             assert!(m.min() >= 0.0);
         }
+    }
+
+    #[test]
+    fn into_variant_resets_stale_contents() {
+        let g = grid();
+        let currents: Vec<f64> = (0..g.loads().len()).map(|i| (i % 3) as f64 * 1e-3).collect();
+        let want = load_tile_map(&g, &currents);
+        let mut reused = TileMap::filled(1, 1, 99.0);
+        load_tile_map_into(&g, &currents, &mut reused);
+        load_tile_map_into(&g, &currents, &mut reused);
+        assert_eq!(reused, want);
     }
 
     #[test]

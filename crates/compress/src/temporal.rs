@@ -28,6 +28,25 @@ pub struct CompressionOutcome {
     pub compressed_mu3sigma: f64,
 }
 
+/// Reusable working memory for [`TemporalCompressor::compress_with`]: the
+/// sort order, prefix-moment tables, and the kept index list. Steady-state
+/// calls on same-length sequences allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct CompressScratch {
+    order: Vec<usize>,
+    pref: Vec<f64>,
+    pref_sq: Vec<f64>,
+    kept: Vec<usize>,
+}
+
+impl CompressScratch {
+    /// The kept time-stamp indices from the last `compress_with` call,
+    /// ascending.
+    pub fn kept(&self) -> &[usize] {
+        &self.kept
+    }
+}
+
 /// Configured instance of Algorithm 1.
 ///
 /// # Example
@@ -135,6 +154,71 @@ impl TemporalCompressor {
             original_mu3sigma: target,
             compressed_mu3sigma: stat,
         }
+    }
+
+    /// Allocation-free variant of [`TemporalCompressor::compress`]: reuses
+    /// `scratch` for every intermediate and leaves the selected indices in
+    /// [`CompressScratch::kept`]. The kept set is identical to `compress`'s
+    /// (a `(value, index)` unstable sort reproduces the stable-by-value
+    /// order of `stats::argsort` exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `totals` is empty.
+    pub fn compress_with(&self, totals: &[f64], scratch: &mut CompressScratch) {
+        assert!(!totals.is_empty(), "cannot compress an empty sequence");
+        let n = totals.len();
+        let keep = ((self.rate * n as f64).round() as usize).clamp(1, n);
+
+        scratch.order.clear();
+        scratch.order.extend(0..n);
+        scratch.order.sort_unstable_by(|&a, &b| {
+            totals[a]
+                .partial_cmp(&totals[b])
+                .expect("argsort does not support NaN")
+                .then(a.cmp(&b))
+        });
+
+        scratch.pref.clear();
+        scratch.pref_sq.clear();
+        scratch.pref.push(0.0);
+        scratch.pref_sq.push(0.0);
+        for (i, &oi) in scratch.order.iter().enumerate() {
+            let s = totals[oi];
+            scratch.pref.push(scratch.pref[i] + s);
+            scratch.pref_sq.push(scratch.pref_sq[i] + s * s);
+        }
+        let (pref, pref_sq) = (&scratch.pref, &scratch.pref_sq);
+        let window_mu3sigma = |k_low: usize, k_high: usize| {
+            let cnt = (k_low + k_high) as f64;
+            let sum = pref[k_low] + (pref[n] - pref[n - k_high]);
+            let sum_sq = pref_sq[k_low] + (pref_sq[n] - pref_sq[n - k_high]);
+            let mean = sum / cnt;
+            let var = (sum_sq / cnt - mean * mean).max(0.0);
+            mean + 3.0 * var.sqrt()
+        };
+
+        let target = stats::mu_plus_3_sigma(totals);
+        let mut best = (f64::INFINITY, 0usize);
+        let mut r0 = 0.0;
+        while r0 <= self.rate + 1e-12 {
+            let k_low = ((r0 * n as f64).round() as usize).min(keep);
+            let k_high = keep - k_low;
+            if k_low + k_high > 0 {
+                let err = (target - window_mu3sigma(k_low, k_high)).abs();
+                if err < best.0 {
+                    best = (err, k_low);
+                }
+            }
+            r0 += self.rate_step;
+        }
+
+        let k_low = best.1;
+        let k_high = keep - k_low;
+        scratch.kept.clear();
+        scratch.kept.extend_from_slice(&scratch.order[..k_low]);
+        scratch.kept.extend_from_slice(&scratch.order[n - k_high..]);
+        scratch.kept.sort_unstable();
     }
 
     /// Literal line-by-line port of Algorithm 1 (recomputes the window
@@ -314,6 +398,19 @@ mod tests {
             let slow = c.compress_reference(&totals);
             assert_eq!(fast.kept, slow.kept, "seed {seed}");
             assert!((fast.statistic_error - slow.statistic_error).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compress_with_matches_compress() {
+        let mut scratch = CompressScratch::default();
+        for (rate, seed) in [(0.3, 1u64), (0.5, 7), (0.15, 11), (1.0, 3)] {
+            let c = TemporalCompressor::new(rate, 0.05).unwrap();
+            for n in [1usize, 17, 157, 300] {
+                let totals = bursty_trace(n, seed);
+                c.compress_with(&totals, &mut scratch);
+                assert_eq!(scratch.kept(), &c.compress(&totals).kept[..], "rate {rate} n {n}");
+            }
         }
     }
 

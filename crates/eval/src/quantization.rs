@@ -1,0 +1,272 @@
+//! Quantized-inference accuracy harness.
+//!
+//! The int8/f16 fast paths are only shippable while they stay faithful to
+//! the f32 predictor on the paper's own metrics — the Table 2 error
+//! statistics and the Table 3 hotspot AUC. This module replays a test set
+//! through each precision, measures every run against both the ground
+//! truth and the f32 predictions, and gates the deviation so a quantization
+//! regression fails loudly instead of quietly eroding accuracy.
+
+use crate::metrics::{self, ErrorStats};
+use pdn_core::map::TileMap;
+use pdn_core::units::Volts;
+use pdn_grid::build::PowerGrid;
+use pdn_model::model::Predictor;
+use pdn_nn::quant::Precision;
+use pdn_vectors::vector::TestVector;
+use std::time::{Duration, Instant};
+
+/// One precision's scorecard over a test set.
+#[derive(Debug, Clone, Copy)]
+pub struct PrecisionRow {
+    /// The inference precision this row measures.
+    pub precision: Precision,
+    /// Pooled error statistics against the simulated ground truth.
+    pub vs_truth: ErrorStats,
+    /// Pooled hotspot ROC-AUC against the ground truth.
+    pub auc: f64,
+    /// Largest per-tile deviation from the f32 predictions, volts.
+    pub max_dev_vs_f32: f64,
+    /// Mean per-tile deviation from the f32 predictions, volts.
+    pub mean_dev_vs_f32: f64,
+    /// Mean prediction wall clock per vector.
+    pub predict_time_per_vector: Duration,
+}
+
+/// The full comparison: one row per precision, f32 first.
+#[derive(Debug, Clone)]
+pub struct QuantizationReport {
+    /// Hotspot threshold the AUC was computed at.
+    pub threshold: Volts,
+    /// Largest |f32 prediction| over the test set — the scale the gate's
+    /// relative bounds are anchored to.
+    pub f32_max: f64,
+    /// Per-precision rows; `rows[0]` is always f32 itself.
+    pub rows: Vec<PrecisionRow>,
+}
+
+impl std::fmt::Display for QuantizationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<4}  {}  auc {:.3}  dev-vs-f32 max {:.3}mV mean {:.3}mV  {:.4}s/vector",
+                row.precision.to_string(),
+                row.vs_truth,
+                row.auc,
+                row.max_dev_vs_f32 * 1e3,
+                row.mean_dev_vs_f32 * 1e3,
+                row.predict_time_per_vector.as_secs_f64()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays `vectors` through the predictor at f32 and at each precision in
+/// `precisions` (f32 entries are skipped — its row always comes first), and
+/// scores every run. The predictor's precision is restored afterwards.
+///
+/// # Panics
+///
+/// Panics if `vectors` is empty or `truths` has a different length.
+pub fn compare_precisions(
+    predictor: &mut Predictor,
+    grid: &PowerGrid,
+    vectors: &[TestVector],
+    truths: &[TileMap],
+    precisions: &[Precision],
+) -> QuantizationReport {
+    assert!(!vectors.is_empty(), "no test vectors to compare on");
+    assert_eq!(vectors.len(), truths.len(), "vector/truth count mismatch");
+    let threshold = grid.spec().hotspot_threshold();
+    let original = predictor.precision();
+
+    let run = |predictor: &mut Predictor, p: Precision| -> (Vec<TileMap>, Duration) {
+        predictor.set_precision(p);
+        let mut preds = Vec::new();
+        // Warm the scratch buffers so the timing reflects steady state.
+        predictor.predict_batch(grid, &vectors[..1], &mut preds);
+        let t0 = Instant::now();
+        predictor.predict_batch(grid, vectors, &mut preds);
+        (preds, t0.elapsed() / vectors.len() as u32)
+    };
+
+    let (f32_preds, f32_time) = run(predictor, Precision::F32);
+    let f32_max =
+        f32_preds.iter().flat_map(|m| m.as_slice()).fold(0.0f64, |a, &v| a.max(v.abs()));
+    let score = |preds: &[TileMap], per_vector: Duration, p: Precision| -> PrecisionRow {
+        let pairs: Vec<(TileMap, TileMap)> =
+            preds.iter().cloned().zip(truths.iter().cloned()).collect();
+        let (mut max_dev, mut sum_dev, mut tiles) = (0.0f64, 0.0f64, 0usize);
+        for (pred, base) in preds.iter().zip(&f32_preds) {
+            for (a, b) in pred.as_slice().iter().zip(base.as_slice()) {
+                let d = (a - b).abs();
+                max_dev = max_dev.max(d);
+                sum_dev += d;
+                tiles += 1;
+            }
+        }
+        PrecisionRow {
+            precision: p,
+            vs_truth: metrics::pooled_error_stats(&pairs),
+            auc: metrics::pooled_auc(&pairs, threshold),
+            max_dev_vs_f32: max_dev,
+            mean_dev_vs_f32: sum_dev / tiles as f64,
+            predict_time_per_vector: per_vector,
+        }
+    };
+
+    let mut rows = vec![score(&f32_preds, f32_time, Precision::F32)];
+    for &p in precisions {
+        if p == Precision::F32 {
+            continue;
+        }
+        let (preds, per_vector) = run(predictor, p);
+        rows.push(score(&preds, per_vector, p));
+    }
+    predictor.set_precision(original);
+    QuantizationReport { threshold, f32_max, rows }
+}
+
+/// Acceptance bounds for one precision, anchored to the f32 predictions'
+/// scale (`f32_max`) so they hold across designs with different noise
+/// magnitudes.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantizationGate {
+    /// Max allowed |pred − f32 pred| as a fraction of `f32_max`.
+    pub max_dev_frac: f64,
+    /// Allowed mean-AE-vs-truth inflation over f32's, as a fraction of
+    /// `f32_max`.
+    pub mean_ae_inflation_frac: f64,
+    /// Allowed hotspot-AUC drop below f32's AUC.
+    pub auc_margin: f64,
+}
+
+impl QuantizationGate {
+    /// The default bound for each precision: f16 must track f32 tightly;
+    /// int8 gets the slack its 8-bit activations need but still far less
+    /// than the model's own error against the ground truth.
+    pub fn default_for(p: Precision) -> QuantizationGate {
+        match p {
+            Precision::F32 => QuantizationGate {
+                max_dev_frac: 1e-9,
+                mean_ae_inflation_frac: 1e-9,
+                auc_margin: 1e-9,
+            },
+            Precision::F16 => QuantizationGate {
+                max_dev_frac: 0.05,
+                mean_ae_inflation_frac: 0.02,
+                auc_margin: 0.05,
+            },
+            Precision::Int8 => QuantizationGate {
+                max_dev_frac: 0.35,
+                mean_ae_inflation_frac: 0.15,
+                auc_margin: 0.15,
+            },
+        }
+    }
+}
+
+/// Applies [`QuantizationGate::default_for`] to every non-f32 row.
+///
+/// # Errors
+///
+/// Returns a message naming every violated bound.
+pub fn check_gates(report: &QuantizationReport) -> Result<(), String> {
+    let f32_row = &report.rows[0];
+    let scale = report.f32_max.max(1e-12);
+    let mut failures = Vec::new();
+    for row in &report.rows[1..] {
+        let gate = QuantizationGate::default_for(row.precision);
+        if row.max_dev_vs_f32 > gate.max_dev_frac * scale {
+            failures.push(format!(
+                "{}: max deviation vs f32 {:.3}mV exceeds {:.3}mV",
+                row.precision,
+                row.max_dev_vs_f32 * 1e3,
+                gate.max_dev_frac * scale * 1e3
+            ));
+        }
+        let inflation = row.vs_truth.mean_ae - f32_row.vs_truth.mean_ae;
+        if inflation > gate.mean_ae_inflation_frac * scale {
+            failures.push(format!(
+                "{}: mean AE inflation {:.3}mV exceeds {:.3}mV",
+                row.precision,
+                inflation * 1e3,
+                gate.mean_ae_inflation_frac * scale * 1e3
+            ));
+        }
+        if row.auc < f32_row.auc - gate.auc_margin {
+            failures.push(format!(
+                "{}: hotspot AUC {:.3} fell more than {:.3} below f32's {:.3}",
+                row.precision, row.auc, gate.auc_margin, f32_row.auc
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{EvaluatedDesign, ExperimentConfig};
+    use pdn_grid::design::DesignPreset;
+
+    #[test]
+    fn quantized_precisions_pass_default_gates() {
+        let cfg = ExperimentConfig::quick();
+        let mut eval = EvaluatedDesign::evaluate(DesignPreset::D1, &cfg).unwrap();
+        let vectors: Vec<_> =
+            eval.test_indices.iter().map(|&i| eval.prepared.vectors[i].clone()).collect();
+        let truths: Vec<_> = eval.test_pairs.iter().map(|(_, t)| t.clone()).collect();
+        let report = compare_precisions(
+            &mut eval.predictor,
+            &eval.prepared.grid,
+            &vectors,
+            &truths,
+            &[Precision::F16, Precision::Int8],
+        );
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0].precision, Precision::F32);
+        assert_eq!(report.rows[0].max_dev_vs_f32, 0.0);
+        assert!(report.f32_max > 0.0, "f32 predictions are all zero");
+        // f16 tracks f32 more tightly than int8's allowance.
+        let f16 = &report.rows[1];
+        assert!(f16.max_dev_vs_f32 < 0.05 * report.f32_max, "f16 dev {}", f16.max_dev_vs_f32);
+        check_gates(&report).unwrap();
+        // The predictor leaves the comparison at its original precision.
+        assert_eq!(eval.predictor.precision(), Precision::F32);
+    }
+
+    #[test]
+    fn gate_flags_a_divergent_row() {
+        let base = PrecisionRow {
+            precision: Precision::F32,
+            vs_truth: ErrorStats::default(),
+            auc: 0.9,
+            max_dev_vs_f32: 0.0,
+            mean_dev_vs_f32: 0.0,
+            predict_time_per_vector: Duration::ZERO,
+        };
+        let bad = PrecisionRow {
+            precision: Precision::Int8,
+            vs_truth: ErrorStats { mean_ae: 0.09, ..ErrorStats::default() },
+            auc: 0.5,
+            max_dev_vs_f32: 0.09,
+            mean_dev_vs_f32: 0.05,
+            predict_time_per_vector: Duration::ZERO,
+        };
+        let report = QuantizationReport {
+            threshold: Volts(0.05),
+            f32_max: 0.1,
+            rows: vec![base, bad],
+        };
+        let msg = check_gates(&report).unwrap_err();
+        assert!(msg.contains("max deviation"), "{msg}");
+        assert!(msg.contains("AUC"), "{msg}");
+    }
+}

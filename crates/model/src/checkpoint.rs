@@ -31,13 +31,24 @@ pub struct CheckpointConfig {
     pub every: usize,
     /// Resume from `path` when it exists (a missing file starts fresh).
     pub resume: bool,
+    /// When `Some(k)`, every save also writes an epoch-stamped generation
+    /// file next to `path` (`train.ckpt` → `train-e00012.ckpt`) and then
+    /// prunes all but the newest `k` generations. `path` itself always
+    /// holds the latest state, so resume is unaffected.
+    pub keep: Option<usize>,
 }
 
 impl CheckpointConfig {
     /// Checkpoints to `path` every `every` epochs with resume enabled —
     /// the configuration `pdn train --checkpoint` uses.
     pub fn resumable(path: impl Into<PathBuf>, every: usize) -> CheckpointConfig {
-        CheckpointConfig { path: path.into(), every: every.max(1), resume: true }
+        CheckpointConfig { path: path.into(), every: every.max(1), resume: true, keep: None }
+    }
+
+    /// Enables generation rotation: keep the newest `keep` epoch-stamped
+    /// checkpoint files (`--checkpoint-keep`).
+    pub fn with_keep(self, keep: usize) -> CheckpointConfig {
+        CheckpointConfig { keep: Some(keep), ..self }
     }
 }
 
@@ -250,6 +261,61 @@ pub fn load(path: &Path) -> io::Result<TrainState> {
     Ok(TrainState { epochs_done, order, adam_steps, rng_state, history, params, config_digest })
 }
 
+/// The sibling path holding the generation checkpointed after
+/// `epochs_done` completed epochs (`train.ckpt` → `train-e00012.ckpt`).
+pub fn stamped_path(path: &Path, epochs_done: usize) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("checkpoint");
+    let name = match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}-e{epochs_done:05}.{ext}"),
+        None => format!("{stem}-e{epochs_done:05}"),
+    };
+    path.with_file_name(name)
+}
+
+/// Existing generation files for `path`, sorted by epoch (ascending).
+/// Files whose name does not parse as a generation of `path` are ignored.
+///
+/// # Errors
+///
+/// Propagates directory-scan errors.
+pub fn generations(path: &Path) -> io::Result<Vec<(usize, PathBuf)>> {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("checkpoint");
+    let ext = path.extension().and_then(|e| e.to_str());
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let prefix = format!("{stem}-e");
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.extension().and_then(|e| e.to_str()) != ext {
+            continue;
+        }
+        let Some(s) = p.file_stem().and_then(|s| s.to_str()) else { continue };
+        let Some(digits) = s.strip_prefix(&prefix) else { continue };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let Ok(epoch) = digits.parse::<usize>() else { continue };
+        found.push((epoch, p));
+    }
+    found.sort();
+    Ok(found)
+}
+
+/// Deletes all but the newest `keep` generation files of `path`, returning
+/// how many were removed (`keep = 0` removes every generation).
+///
+/// # Errors
+///
+/// Propagates directory-scan and file-removal errors.
+pub fn prune_generations(path: &Path, keep: usize) -> io::Result<usize> {
+    let gens = generations(path)?;
+    let cut = gens.len().saturating_sub(keep);
+    for (_, p) in &gens[..cut] {
+        std::fs::remove_file(p)?;
+    }
+    Ok(cut)
+}
+
 fn read_u32(r: &mut &[u8]) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b).map_err(|_| invalid("truncated checkpoint"))?;
@@ -342,6 +408,41 @@ mod tests {
         bytes[mid] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
         assert_eq!(load(&path).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn stamped_paths_and_pruning() {
+        assert_eq!(
+            stamped_path(Path::new("/run/train.ckpt"), 12),
+            PathBuf::from("/run/train-e00012.ckpt")
+        );
+        assert_eq!(stamped_path(Path::new("bare"), 3), PathBuf::from("bare-e00003"));
+
+        let state = state_fixture();
+        let path = tmp_path("rotate");
+        for epoch in [1, 2, 3, 4] {
+            save(&stamped_path(&path, epoch), &state).unwrap();
+        }
+        // Decoys that must never be pruned: the main checkpoint, a foreign
+        // stem, and a non-numeric suffix.
+        save(&path, &state).unwrap();
+        let decoy = path.with_file_name("other-e00001.ckpt");
+        save(&decoy, &state).unwrap();
+        let junk = path.with_file_name("train-efinal.ckpt");
+        std::fs::write(&junk, b"junk").unwrap();
+
+        let gens: Vec<usize> = generations(&path).unwrap().into_iter().map(|(e, _)| e).collect();
+        assert_eq!(gens, vec![1, 2, 3, 4]);
+        assert_eq!(prune_generations(&path, 2).unwrap(), 2);
+        let left: Vec<usize> = generations(&path).unwrap().into_iter().map(|(e, _)| e).collect();
+        assert_eq!(left, vec![3, 4]);
+        // Survivors are real checkpoints and the decoys are untouched.
+        load(&stamped_path(&path, 4)).unwrap();
+        load(&path).unwrap();
+        assert!(decoy.exists() && junk.exists());
+        assert_eq!(prune_generations(&path, 0).unwrap(), 2);
+        assert!(generations(&path).unwrap().is_empty());
         std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 

@@ -8,7 +8,15 @@ use pdn_nn::activation::Relu;
 use pdn_nn::conv::{Conv2d, Padding};
 use pdn_nn::deconv::ConvTranspose2d;
 use pdn_nn::layer::{Layer, Param};
+use pdn_nn::quant::Precision;
 use pdn_nn::tensor::Tensor;
+
+/// Reusable intermediate buffers for [`FusionNet::forward_infer`].
+#[derive(Debug, Default, Clone)]
+pub struct FusionBufs {
+    a: Tensor,
+    b: Tensor,
+}
 
 /// Four-layer encoder–decoder applied independently to every compressed
 /// current map: two stride-2 encoding convolutions, two stride-2
@@ -63,6 +71,35 @@ impl FusionNet {
     /// Hidden channel count.
     pub fn channels(&self) -> usize {
         self.channels
+    }
+
+    /// Switches every layer's inference weights to `p`.
+    pub fn set_precision(&mut self, p: Precision) {
+        self.enc1.set_precision(p);
+        self.enc2.set_precision(p);
+        self.dec1.set_precision(p);
+        self.dec2.set_precision(p);
+    }
+
+    /// The active inference precision (all layers agree by construction).
+    pub fn precision(&self) -> Precision {
+        self.enc1.precision()
+    }
+
+    /// Inference-only forward into a reused output tensor. Uses the fused
+    /// conv+ReLU kernels and allocates nothing in steady state; at f32 the
+    /// result is bitwise identical to [`Layer::forward`].
+    pub fn forward_infer(&mut self, input: &Tensor, bufs: &mut FusionBufs, out: &mut Tensor) {
+        assert_eq!(input.shape()[0], 1, "fusion subnet takes one-channel current maps");
+        assert!(
+            input.shape()[1].is_multiple_of(4) && input.shape()[2].is_multiple_of(4),
+            "fusion input sides must be divisible by 4 (got {:?}); pad first",
+            input.shape()
+        );
+        self.enc1.forward_infer(input, &mut bufs.a, true);
+        self.enc2.forward_infer(&bufs.a, &mut bufs.b, true);
+        self.dec1.forward_infer(&bufs.b, &mut bufs.a, true);
+        self.dec2.forward_infer(&bufs.a, out, false);
     }
 }
 
@@ -130,6 +167,24 @@ mod tests {
         let r = check_layer(&mut net, &[1, 8, 8], 1e-2, 2);
         assert!(r.max_input_error < 0.05, "input errors: {:?}", r.max_input_error);
         assert!(r.param_fraction_above(0.05) < 0.02, "param errors: {:?}", r.max_param_error);
+    }
+
+    #[test]
+    fn forward_infer_matches_forward_bitwise() {
+        let mut net = FusionNet::new(4, 3);
+        let x = Tensor::from_fn3(1, 8, 12, |_, h, w| ((h * 5 + w) % 13) as f32 * 0.07 - 0.3);
+        let want = net.forward(&x);
+        let mut bufs = FusionBufs::default();
+        let mut out = Tensor::default();
+        net.forward_infer(&x, &mut bufs, &mut out);
+        net.forward_infer(&x, &mut bufs, &mut out);
+        assert_eq!(out, want);
+
+        net.set_precision(Precision::F16);
+        assert_eq!(net.precision(), Precision::F16);
+        net.set_precision(Precision::F32);
+        net.forward_infer(&x, &mut bufs, &mut out);
+        assert_eq!(out, want);
     }
 
     #[test]

@@ -10,12 +10,36 @@
 use crate::model::{ModelConfig, Predictor, WnvModel};
 use pdn_compress::temporal::TemporalCompressor;
 use pdn_features::normalize::Normalizer;
-use pdn_nn::serialize::{read_params, write_params};
+use pdn_nn::quant::Precision;
+use pdn_nn::serialize::{read_params, read_params_quantized, write_params, write_params_quantized};
 use pdn_nn::tensor::Tensor;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"PDNWNV01";
+/// V2 bundles carry a precision tag and quantized (f16/int8) weight
+/// storage; f32 predictors keep writing byte-identical V1 bundles.
+const MAGIC_V2: &[u8; 8] = b"PDNWNV02";
+
+fn precision_tag(p: Precision) -> u32 {
+    match p {
+        Precision::F32 => 0,
+        Precision::F16 => 1,
+        Precision::Int8 => 2,
+    }
+}
+
+fn precision_from_tag(tag: u32) -> io::Result<Precision> {
+    match tag {
+        0 => Ok(Precision::F32),
+        1 => Ok(Precision::F16),
+        2 => Ok(Precision::Int8),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown precision tag {other}"),
+        )),
+    }
+}
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -44,7 +68,8 @@ impl Predictor {
     ///
     /// Propagates I/O errors.
     pub fn save<W: Write>(&mut self, mut writer: W) -> io::Result<()> {
-        writer.write_all(MAGIC)?;
+        let precision = self.precision();
+        writer.write_all(if precision == Precision::F32 { MAGIC } else { MAGIC_V2 })?;
         let config = self.model_config();
         write_u32(&mut writer, config.c1 as u32)?;
         write_u32(&mut writer, config.c2 as u32)?;
@@ -66,7 +91,12 @@ impl Predictor {
             }
             None => write_u32(&mut writer, 0)?,
         }
-        self.model_mut().write_weights(&mut writer)
+        if precision == Precision::F32 {
+            self.model_mut().write_weights(&mut writer)
+        } else {
+            write_u32(&mut writer, precision_tag(precision))?;
+            self.model_mut().write_weights_quantized(precision, &mut writer)
+        }
     }
 
     /// Saves to a file path atomically: the bundle is staged to a
@@ -101,9 +131,16 @@ impl Predictor {
     fn load_impl<R: Read>(mut reader: R) -> io::Result<Predictor> {
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad predictor-bundle magic"));
-        }
+        let quantized = match &magic {
+            m if m == MAGIC => false,
+            m if m == MAGIC_V2 => true,
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad predictor-bundle magic",
+                ))
+            }
+        };
         let c1 = read_u32(&mut reader)? as usize;
         let c2 = read_u32(&mut reader)? as usize;
         let c3 = read_u32(&mut reader)? as usize;
@@ -140,14 +177,25 @@ impl Predictor {
             None
         };
         let mut model = WnvModel::new(bumps, ModelConfig { c1, c2, c3 }, 0);
-        model.read_weights(&mut reader)?;
-        Ok(Predictor::from_parts(
+        let precision = if quantized {
+            let p = precision_from_tag(read_u32(&mut reader)?)?;
+            model.read_weights_quantized(&mut reader)?;
+            p
+        } else {
+            model.read_weights(&mut reader)?;
+            Precision::F32
+        };
+        let mut predictor = Predictor::from_parts(
             model,
             distance,
             Normalizer::with_scale(current_scale),
             Normalizer::with_scale(target_scale),
             compressor,
-        ))
+        );
+        if precision != Precision::F32 {
+            predictor.set_precision(precision);
+        }
+        Ok(predictor)
     }
 
     /// Loads from a file path.
@@ -204,6 +252,56 @@ impl WnvModel {
         }
         read_params(&mut Visitor(self), reader)
     }
+
+    /// Writes the three subnets' weights with quantized (f16 halfword /
+    /// int8 per-row) storage for rank ≥ 2 tensors. The on-disk form is a
+    /// storage compression: the loader dequantizes back to f32 and the
+    /// runtime re-quantizes via [`WnvModel::set_precision`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_weights_quantized<W: Write>(
+        &mut self,
+        precision: Precision,
+        writer: &mut W,
+    ) -> io::Result<()> {
+        struct Visitor<'a>(&'a mut WnvModel);
+        impl pdn_nn::layer::Layer for Visitor<'_> {
+            fn forward(&mut self, _input: &Tensor) -> Tensor {
+                unreachable!("serialization-only adapter")
+            }
+            fn backward(&mut self, _grad: &Tensor) -> Tensor {
+                unreachable!("serialization-only adapter")
+            }
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut pdn_nn::layer::Param)) {
+                self.0.visit_params(f);
+            }
+        }
+        write_params_quantized(&mut Visitor(self), precision, writer)
+    }
+
+    /// Restores weights written by [`WnvModel::write_weights_quantized`],
+    /// dequantizing into the f32 parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for structurally mismatched weight files.
+    pub fn read_weights_quantized<R: Read>(&mut self, reader: &mut R) -> io::Result<()> {
+        struct Visitor<'a>(&'a mut WnvModel);
+        impl pdn_nn::layer::Layer for Visitor<'_> {
+            fn forward(&mut self, _input: &Tensor) -> Tensor {
+                unreachable!("serialization-only adapter")
+            }
+            fn backward(&mut self, _grad: &Tensor) -> Tensor {
+                unreachable!("serialization-only adapter")
+            }
+            fn visit_params(&mut self, f: &mut dyn FnMut(&mut pdn_nn::layer::Param)) {
+                self.0.visit_params(f);
+            }
+        }
+        read_params_quantized(&mut Visitor(self), reader)
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +351,61 @@ mod tests {
         let mut restored = Predictor::load_from(&path).unwrap();
         assert_eq!(predictor.predict(&grid, &query), restored.predict(&grid, &query));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_bundle_round_trip() {
+        for precision in [Precision::F16, Precision::Int8] {
+            let (grid, mut predictor, query) = trained_predictor();
+            let reference = predictor.predict(&grid, &query);
+            let scale =
+                reference.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-12);
+            predictor.set_precision(precision);
+
+            let mut buf = Vec::new();
+            predictor.save(&mut buf).unwrap();
+            assert_eq!(&buf[..8], MAGIC_V2, "{precision}");
+            let mut restored = Predictor::load(&mut buf.as_slice()).unwrap();
+            assert_eq!(restored.precision(), precision);
+
+            // Quantized storage is lossy once, but must stay close to the
+            // f32 reference and be stable under a second round trip.
+            let after = restored.predict(&grid, &query);
+            let tol = if precision == Precision::F16 { 2e-3 } else { 0.3 };
+            for (a, b) in after.as_slice().iter().zip(reference.as_slice()) {
+                assert!((a - b).abs() <= scale * tol, "{precision}: {a} vs {b}");
+            }
+            let mut buf2 = Vec::new();
+            restored.save(&mut buf2).unwrap();
+            assert_eq!(buf, buf2, "{precision}: second round trip must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn f32_save_keeps_v1_format() {
+        let (_, mut predictor, _) = trained_predictor();
+        let mut buf = Vec::new();
+        predictor.save(&mut buf).unwrap();
+        assert_eq!(&buf[..8], MAGIC);
+        // A precision excursion must not leak into a later f32 save.
+        predictor.set_precision(Precision::Int8);
+        predictor.set_precision(Precision::F32);
+        let mut buf2 = Vec::new();
+        predictor.save(&mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn torn_quantized_bundle_rejected() {
+        let (_, mut predictor, _) = trained_predictor();
+        predictor.set_precision(Precision::Int8);
+        let mut buf = Vec::new();
+        predictor.save(&mut buf).unwrap();
+        for cut in [0, 4, 10, 21, buf.len() / 4, buf.len() / 2, buf.len() - 5, buf.len() - 1] {
+            let torn = &buf[..cut];
+            let err = Predictor::load(&mut &torn[..]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
     }
 
     #[test]

@@ -1,16 +1,16 @@
 //! The assembled three-subnet model and the end-user predictor.
 
-use crate::fusion::FusionNet;
-use crate::pad::{crop_to, pad_to_multiple4, uncrop_grad};
-use crate::stats::TemporalStats;
-use crate::unet::UNet;
-use pdn_compress::temporal::TemporalCompressor;
+use crate::fusion::{FusionBufs, FusionNet};
+use crate::pad::{crop_to, pad_to_multiple4, pad_to_multiple4_into, round_up4, uncrop_grad};
+use crate::stats::{StatsInferBufs, TemporalStats};
+use crate::unet::{UNet, UNetBufs};
+use pdn_compress::temporal::{CompressScratch, TemporalCompressor};
 use pdn_core::map::TileMap;
-use pdn_features::convert::{map_to_tensor, tensor_to_map};
 use pdn_features::dataset::Dataset;
 use pdn_features::normalize::Normalizer;
 use pdn_grid::build::PowerGrid;
 use pdn_nn::layer::{Layer, Param};
+use pdn_nn::quant::Precision;
 use pdn_nn::tensor::Tensor;
 use pdn_vectors::vector::TestVector;
 use rayon::prelude::*;
@@ -195,6 +195,20 @@ impl WnvModel {
         }
     }
 
+    /// Switches all three subnets' inference weights to `p`. Training
+    /// parameters are untouched, so `F32` always restores the exact
+    /// trained behaviour.
+    pub fn set_precision(&mut self, p: Precision) {
+        self.distance_net.set_precision(p);
+        self.fusion_net.set_precision(p);
+        self.prediction_net.set_precision(p);
+    }
+
+    /// The active inference precision.
+    pub fn precision(&self) -> Precision {
+        self.distance_net.precision()
+    }
+
     /// Visits all trainable parameters of the three subnets.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.distance_net.visit_params(f);
@@ -206,6 +220,30 @@ impl WnvModel {
     pub fn zero_grad(&mut self) {
         self.visit_params(&mut |p| p.zero_grad());
     }
+}
+
+/// Reusable working memory for the predictor's inference path. Everything
+/// a [`Predictor::predict_into`] call touches lives here, so repeated
+/// predictions allocate nothing in steady state.
+#[derive(Default)]
+struct InferScratch {
+    /// `pad_to_multiple4(distance)` — depends only on the design.
+    padded_distance: Tensor,
+    /// Distance-net output; valid until the weights (precision) change.
+    d_tilde: Tensor,
+    d_tilde_valid: bool,
+    unet_d: UNetBufs,
+    unet_p: UNetBufs,
+    fusion: FusionBufs,
+    stats: StatsInferBufs,
+    maps: Vec<TileMap>,
+    totals: Vec<f64>,
+    compress: CompressScratch,
+    all: Vec<usize>,
+    cur: Tensor,
+    fused: Vec<Tensor>,
+    cat: Tensor,
+    pred: Tensor,
 }
 
 /// A trained model bundled with everything needed to answer a sign-off
@@ -220,6 +258,8 @@ pub struct Predictor {
     current_norm: Normalizer,
     target_norm: Normalizer,
     compressor: Option<TemporalCompressor>,
+    precision: Precision,
+    scratch: InferScratch,
 }
 
 impl std::fmt::Debug for Predictor {
@@ -237,7 +277,25 @@ impl Predictor {
             current_norm: dataset.current_norm,
             target_norm: dataset.target_norm,
             compressor,
+            precision: Precision::F32,
+            scratch: InferScratch::default(),
         }
+    }
+
+    /// Switches the inference precision: `F32` (the trained weights), `F16`
+    /// (half-precision weight storage, f32 compute) or `Int8` (per-channel
+    /// symmetric weight quantization, i32 accumulate). Training parameters
+    /// are untouched, so `F32` restores the exact trained behaviour.
+    pub fn set_precision(&mut self, p: Precision) {
+        self.precision = p;
+        self.model.set_precision(p);
+        // The cached distance features were computed with the old weights.
+        self.scratch.d_tilde_valid = false;
+    }
+
+    /// The active inference precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Predicts the worst-case noise map (in volts) for a raw test vector:
@@ -248,26 +306,109 @@ impl Predictor {
     ///
     /// Panics if the vector's load count differs from the grid's.
     pub fn predict(&mut self, grid: &PowerGrid, vector: &TestVector) -> TileMap {
-        let maps = pdn_compress::spatial::tile_current_maps(grid, vector);
-        let maps = match &self.compressor {
-            Some(c) => c.compress_maps(&maps).0,
-            None => maps,
-        };
-        let currents: Vec<Tensor> = maps
-            .iter()
-            .map(|m| {
-                let mut t = map_to_tensor(m);
-                for v in t.as_mut_slice() {
-                    *v = self.current_norm.apply_f32(*v);
-                }
-                t
-            })
-            .collect();
-        let mut out = self.model.forward(&self.distance, &currents);
-        for v in out.as_mut_slice() {
-            *v = self.target_norm.invert_f32(v.max(0.0));
+        let mut out = TileMap::empty();
+        self.predict_into(grid, vector, &mut out);
+        out
+    }
+
+    /// [`Predictor::predict`] into a reused output map. All intermediates
+    /// live in the predictor's internal scratch, so steady-state calls
+    /// perform no heap allocation; at f32 the result is bitwise identical
+    /// to the training-path forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's load count differs from the grid's.
+    pub fn predict_into(&mut self, grid: &PowerGrid, vector: &TestVector, out: &mut TileMap) {
+        let Predictor { model, distance, current_norm, target_norm, compressor, scratch: s, .. } =
+            self;
+        let (m, n) = (distance.shape()[1], distance.shape()[2]);
+        let (hp, wp) = (round_up4(m), round_up4(n));
+
+        // Distance features depend only on the design and the weights:
+        // compute them once and reuse across every query.
+        if !s.d_tilde_valid {
+            pad_to_multiple4_into(distance, &mut s.padded_distance);
+            model.distance_net.forward_infer(&s.padded_distance, &mut s.unet_d, &mut s.d_tilde);
+            s.d_tilde_valid = true;
         }
-        tensor_to_map(&out)
+
+        // Spatial aggregation into reused tile maps.
+        let t_all = vector.step_count();
+        while s.maps.len() < t_all {
+            s.maps.push(TileMap::empty());
+        }
+        s.totals.clear();
+        for k in 0..t_all {
+            pdn_compress::spatial::load_tile_map_into(grid, vector.step(k), &mut s.maps[k]);
+            s.totals.push(s.maps[k].sum());
+        }
+
+        // Temporal compression selects the kept time stamps.
+        let kept: &[usize] = match compressor {
+            Some(c) => {
+                c.compress_with(&s.totals, &mut s.compress);
+                s.compress.kept()
+            }
+            None => {
+                s.all.clear();
+                s.all.extend(0..t_all);
+                &s.all
+            }
+        };
+
+        // Fuse each kept map; the padded + normalized input tensor and the
+        // per-map outputs are all reused buffers.
+        let t_kept = kept.len();
+        while s.fused.len() < t_kept {
+            s.fused.push(Tensor::default());
+        }
+        for (i, &k) in kept.iter().enumerate() {
+            let map = &s.maps[k];
+            assert_eq!(map.shape(), (m, n), "current map shape mismatch");
+            s.cur.resize_in_place(&[1, hp, wp]);
+            let cs = s.cur.as_mut_slice();
+            let ms = map.as_slice();
+            for r in 0..m {
+                for c in 0..n {
+                    cs[r * wp + c] = current_norm.apply_f32(ms[r * n + c] as f32);
+                }
+            }
+            model.fusion_net.forward_infer(&s.cur, &mut s.fusion, &mut s.fused[i]);
+        }
+
+        // Temporal statistics, feature concatenation, prediction.
+        s.stats.compute(&s.fused[..t_kept]);
+        Tensor::concat_channels_into(
+            &[&s.d_tilde, &s.stats.max, &s.stats.mean_extreme, &s.stats.msd],
+            &mut s.cat,
+        );
+        model.prediction_net.forward_infer(&s.cat, &mut s.unet_p, &mut s.pred);
+
+        // Crop and de-normalize straight into the caller's map.
+        if out.shape() != (m, n) {
+            *out = TileMap::zeros(m, n);
+        }
+        let os = out.as_mut_slice();
+        let ps = s.pred.as_slice();
+        for r in 0..m {
+            for c in 0..n {
+                os[r * n + c] = target_norm.invert_f32(ps[r * wp + c].max(0.0)) as f64;
+            }
+        }
+    }
+
+    /// Predicts a whole batch of vectors, reusing `out`'s maps and the
+    /// internal scratch: after a warm-up call of the same batch shape, no
+    /// heap allocation happens at all.
+    pub fn predict_batch(&mut self, grid: &PowerGrid, vectors: &[TestVector], out: &mut Vec<TileMap>) {
+        out.truncate(vectors.len());
+        while out.len() < vectors.len() {
+            out.push(TileMap::empty());
+        }
+        for (vector, map) in vectors.iter().zip(out.iter_mut()) {
+            self.predict_into(grid, vector, map);
+        }
     }
 
     /// Borrow the inner model (e.g. for parameter counting).
@@ -283,7 +424,15 @@ impl Predictor {
         target_norm: Normalizer,
         compressor: Option<TemporalCompressor>,
     ) -> Predictor {
-        Predictor { model, distance, current_norm, target_norm, compressor }
+        Predictor {
+            model,
+            distance,
+            current_norm,
+            target_norm,
+            compressor,
+            precision: Precision::F32,
+            scratch: InferScratch::default(),
+        }
     }
 
     /// The inner model's kernel configuration.
@@ -315,7 +464,106 @@ impl Predictor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pdn_features::convert::{map_to_tensor, tensor_to_map};
+    use pdn_grid::design::{DesignPreset, DesignScale};
     use pdn_nn::loss;
+    use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+
+    fn infer_fixture() -> (PowerGrid, Vec<TestVector>, Tensor, ModelConfig) {
+        let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+        let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 20, ..Default::default() });
+        let vectors = gen.generate_group(3, 77);
+        let (rows, cols) = (grid.tile_grid().rows(), grid.tile_grid().cols());
+        let bumps = grid.bumps().len();
+        let distance = Tensor::from_fn3(bumps, rows, cols, |b, r, c| {
+            ((b * 13 + r * 5 + c) % 17) as f32 * 0.06
+        });
+        (grid, vectors, distance, ModelConfig { c1: 2, c2: 2, c3: 2 })
+    }
+
+    #[test]
+    fn predict_matches_legacy_training_path_bitwise() {
+        let (grid, vectors, distance, config) = infer_fixture();
+        let bumps = grid.bumps().len();
+        let comp = TemporalCompressor::new(0.5, 0.1).unwrap();
+        let mut p = Predictor::from_parts(
+            WnvModel::new(bumps, config, 9),
+            distance.clone(),
+            Normalizer::with_scale(2.0),
+            Normalizer::with_scale(3.0),
+            Some(comp),
+        );
+        for vector in &vectors {
+            let got = p.predict(&grid, vector);
+
+            // Replicate the pre-infer-path pipeline on a fresh identical
+            // model: spatial maps -> compression -> normalize -> training
+            // forward -> denormalize.
+            let mut model = WnvModel::new(bumps, config, 9);
+            let maps = pdn_compress::spatial::tile_current_maps(&grid, vector);
+            let maps = comp.compress_maps(&maps).0;
+            let currents: Vec<Tensor> = maps
+                .iter()
+                .map(|m| {
+                    let mut t = map_to_tensor(m);
+                    for v in t.as_mut_slice() {
+                        *v = Normalizer::with_scale(2.0).apply_f32(*v);
+                    }
+                    t
+                })
+                .collect();
+            let mut out = model.forward(&distance, &currents);
+            for v in out.as_mut_slice() {
+                *v = Normalizer::with_scale(3.0).invert_f32(v.max(0.0));
+            }
+            assert_eq!(got, tensor_to_map(&out));
+        }
+    }
+
+    #[test]
+    fn predict_batch_bitwise_matches_predict() {
+        let (grid, vectors, distance, config) = infer_fixture();
+        let mut p = Predictor::from_parts(
+            WnvModel::new(grid.bumps().len(), config, 4),
+            distance,
+            Normalizer::with_scale(1.5),
+            Normalizer::with_scale(2.5),
+            Some(TemporalCompressor::new(0.6, 0.1).unwrap()),
+        );
+        let mut batch = vec![TileMap::filled(1, 1, 9.0)]; // stale entry reused
+        p.predict_batch(&grid, &vectors, &mut batch);
+        p.predict_batch(&grid, &vectors, &mut batch); // warmed scratch
+        assert_eq!(batch.len(), vectors.len());
+        for (vector, map) in vectors.iter().zip(&batch) {
+            assert_eq!(&p.predict(&grid, vector), map);
+        }
+    }
+
+    #[test]
+    fn quantized_predict_tracks_f32_and_restores_exactly() {
+        let (grid, vectors, distance, config) = infer_fixture();
+        let mut p = Predictor::from_parts(
+            WnvModel::new(grid.bumps().len(), config, 21),
+            distance,
+            Normalizer::with_scale(2.0),
+            Normalizer::with_scale(4.0),
+            None,
+        );
+        let want = p.predict(&grid, &vectors[0]);
+        let scale = want.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+
+        p.set_precision(Precision::Int8);
+        assert_eq!(p.precision(), Precision::Int8);
+        let q = p.predict(&grid, &vectors[0]);
+        let mut max_err = 0.0f64;
+        for (a, b) in q.as_slice().iter().zip(want.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err <= scale * 0.35 + 1e-6, "int8 err {max_err} vs scale {scale}");
+
+        p.set_precision(Precision::F32);
+        assert_eq!(p.predict(&grid, &vectors[0]), want);
+    }
 
     #[test]
     fn forward_shapes_any_tile_grid() {

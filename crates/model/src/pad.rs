@@ -46,6 +46,22 @@ pub fn pad_to_multiple4(x: &Tensor) -> Tensor {
     out
 }
 
+/// [`pad_to_multiple4`] into a reused output tensor: `out` is resized (and
+/// zeroed) in place, so steady-state calls allocate nothing.
+pub fn pad_to_multiple4_into(x: &Tensor, out: &mut Tensor) {
+    assert_eq!(x.shape().len(), 3, "pad expects (C, H, W)");
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (hp, wp) = (round_up4(h), round_up4(w));
+    out.resize_in_place(&[c, hp, wp]);
+    for ci in 0..c {
+        for hh in 0..h {
+            for ww in 0..w {
+                out.set3(ci, hh, ww, x.at3(ci, hh, ww));
+            }
+        }
+    }
+}
+
 /// Crops a `(C, H, W)` tensor to the top-left `h × w` region — the inverse
 /// of [`pad_to_multiple4`], also used as its gradient.
 ///
@@ -106,6 +122,16 @@ mod tests {
     fn aligned_input_untouched() {
         let x = Tensor::filled(&[1, 8, 8], 2.0);
         assert_eq!(pad_to_multiple4(&x), x);
+    }
+
+    #[test]
+    fn pad_into_matches_pad() {
+        for (h, w) in [(5, 6), (8, 8), (7, 12)] {
+            let x = Tensor::from_fn3(2, h, w, |c, hh, ww| (c * 100 + hh * 10 + ww) as f32);
+            let mut out = Tensor::filled(&[1, 9, 9], 7.0); // stale contents must vanish
+            pad_to_multiple4_into(&x, &mut out);
+            assert_eq!(out, pad_to_multiple4(&x), "{h}x{w}");
+        }
     }
 
     #[test]

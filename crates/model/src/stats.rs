@@ -8,6 +8,72 @@
 
 use pdn_nn::tensor::Tensor;
 
+/// Inference-only variant of [`TemporalStats`]: the three feature maps in
+/// reusable tensors, with none of the argmax/μ/σ caches `backward` needs.
+/// `compute` replicates [`TemporalStats::forward`]'s accumulation order
+/// exactly, so the maps are bitwise identical to the training path.
+#[derive(Debug, Default, Clone)]
+pub struct StatsInferBufs {
+    /// `Ĩ_max`.
+    pub max: Tensor,
+    /// `Ĩ_mean = (max + min) / 2`.
+    pub mean_extreme: Tensor,
+    /// `Ĩ_msd = μ + 3σ`.
+    pub msd: Tensor,
+    min: Vec<f32>,
+    sum: Vec<f32>,
+    sum_sq: Vec<f32>,
+}
+
+impl StatsInferBufs {
+    /// Computes the statistics over a non-empty sequence of `[1, m, n]`
+    /// maps into the reused buffers. Allocates nothing in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `maps` is empty or shapes differ.
+    pub fn compute(&mut self, maps: &[Tensor]) {
+        assert!(!maps.is_empty(), "temporal stats of empty sequence");
+        let shape = maps[0].shape();
+        let len = maps[0].len();
+        for m in maps {
+            assert_eq!(m.shape(), shape, "temporal stats shape mismatch");
+        }
+        let tf = maps.len() as f32;
+        self.max.resize_in_place(shape);
+        self.mean_extreme.resize_in_place(shape);
+        self.msd.resize_in_place(shape);
+        self.max.as_mut_slice().fill(f32::NEG_INFINITY);
+        self.min.clear();
+        self.min.resize(len, f32::INFINITY);
+        self.sum.clear();
+        self.sum.resize(len, 0.0);
+        self.sum_sq.clear();
+        self.sum_sq.resize(len, 0.0);
+        let mx = self.max.as_mut_slice();
+        for m in maps {
+            for (i, &v) in m.as_slice().iter().enumerate() {
+                if v > mx[i] {
+                    mx[i] = v;
+                }
+                if v < self.min[i] {
+                    self.min[i] = v;
+                }
+                self.sum[i] += v;
+                self.sum_sq[i] += v * v;
+            }
+        }
+        let me = self.mean_extreme.as_mut_slice();
+        let msd = self.msd.as_mut_slice();
+        for i in 0..len {
+            let mu = self.sum[i] / tf;
+            let sigma = (self.sum_sq[i] / tf - mu * mu).max(0.0).sqrt();
+            me[i] = 0.5 * (mx[i] + self.min[i]);
+            msd[i] = mu + 3.0 * sigma;
+        }
+    }
+}
+
 /// Forward result of the temporal reduction: the three `[1, m, n]` feature
 /// maps plus the cached quantities `backward` needs.
 #[derive(Debug, Clone)]
@@ -207,6 +273,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn infer_bufs_match_forward_bitwise() {
+        let maps: Vec<Tensor> = (0..5)
+            .map(|t| Tensor::from_fn3(1, 3, 4, |_, h, w| ((t * 7 + h * 3 + w) % 11) as f32 * 0.13))
+            .collect();
+        let want = TemporalStats::forward(&maps);
+        let mut bufs = StatsInferBufs::default();
+        bufs.compute(&maps);
+        bufs.compute(&maps); // warmed buffers must be reset correctly
+        assert_eq!(bufs.max, want.max);
+        assert_eq!(bufs.mean_extreme, want.mean_extreme);
+        assert_eq!(bufs.msd, want.msd);
     }
 
     #[test]

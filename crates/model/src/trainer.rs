@@ -236,6 +236,10 @@ impl Trainer {
                         config_digest: checkpoint::config_digest(&self.config),
                     };
                     checkpoint::save(&ck.path, &state)?;
+                    if let Some(keep) = ck.keep {
+                        checkpoint::save(&checkpoint::stamped_path(&ck.path, done), &state)?;
+                        checkpoint::prune_generations(&ck.path, keep)?;
+                    }
                     telemetry::counter_add("train.checkpoints", 1);
                 }
             }
@@ -393,6 +397,33 @@ mod tests {
             weights_of(&mut ref_model),
             "final weights must be bit-identical"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_keep_rotates_generations() {
+        let (ds, bumps) = tiny_dataset(3);
+        let split = SplitIndices { train: vec![0, 1], val: vec![2], test: vec![] };
+        let cfg = TrainConfig { epochs: 5, batch_size: 2, learning_rate: 1e-3, seed: 2, lr_decay: 1.0 };
+        let dir = ckpt_dir("keep");
+        let ck = crate::checkpoint::CheckpointConfig::resumable(dir.join("train.ckpt"), 1)
+            .with_keep(2);
+        let mut model = WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 1);
+        Trainer::new(cfg)
+            .train_with_checkpoints(&mut model, &ds, &split, Some(&ck))
+            .unwrap();
+        // Only the last two generations survive, plus the main checkpoint.
+        let epochs: Vec<usize> = crate::checkpoint::generations(&ck.path)
+            .unwrap()
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(epochs, vec![4, 5]);
+        let latest =
+            crate::checkpoint::load(&crate::checkpoint::stamped_path(&ck.path, 5)).unwrap();
+        let main = crate::checkpoint::load(&ck.path).unwrap();
+        assert_eq!(latest.epochs_done, 5);
+        assert_eq!(main.history, latest.history);
         std::fs::remove_dir_all(&dir).ok();
     }
 

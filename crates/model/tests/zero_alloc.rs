@@ -1,0 +1,80 @@
+//! Proves the ISSUE acceptance criterion that `Predictor::predict_batch`
+//! performs zero heap allocations in steady state: a counting global
+//! allocator wraps `System`, the batch runs twice to size every scratch
+//! buffer, and the third pass must leave the counter untouched.
+//!
+//! Kept as its own integration-test binary so the global allocator cannot
+//! interfere with any other test.
+
+use pdn_features::normalize::Normalizer;
+use pdn_grid::design::{DesignPreset, DesignScale};
+use pdn_model::model::{ModelConfig, Predictor, WnvModel};
+use pdn_nn::quant::Precision;
+use pdn_nn::tensor::Tensor;
+use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn predict_batch_steady_state_is_allocation_free() {
+    let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 20, ..Default::default() });
+    let vectors = gen.generate_group(4, 11);
+    let (rows, cols) = (grid.tile_grid().rows(), grid.tile_grid().cols());
+    let bumps = grid.bumps().len();
+    let distance = Tensor::from_fn3(bumps, rows, cols, |b, r, c| {
+        ((b * 13 + r * 5 + c) % 17) as f32 * 0.06
+    });
+    let mut predictor = Predictor::from_parts(
+        WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 7),
+        distance,
+        Normalizer::with_scale(2.0),
+        Normalizer::with_scale(3.0),
+        Some(pdn_compress::temporal::TemporalCompressor::new(0.5, 0.1).unwrap()),
+    );
+    let mut out = Vec::new();
+
+    for precision in [Precision::F32, Precision::Int8] {
+        predictor.set_precision(precision);
+        // Two warm-up passes size the output maps and every internal
+        // scratch buffer (one would do; two guards against buffers that
+        // only stabilize after the first reuse).
+        predictor.predict_batch(&grid, &vectors, &mut out);
+        predictor.predict_batch(&grid, &vectors, &mut out);
+
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        predictor.predict_batch(&grid, &vectors, &mut out);
+        let after = ALLOC_CALLS.load(Ordering::Relaxed);
+        assert_eq!(
+            after - before,
+            0,
+            "predict_batch at {precision} allocated {} times in steady state",
+            after - before
+        );
+        assert_eq!(out.len(), vectors.len());
+        assert!(out.iter().all(|m| m.shape() == (rows, cols)));
+    }
+}

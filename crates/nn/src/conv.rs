@@ -3,6 +3,8 @@
 use crate::init;
 use crate::layer::{Layer, Param};
 use crate::linalg::{gemm_at_with, gemm_bt_with, gemm_with, GemmScratch};
+use crate::linalg_i8::{gemm_i8_f32b_with, I8GemmScratch};
+use crate::quant::{InferWeights, Precision};
 use crate::tensor::Tensor;
 
 /// How the input border is padded before convolving.
@@ -29,9 +31,51 @@ struct Cache {
 #[derive(Default)]
 struct Scratch {
     gemm: GemmScratch,
+    i8: I8GemmScratch,
     gw: Vec<f32>,
     gcols: Vec<f32>,
     gpad: Vec<f32>,
+    /// Padded-input and im2col buffers for the allocation-free
+    /// [`Conv2d::forward_infer`] path (the training path keeps its own
+    /// buffers in the cache).
+    pad: Vec<f32>,
+    cols: Vec<f32>,
+}
+
+/// im2col: rows are `(c, kh, kw)`, columns are output pixels. Every element
+/// of the (recycled) `cols` buffer is overwritten.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    in_ch: usize,
+    k: usize,
+    s: usize,
+    (hp, wp): (usize, usize),
+    (ho, wo): (usize, usize),
+    padded: &[f32],
+    cols: &mut Vec<f32>,
+) {
+    let cols_n = ho * wo;
+    cols.resize(in_ch * k * k * cols_n, 0.0);
+    for ci in 0..in_ch {
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = (ci * k + kh) * k + kw;
+                let dst = &mut cols[row * cols_n..(row + 1) * cols_n];
+                for oh in 0..ho {
+                    let ih = oh * s + kh;
+                    let src_base = (ci * hp + ih) * wp + kw;
+                    if s == 1 {
+                        dst[oh * wo..(oh + 1) * wo]
+                            .copy_from_slice(&padded[src_base..src_base + wo]);
+                    } else {
+                        for ow in 0..wo {
+                            dst[oh * wo + ow] = padded[src_base + ow * s];
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A 2-D convolution layer: weight `[out, in, k, k]`, bias `[out]`,
@@ -59,14 +103,15 @@ pub struct Conv2d {
     padding: Padding,
     weight: Param,
     bias: Param,
+    infer: InferWeights,
     cache: Option<Cache>,
     scratch: Scratch,
 }
 
 impl Clone for Conv2d {
-    /// Clones the configuration and parameters; the forward cache and
-    /// workspace are not carried over (the clone behaves as if `forward`
-    /// was never called).
+    /// Clones the configuration, parameters and inference-precision
+    /// weights; the forward cache and workspace are not carried over (the
+    /// clone behaves as if `forward` was never called).
     fn clone(&self) -> Conv2d {
         Conv2d {
             in_ch: self.in_ch,
@@ -76,6 +121,7 @@ impl Clone for Conv2d {
             padding: self.padding,
             weight: self.weight.clone(),
             bias: self.bias.clone(),
+            infer: self.infer.clone(),
             cache: None,
             scratch: Scratch::default(),
         }
@@ -117,6 +163,7 @@ impl Conv2d {
             padding,
             weight: Param::new(init::kaiming_conv(out_ch, in_ch, ksize, seed)),
             bias: Param::new(Tensor::zeros(&[out_ch])),
+            infer: InferWeights::F32,
             cache: None,
             scratch: Scratch::default(),
         }
@@ -147,10 +194,18 @@ impl Conv2d {
     }
 
     fn pad_input(&self, x: &Tensor) -> (Vec<f32>, usize, usize) {
+        let mut out = Vec::new();
+        let (hp, wp) = self.pad_input_into(x, &mut out);
+        (out, hp, wp)
+    }
+
+    /// Pads into a recycled buffer; every element is written, so stale
+    /// contents from a previous call are harmless.
+    fn pad_input_into(&self, x: &Tensor, out: &mut Vec<f32>) -> (usize, usize) {
         let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
         let p = self.pad();
         let (hp, wp) = (h + 2 * p, w + 2 * p);
-        let mut out = vec![0.0f32; c * hp * wp];
+        out.resize(c * hp * wp, 0.0);
         for ci in 0..c {
             let src = x.channel(ci);
             for hh in 0..hp {
@@ -173,7 +228,105 @@ impl Conv2d {
                 }
             }
         }
-        (out, hp, wp)
+        (hp, wp)
+    }
+
+    /// Switches the inference weight representation (f32 / f16 / int8).
+    ///
+    /// Training parameters are untouched, so this is freely reversible; but
+    /// `forward` computes with the selected representation, so training
+    /// (backward + optimizer steps) is only meaningful at
+    /// [`Precision::F32`].
+    pub fn set_precision(&mut self, p: Precision) {
+        let cols = self.in_ch * self.ksize * self.ksize;
+        self.infer = InferWeights::build(p, self.out_ch, cols, self.weight.value.as_slice());
+    }
+
+    /// The active inference precision.
+    pub fn precision(&self) -> Precision {
+        self.infer.precision()
+    }
+
+    /// Runs the GEMM for this layer's active precision over an im2col
+    /// matrix, writing `out[out_ch x cols_n]`.
+    fn gemm_dispatch(&mut self, rows: usize, cols_n: usize, cols: &[f32], out: &mut [f32]) {
+        match &self.infer {
+            InferWeights::F32 => gemm_with(
+                self.out_ch,
+                rows,
+                cols_n,
+                self.weight.value.as_slice(),
+                cols,
+                out,
+                &mut self.scratch.gemm,
+            ),
+            InferWeights::F16(w16) => {
+                gemm_with(self.out_ch, rows, cols_n, w16, cols, out, &mut self.scratch.gemm)
+            }
+            InferWeights::Int8(q) => gemm_i8_f32b_with(
+                self.out_ch,
+                rows,
+                cols_n,
+                q.data(),
+                q.scales(),
+                cols,
+                out,
+                &mut self.scratch.i8,
+            ),
+        }
+    }
+
+    /// Allocation-free inference forward with optionally fused ReLU.
+    ///
+    /// Writes into `out` (resized in place); pads, im2cols and packs into
+    /// per-layer scratch buffers, so repeated calls with stable shapes never
+    /// allocate. With `relu = false` the f32 result is bitwise identical to
+    /// [`Layer::forward`]; with `relu = true` it equals `forward` followed
+    /// by [`crate::activation::Relu`], with the activation folded into the
+    /// bias pass (one less sweep over the output).
+    ///
+    /// Does not populate the backward cache — calling `backward` after this
+    /// (without an interleaved `forward`) panics.
+    pub fn forward_infer(&mut self, input: &Tensor, out: &mut Tensor, relu: bool) {
+        assert_eq!(input.shape().len(), 3, "conv expects (C, H, W) input");
+        assert_eq!(input.shape()[0], self.in_ch, "conv input channel mismatch");
+        let mut pad_buf = std::mem::take(&mut self.scratch.pad);
+        let mut cols = std::mem::take(&mut self.scratch.cols);
+        let (hp, wp) = self.pad_input_into(input, &mut pad_buf);
+        let k = self.ksize;
+        let s = self.stride;
+        assert!(hp >= k && wp >= k, "input too small for kernel");
+        let ho = (hp - k) / s + 1;
+        let wo = (wp - k) / s + 1;
+        let rows = self.in_ch * k * k;
+        let cols_n = ho * wo;
+        im2col(self.in_ch, k, s, (hp, wp), (ho, wo), &pad_buf, &mut cols);
+        out.resize_in_place(&[self.out_ch, ho, wo]);
+        self.gemm_dispatch(rows, cols_n, &cols, out.as_mut_slice());
+        bias_relu(out.as_mut_slice(), self.bias.value.as_slice(), cols_n, relu);
+        self.scratch.pad = pad_buf;
+        self.scratch.cols = cols;
+    }
+}
+
+/// Adds the per-channel bias and (optionally) applies ReLU in the same
+/// sweep. The ReLU predicate matches [`crate::activation::Relu`] exactly
+/// (`v > 0.0` keeps, else 0), so fusion is bitwise-neutral.
+fn bias_relu(out: &mut [f32], bias: &[f32], cols_n: usize, relu: bool) {
+    // Two specialized loops rather than a per-element flag check: both
+    // bodies are branch-free selects the compiler vectorizes.
+    for (o, b) in bias.iter().enumerate() {
+        let chunk = &mut out[o * cols_n..(o + 1) * cols_n];
+        if relu {
+            for v in &mut *chunk {
+                let t = *v + b;
+                *v = if t > 0.0 { t } else { 0.0 };
+            }
+        } else {
+            for v in chunk {
+                *v += b;
+            }
+        }
     }
 }
 
@@ -189,49 +342,16 @@ impl Layer for Conv2d {
         let ho = (hp - k) / s + 1;
         let wo = (wp - k) / s + 1;
 
-        // im2col: rows are (c, kh, kw), columns are output pixels. The
-        // buffer is recycled from the previous forward pass; every element
-        // is overwritten below.
+        // The im2col buffer is recycled from the previous forward pass;
+        // every element is overwritten.
         let rows = self.in_ch * k * k;
         let cols_n = ho * wo;
         let mut cols = self.cache.take().map(|c| c.cols).unwrap_or_default();
-        cols.resize(rows * cols_n, 0.0);
-        for ci in 0..self.in_ch {
-            for kh in 0..k {
-                for kw in 0..k {
-                    let row = (ci * k + kh) * k + kw;
-                    let dst = &mut cols[row * cols_n..(row + 1) * cols_n];
-                    for oh in 0..ho {
-                        let ih = oh * s + kh;
-                        let src_base = (ci * hp + ih) * wp + kw;
-                        if s == 1 {
-                            dst[oh * wo..(oh + 1) * wo]
-                                .copy_from_slice(&padded[src_base..src_base + wo]);
-                        } else {
-                            for ow in 0..wo {
-                                dst[oh * wo + ow] = padded[src_base + ow * s];
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        im2col(self.in_ch, k, s, (hp, wp), (ho, wo), &padded, &mut cols);
 
         let mut out = vec![0.0f32; self.out_ch * cols_n];
-        gemm_with(
-            self.out_ch,
-            rows,
-            cols_n,
-            self.weight.value.as_slice(),
-            &cols,
-            &mut out,
-            &mut self.scratch.gemm,
-        );
-        for (o, b) in self.bias.value.as_slice().iter().enumerate() {
-            for v in &mut out[o * cols_n..(o + 1) * cols_n] {
-                *v += b;
-            }
-        }
+        self.gemm_dispatch(rows, cols_n, &cols, &mut out);
+        bias_relu(&mut out, self.bias.value.as_slice(), cols_n, false);
         self.cache = Some(Cache {
             cols,
             in_shape: [self.in_ch, h, w],
@@ -256,7 +376,7 @@ impl Layer for Conv2d {
         for (o, gb) in self.bias.grad.as_mut_slice().iter_mut().enumerate() {
             *gb += go[o * cols_n..(o + 1) * cols_n].iter().sum::<f32>();
         }
-        let Scratch { gemm, gw, gcols, gpad } = &mut self.scratch;
+        let Scratch { gemm, gw, gcols, gpad, .. } = &mut self.scratch;
         // Weight gradient: grad_out [O, HoWo] · colsᵀ [HoWo, rows].
         gw.resize(self.out_ch * rows, 0.0);
         gemm_bt_with(self.out_ch, cols_n, rows, go, &cache.cols, gw, gemm);
@@ -396,6 +516,58 @@ mod tests {
     fn backward_requires_forward() {
         let mut conv = Conv2d::new(1, 1, 3, 1, Padding::Zero, 0);
         let _ = conv.backward(&Tensor::zeros(&[1, 3, 3]));
+    }
+
+    #[test]
+    fn forward_infer_matches_forward_bitwise() {
+        let mut conv = Conv2d::new(3, 5, 3, 1, Padding::Replication, 9);
+        let x =
+            Tensor::from_fn3(3, 11, 13, |c, h, w| ((c * 31 + h * 7 + w) % 17) as f32 * 0.1 - 0.6);
+        let want = conv.forward(&x);
+        let mut got = Tensor::default();
+        conv.forward_infer(&x, &mut got, false);
+        assert_eq!(got, want);
+        // Fused ReLU equals forward followed by a separate Relu layer.
+        let mut relu = crate::activation::Relu::new();
+        let want_relu = relu.forward(&want);
+        conv.forward_infer(&x, &mut got, true);
+        assert_eq!(got, want_relu);
+        // Stride 2 as well (the UNet down path).
+        let mut down = Conv2d::new(2, 3, 3, 2, Padding::Replication, 4);
+        let x2 = Tensor::from_fn3(2, 9, 8, |c, h, w| ((c + h * 3 + w * 5) % 11) as f32 * 0.2 - 1.0);
+        let want2 = down.forward(&x2);
+        let mut got2 = Tensor::default();
+        down.forward_infer(&x2, &mut got2, false);
+        assert_eq!(got2, want2);
+    }
+
+    #[test]
+    fn quantized_precisions_track_f32() {
+        let mut conv = Conv2d::new(2, 4, 3, 1, Padding::Zero, 5);
+        let x = Tensor::from_fn3(2, 8, 8, |c, h, w| ((c * 13 + h * 5 + w) % 23) as f32 * 0.08 - 0.8);
+        let want = conv.forward(&x);
+        let scale = want.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+
+        conv.set_precision(Precision::F16);
+        assert_eq!(conv.precision(), Precision::F16);
+        let f16_out = conv.forward(&x);
+        for (a, b) in f16_out.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() <= scale * 2e-3 + 1e-5, "f16 {a} vs {b}");
+        }
+
+        conv.set_precision(Precision::Int8);
+        let i8_out = conv.forward(&x);
+        for (a, b) in i8_out.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() <= scale * 0.05 + 1e-3, "int8 {a} vs {b}");
+        }
+        // The fused path uses the same quantized weights.
+        let mut i8_fused = Tensor::default();
+        conv.forward_infer(&x, &mut i8_fused, false);
+        assert_eq!(i8_fused, i8_out);
+
+        // Dropping back to f32 is lossless.
+        conv.set_precision(Precision::F32);
+        assert_eq!(conv.forward(&x), want);
     }
 
     // Full gradient correctness is covered by the gradcheck module's tests.

@@ -2,6 +2,8 @@
 
 use crate::layer::{Layer, Param};
 use crate::linalg::{gemm_at_with, gemm_bt_with, gemm_with, GemmScratch};
+use crate::linalg_i8::{gemm_i8_f32b_with, I8GemmScratch};
+use crate::quant::{InferWeights, Precision, QuantizedMatrix};
 use crate::tensor::Tensor;
 
 /// Per-layer workspace: the column matrix and gradient buffers are
@@ -9,6 +11,7 @@ use crate::tensor::Tensor;
 #[derive(Default)]
 struct Scratch {
     gemm: GemmScratch,
+    i8: I8GemmScratch,
     cols: Vec<f32>,
     gcols: Vec<f32>,
     gw: Vec<f32>,
@@ -39,13 +42,14 @@ pub struct ConvTranspose2d {
     pad: usize,
     weight: Param,
     bias: Param,
+    infer: InferWeights,
     cached_input: Option<Tensor>,
     scratch: Scratch,
 }
 
 impl Clone for ConvTranspose2d {
-    /// Clones configuration and parameters; the forward cache and
-    /// workspace are dropped.
+    /// Clones configuration, parameters and inference-precision weights;
+    /// the forward cache and workspace are dropped.
     fn clone(&self) -> ConvTranspose2d {
         ConvTranspose2d {
             in_ch: self.in_ch,
@@ -55,6 +59,7 @@ impl Clone for ConvTranspose2d {
             pad: self.pad,
             weight: self.weight.clone(),
             bias: self.bias.clone(),
+            infer: self.infer.clone(),
             cached_input: None,
             scratch: Scratch::default(),
         }
@@ -103,6 +108,7 @@ impl ConvTranspose2d {
             pad,
             weight: Param::new(w),
             bias: Param::new(Tensor::zeros(&[out_ch])),
+            infer: InferWeights::F32,
             cached_input: None,
             scratch: Scratch::default(),
         }
@@ -141,6 +147,126 @@ impl ConvTranspose2d {
         };
         (lo, hi.max(lo))
     }
+
+    /// Switches the inference weight representation (f32 / f16 / int8).
+    ///
+    /// The quantized GEMM needs per-*output-row* scales, but the stored
+    /// layout is `[in, out·k²]` — per-input-channel scales cannot be
+    /// factored out of the `Σ_ci` reduction. So the int8 tier materializes
+    /// the transposed weight `[out·k² × in]` and quantizes per its rows
+    /// (one scale per `(co, kh, kw)` tap), trading `in·out·k²` bytes for
+    /// exact per-channel granularity.
+    pub fn set_precision(&mut self, p: Precision) {
+        let rows = self.out_ch * self.ksize * self.ksize;
+        self.infer = match p {
+            Precision::Int8 => {
+                let w = self.weight.value.as_slice();
+                let mut t = vec![0.0f32; rows * self.in_ch];
+                for ci in 0..self.in_ch {
+                    for r in 0..rows {
+                        t[r * self.in_ch + ci] = w[ci * rows + r];
+                    }
+                }
+                InferWeights::Int8(QuantizedMatrix::quantize_rows(rows, self.in_ch, &t))
+            }
+            other => InferWeights::build(other, self.in_ch, rows, self.weight.value.as_slice()),
+        };
+    }
+
+    /// The active inference precision.
+    pub fn precision(&self) -> Precision {
+        self.infer.precision()
+    }
+
+    /// Computes the column matrix `cols[(co, kh, kw), pixel]` for the
+    /// active precision into the recycled scratch buffer.
+    fn cols_gemm(&mut self, rows: usize, pixels: usize, input: &[f32]) {
+        let cols = &mut self.scratch.cols;
+        cols.resize(rows * pixels, 0.0);
+        match &self.infer {
+            InferWeights::F32 => gemm_at_with(
+                rows,
+                self.in_ch,
+                pixels,
+                self.weight.value.as_slice(),
+                input,
+                cols,
+                &mut self.scratch.gemm,
+            ),
+            InferWeights::F16(w16) => {
+                gemm_at_with(rows, self.in_ch, pixels, w16, input, cols, &mut self.scratch.gemm)
+            }
+            // The materialized transpose is row-major [rows, in], so this is
+            // a plain (not Aᵀ) quantized GEMM.
+            InferWeights::Int8(q) => gemm_i8_f32b_with(
+                rows,
+                self.in_ch,
+                pixels,
+                q.data(),
+                q.scales(),
+                input,
+                cols,
+                &mut self.scratch.i8,
+            ),
+        }
+    }
+
+    /// Scatters the column matrix into the strided output (col2im). The
+    /// output must be zeroed; accumulation order matches the training
+    /// forward exactly.
+    fn col2im_scatter(&self, h: usize, w: usize, ho: usize, wo: usize, o: &mut [f32]) {
+        let k = self.ksize;
+        let pixels = h * w;
+        let cols = &self.scratch.cols;
+        for co in 0..self.out_ch {
+            for kh in 0..k {
+                let (h_lo, h_hi) = self.valid_range(h, ho, kh);
+                for kw in 0..k {
+                    let (w_lo, w_hi) = self.valid_range(w, wo, kw);
+                    let src = &cols[((co * k + kh) * k + kw) * pixels..][..pixels];
+                    for hh in h_lo..h_hi {
+                        let oh = hh * self.stride + kh - self.pad;
+                        let row_base = (co * ho + oh) * wo;
+                        for ww in w_lo..w_hi {
+                            o[row_base + ww * self.stride + kw - self.pad] += src[hh * w + ww];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocation-free inference forward with optionally fused ReLU.
+    ///
+    /// Writes into `out` (resized in place). With `relu = false` the f32
+    /// result is bitwise identical to [`Layer::forward`]; with `relu =
+    /// true` the activation is folded into the bias pass that already
+    /// follows the col2im scatter. Does not populate the backward cache.
+    pub fn forward_infer(&mut self, input: &Tensor, out: &mut Tensor, relu: bool) {
+        assert_eq!(input.shape().len(), 3, "deconv expects (C, H, W) input");
+        assert_eq!(input.shape()[0], self.in_ch, "deconv input channel mismatch");
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (ho, wo) = (self.output_size(h), self.output_size(w));
+        let rows = self.out_ch * self.ksize * self.ksize;
+        self.cols_gemm(rows, h * w, input.as_slice());
+        out.resize_in_place(&[self.out_ch, ho, wo]);
+        let o = out.as_mut_slice();
+        self.col2im_scatter(h, w, ho, wo, o);
+        for co in 0..self.out_ch {
+            let b = self.bias.value.as_slice()[co];
+            let chunk = &mut o[co * ho * wo..(co + 1) * ho * wo];
+            if relu {
+                for v in &mut *chunk {
+                    let t = *v + b;
+                    *v = if t > 0.0 { t } else { 0.0 };
+                }
+            } else {
+                for v in chunk {
+                    *v += b;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for ConvTranspose2d {
@@ -154,42 +280,13 @@ impl Layer for ConvTranspose2d {
         // the weight tensor is stored [in, out·k²] row-major, so this is one
         // Aᵀ·B product over the input channels.
         let rows = self.out_ch * k * k;
-        let pixels = h * w;
-        let h_ranges: Vec<(usize, usize)> = (0..k).map(|kq| self.valid_range(h, ho, kq)).collect();
-        let w_ranges: Vec<(usize, usize)> = (0..k).map(|kq| self.valid_range(w, wo, kq)).collect();
-        let cols = &mut self.scratch.cols;
-        cols.resize(rows * pixels, 0.0);
-        gemm_at_with(
-            rows,
-            self.in_ch,
-            pixels,
-            self.weight.value.as_slice(),
-            input.as_slice(),
-            cols,
-            &mut self.scratch.gemm,
-        );
+        self.cols_gemm(rows, h * w, input.as_slice());
 
         // col2im: scatter each (co, kh, kw) row into the strided output.
         let mut out = Tensor::zeros(&[self.out_ch, ho, wo]);
         {
             let o = out.as_mut_slice();
-            for co in 0..self.out_ch {
-                for kh in 0..k {
-                    let (h_lo, h_hi) = h_ranges[kh];
-                    for kw in 0..k {
-                        let (w_lo, w_hi) = w_ranges[kw];
-                        let src = &cols[((co * k + kh) * k + kw) * pixels..][..pixels];
-                        for hh in h_lo..h_hi {
-                            let oh = hh * self.stride + kh - self.pad;
-                            let row_base = (co * ho + oh) * wo;
-                            for ww in w_lo..w_hi {
-                                o[row_base + ww * self.stride + kw - self.pad] +=
-                                    src[hh * w + ww];
-                            }
-                        }
-                    }
-                }
-            }
+            self.col2im_scatter(h, w, ho, wo, o);
             for co in 0..self.out_ch {
                 let b = self.bias.value.as_slice()[co];
                 for v in &mut o[co * ho * wo..(co + 1) * ho * wo] {
@@ -331,5 +428,47 @@ mod tests {
         let y = d.forward(&Tensor::zeros(&[1, 2, 2]));
         assert!(y.channel(0).iter().all(|v| *v == 0.5));
         assert!(y.channel(1).iter().all(|v| *v == -1.0));
+    }
+
+    #[test]
+    fn forward_infer_matches_forward_bitwise() {
+        let mut d = ConvTranspose2d::new(3, 2, 4, 2, 1, 7);
+        let x = Tensor::from_fn3(3, 5, 6, |c, h, w| ((c * 17 + h * 5 + w) % 13) as f32 * 0.1 - 0.5);
+        let want = d.forward(&x);
+        let mut got = Tensor::default();
+        d.forward_infer(&x, &mut got, false);
+        assert_eq!(got, want);
+        // Fused ReLU equals forward followed by a separate Relu layer.
+        let mut relu = crate::activation::Relu::new();
+        let want_relu = relu.forward(&want);
+        d.forward_infer(&x, &mut got, true);
+        assert_eq!(got, want_relu);
+    }
+
+    #[test]
+    fn quantized_precisions_track_f32() {
+        let mut d = ConvTranspose2d::new(4, 3, 4, 2, 1, 11);
+        let x = Tensor::from_fn3(4, 6, 6, |c, h, w| ((c * 7 + h * 3 + w) % 19) as f32 * 0.06 - 0.5);
+        let want = d.forward(&x);
+        let scale = want.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+
+        d.set_precision(Precision::F16);
+        let f16_out = d.forward(&x);
+        for (a, b) in f16_out.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() <= scale * 2e-3 + 1e-5, "f16 {a} vs {b}");
+        }
+
+        d.set_precision(Precision::Int8);
+        assert_eq!(d.precision(), Precision::Int8);
+        let i8_out = d.forward(&x);
+        for (a, b) in i8_out.as_slice().iter().zip(want.as_slice()) {
+            assert!((a - b).abs() <= scale * 0.05 + 1e-3, "int8 {a} vs {b}");
+        }
+        let mut i8_fused = Tensor::default();
+        d.forward_infer(&x, &mut i8_fused, false);
+        assert_eq!(i8_fused, i8_out);
+
+        d.set_precision(Precision::F32);
+        assert_eq!(d.forward(&x), want);
     }
 }

@@ -16,7 +16,9 @@
 //! * [`optim::Adam`] — the optimizer with the paper's settings
 //!   (lr = 1e-4);
 //! * [`gradcheck`] — finite-difference verification used by the test suite
-//!   to prove every backward pass correct.
+//!   to prove every backward pass correct;
+//! * [`quant`] / [`linalg_i8`] — reduced-precision inference tiers: f16
+//!   weight storage and per-channel int8 with i32-exact GEMM kernels.
 //!
 //! Layers follow an explicit forward/backward contract ([`layer::Layer`])
 //! and the model wires subnets by hand — no autograd graph, which keeps the
@@ -43,9 +45,11 @@ pub mod gradcheck;
 pub mod init;
 pub mod layer;
 pub mod linalg;
+pub mod linalg_i8;
 pub mod loss;
 pub mod optim;
 pub mod pool;
+pub mod quant;
 pub mod serialize;
 pub mod tensor;
 
@@ -56,4 +60,5 @@ pub use dense::Dense;
 pub use layer::{Layer, Param};
 pub use optim::Adam;
 pub use pool::MaxPool2;
+pub use quant::Precision;
 pub use tensor::Tensor;

@@ -1,0 +1,508 @@
+//! Int8 GEMM micro-kernels for the quantized inference path.
+//!
+//! Mirrors the register-tiled structure of [`crate::linalg`] for the
+//! quantized formulation `C[i][j] = (Σ_l A[i][l]·B[l][j]) · sa[i]·sb`
+//! where `A` is a per-row-quantized weight matrix (i8, one scale per row),
+//! `B` is a dynamically quantized activation matrix (i8, one scale), and
+//! the reduction accumulates in **i32**.
+//!
+//! Design points:
+//!
+//! * **Exact accumulation.** `|a·b| ≤ 127² = 16129`, so an i32 accumulator
+//!   is exact for any `k ≤ 2³¹/16129 ≈ 133 000` — far beyond every shape in
+//!   this workspace. Exactness means the scalar, AVX2 and AVX-512 paths are
+//!   bitwise identical *by construction*: there is no float reassociation
+//!   to worry about, and a single dequantization multiply per output keeps
+//!   the float story trivial. It also means no k-blocking: one pass over
+//!   the full reduction, no C spill/reload.
+//! * **`madd_epi16` kernels.** i8 values are sign-extended to i16 and
+//!   multiplied pairwise along k with `madd` (two products + horizontal add
+//!   per lane per instruction). B is packed pair-interleaved —
+//!   `(B[2l][j], B[2l+1][j])` pairs for [`NR`] columns per packed row — so
+//!   one `madd` against a broadcast A-pair advances two k steps for a whole
+//!   register of columns. A is packed as pre-assembled little-endian i16
+//!   pairs in an i32 (the exact broadcast operand), [`MR`] rows per strip.
+//! * **Zero padding is exact.** Tail pairs/rows/columns are padded with 0
+//!   in the packed buffers; 0-products contribute nothing to an integer
+//!   accumulator, so edge tiles need no special kernels.
+//!
+//! Entry points: [`gemm_i8_with`] for pre-quantized B (benchmarks, tests)
+//! and [`gemm_i8_f32b_with`] which quantizes f32 activations on the fly
+//! *during packing*, saving a separate materialization pass — this is what
+//! the conv/deconv layers call.
+
+use crate::quant::quantize_dynamic;
+
+/// Rows per A strip (matches the f32 kernels).
+pub const MR: usize = 4;
+/// Columns per B panel: one AVX-512 `madd` covers all 16, AVX2 uses two
+/// halves of 8.
+pub const NR: usize = 16;
+
+/// Reusable packing workspace, analogous to [`crate::linalg::GemmScratch`].
+#[derive(Debug, Default, Clone)]
+pub struct I8GemmScratch {
+    /// Packed A: `[strip][kk2][MR]` pre-assembled i16-pair broadcast words.
+    pack_a: Vec<i32>,
+    /// Packed B: `[panel][kk2][2 * NR]` pair-interleaved i8 values.
+    pack_b: Vec<i8>,
+    /// Staging buffer for dynamic activation quantization.
+    qb: Vec<i8>,
+}
+
+impl I8GemmScratch {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> I8GemmScratch {
+        I8GemmScratch::default()
+    }
+}
+
+/// Naive reference implementations — the correctness oracle for the packed
+/// kernels. Because accumulation is exact, the packed paths must match
+/// these **bitwise**, not just approximately.
+pub mod reference {
+    /// `C = (A·B) ∘ (sa ⊗ sb)` with i32 accumulation, row-major everything.
+    #[allow(clippy::too_many_arguments)] // mirrors the packed kernel's GEMM signature
+    pub fn gemm_i8(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[i8],
+        a_scales: &[f32],
+        b: &[i8],
+        b_scale: f32,
+        c: &mut [f32],
+    ) {
+        assert_eq!(a.len(), m * k, "reference gemm_i8: A length");
+        assert_eq!(a_scales.len(), m, "reference gemm_i8: scale length");
+        assert_eq!(b.len(), k * n, "reference gemm_i8: B length");
+        assert_eq!(c.len(), m * n, "reference gemm_i8: C length");
+        for i in 0..m {
+            let row_scale = a_scales[i] * b_scale;
+            for j in 0..n {
+                let mut acc = 0i32;
+                for l in 0..k {
+                    acc += a[i * k + l] as i32 * b[l * n + j] as i32;
+                }
+                c[i * n + j] = acc as f32 * row_scale;
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Isa {
+    Scalar,
+    Avx2,
+    Avx512,
+}
+
+fn isa() -> Isa {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<Isa> = OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            // The 512-bit kernel needs avx512bw (`madd` on zmm registers is a
+            // BW instruction), not just avx512f.
+            if std::arch::is_x86_feature_detected!("avx512bw") {
+                Isa::Avx512
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                Isa::Avx2
+            } else {
+                Isa::Scalar
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    Isa::Scalar
+}
+
+/// Assembles the broadcast word for an A pair: two sign-extended i16 values
+/// in a little-endian i32, matching the lane layout `madd` expects.
+#[inline]
+fn pair_word(a0: i8, a1: i8) -> i32 {
+    (a0 as i16 as u16 as u32 | ((a1 as i16 as u16 as u32) << 16)) as i32
+}
+
+/// Packs `MR`-row strips of A as pre-assembled pair words, zero-padding the
+/// row and k tails.
+fn pack_a(m: usize, k: usize, a: &[i8], out: &mut Vec<i32>) {
+    let kk2 = k.div_ceil(2);
+    let strips = m.div_ceil(MR);
+    out.clear();
+    out.resize(strips * kk2 * MR, 0);
+    for s in 0..strips {
+        let base = s * kk2 * MR;
+        for l in 0..kk2 {
+            for r in 0..MR {
+                let row = s * MR + r;
+                if row < m {
+                    let a0 = a[row * k + 2 * l];
+                    let a1 = if 2 * l + 1 < k { a[row * k + 2 * l + 1] } else { 0 };
+                    out[base + l * MR + r] = pair_word(a0, a1);
+                }
+            }
+        }
+    }
+}
+
+/// Packs `NR`-column panels of a row-major `k × n` B pair-interleaved along
+/// k, zero-padding the column and k tails. Full panels are two row slices
+/// interleaved bytewise — a single `unpack` pair on x86 — so packing runs at
+/// copy speed; only the right-edge panel and odd-k tail take the scalar
+/// path.
+fn pack_b(k: usize, n: usize, b: &[i8], out: &mut Vec<i8>) {
+    let kk2 = k.div_ceil(2);
+    let panels = n.div_ceil(NR);
+    out.clear();
+    out.resize(panels * kk2 * 2 * NR, 0);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let cols = NR.min(n - j0);
+        let base = p * kk2 * 2 * NR;
+        for l in 0..kk2 {
+            let row = base + l * 2 * NR;
+            if cols == NR && 2 * l + 1 < k {
+                let even = &b[2 * l * n + j0..][..NR];
+                let odd = &b[(2 * l + 1) * n + j0..][..NR];
+                interleave16(even, odd, &mut out[row..row + 2 * NR]);
+            } else {
+                for j in 0..cols {
+                    out[row + 2 * j] = b[2 * l * n + j0 + j];
+                    if 2 * l + 1 < k {
+                        out[row + 2 * j + 1] = b[(2 * l + 1) * n + j0 + j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Interleaves two 16-byte rows into `[e0, o0, e1, o1, …]`.
+#[inline]
+fn interleave16(even: &[i8], odd: &[i8], dst: &mut [i8]) {
+    debug_assert!(even.len() == NR && odd.len() == NR && dst.len() == 2 * NR);
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 is baseline on x86_64, and the slice lengths above
+        // cover every load and store.
+        unsafe {
+            use std::arch::x86_64::*;
+            let e = _mm_loadu_si128(even.as_ptr() as *const __m128i);
+            let o = _mm_loadu_si128(odd.as_ptr() as *const __m128i);
+            _mm_storeu_si128(dst.as_mut_ptr() as *mut __m128i, _mm_unpacklo_epi8(e, o));
+            _mm_storeu_si128(dst.as_mut_ptr().add(16) as *mut __m128i, _mm_unpackhi_epi8(e, o));
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    for j in 0..NR {
+        dst[2 * j] = even[j];
+        dst[2 * j + 1] = odd[j];
+    }
+}
+
+mod kernels {
+    use super::{MR, NR};
+
+    /// Scalar micro-kernel over the packed layout; the shape all SIMD
+    /// variants must reproduce exactly.
+    pub fn micro_scalar(kk2: usize, ap: &[i32], bp: &[i8], acc: &mut [[i32; NR]; MR]) {
+        for l in 0..kk2 {
+            let brow = &bp[l * 2 * NR..(l + 1) * 2 * NR];
+            for r in 0..MR {
+                let word = ap[l * MR + r];
+                let a0 = word as i16 as i32;
+                let a1 = (word >> 16) as i16 as i32;
+                for j in 0..NR {
+                    acc[r][j] += a0 * brow[2 * j] as i32 + a1 * brow[2 * j + 1] as i32;
+                }
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    pub use x86::{micro_avx2, micro_avx512};
+
+    #[cfg(target_arch = "x86_64")]
+    mod x86 {
+        use super::{MR, NR};
+        use std::arch::x86_64::*;
+
+        /// AVX2 kernel: 16 columns as two 8-column ymm halves. Per packed
+        /// row: two 128-bit loads sign-extended to i16, then one
+        /// `madd`+`add` per half per A row.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX2 is available and the packed slices hold
+        /// `kk2` full rows.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn micro_avx2(kk2: usize, ap: &[i32], bp: &[i8], acc: &mut [[i32; NR]; MR]) {
+            debug_assert!(ap.len() >= kk2 * MR && bp.len() >= kk2 * 2 * NR);
+            let mut va = [[_mm256_setzero_si256(); 2]; MR];
+            for l in 0..kk2 {
+                let brow = bp.as_ptr().add(l * 2 * NR);
+                let blo = _mm256_cvtepi8_epi16(_mm_loadu_si128(brow as *const __m128i));
+                let bhi = _mm256_cvtepi8_epi16(_mm_loadu_si128(brow.add(16) as *const __m128i));
+                for (r, vr) in va.iter_mut().enumerate() {
+                    let aw = _mm256_set1_epi32(*ap.get_unchecked(l * MR + r));
+                    vr[0] = _mm256_add_epi32(vr[0], _mm256_madd_epi16(aw, blo));
+                    vr[1] = _mm256_add_epi32(vr[1], _mm256_madd_epi16(aw, bhi));
+                }
+            }
+            for r in 0..MR {
+                _mm256_storeu_si256(acc[r].as_mut_ptr() as *mut __m256i, va[r][0]);
+                _mm256_storeu_si256(acc[r].as_mut_ptr().add(8) as *mut __m256i, va[r][1]);
+            }
+        }
+
+        /// AVX-512BW kernel: all 16 columns in one zmm. Per packed row: one
+        /// 256-bit load sign-extended to 32 i16 lanes, then one `madd`+`add`
+        /// per A row.
+        ///
+        /// # Safety
+        ///
+        /// Caller must ensure AVX-512BW is available and the packed slices
+        /// hold `kk2` full rows.
+        #[target_feature(enable = "avx512bw")]
+        pub unsafe fn micro_avx512(kk2: usize, ap: &[i32], bp: &[i8], acc: &mut [[i32; NR]; MR]) {
+            debug_assert!(ap.len() >= kk2 * MR && bp.len() >= kk2 * 2 * NR);
+            let mut va = [_mm512_setzero_si512(); MR];
+            for l in 0..kk2 {
+                let brow = bp.as_ptr().add(l * 2 * NR);
+                let bv = _mm512_cvtepi8_epi16(_mm256_loadu_si256(brow as *const __m256i));
+                for (r, vr) in va.iter_mut().enumerate() {
+                    let aw = _mm512_set1_epi32(*ap.get_unchecked(l * MR + r));
+                    *vr = _mm512_add_epi32(*vr, _mm512_madd_epi16(aw, bv));
+                }
+            }
+            for r in 0..MR {
+                _mm512_storeu_si512(acc[r].as_mut_ptr() as *mut __m512i, va[r]);
+            }
+        }
+    }
+}
+
+/// Shared driver over pre-packed buffers: runs the best micro-kernel per
+/// strip × panel tile and writes dequantized f32 edges-clipped output.
+#[allow(clippy::too_many_arguments)] // internal driver; the public wrappers stay narrow
+fn run_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a_scales: &[f32],
+    b_scale: f32,
+    c: &mut [f32],
+    pack_a: &[i32],
+    pack_b: &[i8],
+) {
+    let kk2 = k.div_ceil(2);
+    let strips = m.div_ceil(MR);
+    let panels = n.div_ceil(NR);
+    let which = isa();
+    for s in 0..strips {
+        let ap = &pack_a[s * kk2 * MR..(s + 1) * kk2 * MR];
+        let i0 = s * MR;
+        let rows = MR.min(m - i0);
+        for p in 0..panels {
+            let bp = &pack_b[p * kk2 * 2 * NR..(p + 1) * kk2 * 2 * NR];
+            let j0 = p * NR;
+            let cols = NR.min(n - j0);
+            let mut acc = [[0i32; NR]; MR];
+            match which {
+                #[cfg(target_arch = "x86_64")]
+                Isa::Avx512 => unsafe { kernels::micro_avx512(kk2, ap, bp, &mut acc) },
+                #[cfg(target_arch = "x86_64")]
+                Isa::Avx2 => unsafe { kernels::micro_avx2(kk2, ap, bp, &mut acc) },
+                _ => kernels::micro_scalar(kk2, ap, bp, &mut acc),
+            }
+            for r in 0..rows {
+                let row_scale = a_scales[i0 + r] * b_scale;
+                let out = &mut c[(i0 + r) * n + j0..(i0 + r) * n + j0 + cols];
+                for (cv, &av) in out.iter_mut().zip(&acc[r][..cols]) {
+                    *cv = av as f32 * row_scale;
+                }
+            }
+        }
+    }
+}
+
+/// Quantized GEMM with a pre-quantized row-major i8 `B` (`k × n`, one
+/// scale). Bitwise identical to [`reference::gemm_i8`] on every ISA.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+#[allow(clippy::too_many_arguments)] // GEMM-shaped API: dims, operands, scales, output
+pub fn gemm_i8_with(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    a_scales: &[f32],
+    b: &[i8],
+    b_scale: f32,
+    c: &mut [f32],
+    scratch: &mut I8GemmScratch,
+) {
+    assert_eq!(a.len(), m * k, "gemm_i8: A length");
+    assert_eq!(a_scales.len(), m, "gemm_i8: scale length");
+    assert_eq!(b.len(), k * n, "gemm_i8: B length");
+    assert_eq!(c.len(), m * n, "gemm_i8: C length");
+    let (mut pa, mut pb) = (std::mem::take(&mut scratch.pack_a), std::mem::take(&mut scratch.pack_b));
+    pack_a(m, k, a, &mut pa);
+    pack_b(k, n, b, &mut pb);
+    run_packed(m, k, n, a_scales, b_scale, c, &pa, &pb);
+    scratch.pack_a = pa;
+    scratch.pack_b = pb;
+}
+
+/// Quantized GEMM over f32 activations: quantizes `B` dynamically (one
+/// symmetric per-tensor scale) and runs the i8 kernels. Equivalent to
+/// `quantize_dynamic` + [`gemm_i8_with`], without materializing a separate
+/// row-major i8 copy of `B` beyond the scratch staging buffer.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+#[allow(clippy::too_many_arguments)] // GEMM-shaped API: dims, operands, scales, output
+pub fn gemm_i8_f32b_with(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    a_scales: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    scratch: &mut I8GemmScratch,
+) {
+    assert_eq!(b.len(), k * n, "gemm_i8: B length");
+    let mut qb = std::mem::take(&mut scratch.qb);
+    let b_scale = quantize_dynamic(b, &mut qb);
+    gemm_i8_with(m, k, n, a, a_scales, &qb, b_scale, c, scratch);
+    scratch.qb = qb;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp_i8(len: usize, step: usize, shift: i32) -> Vec<i8> {
+        (0..len).map(|i| (((i * step) % 255) as i32 - 127 + shift).clamp(-127, 127) as i8).collect()
+    }
+
+    fn scales(m: usize) -> Vec<f32> {
+        (0..m).map(|i| 0.01 + 0.003 * i as f32).collect()
+    }
+
+    #[test]
+    fn pair_word_sign_extends() {
+        assert_eq!(pair_word(-1, 2), 0x0002_ffffu32 as i32);
+        assert_eq!(pair_word(127, -128), 0xff80_007fu32 as i32);
+    }
+
+    #[test]
+    fn packed_matches_reference_on_conv_shape() {
+        // 8 output channels, k = 8·9 (3x3 conv over 8 channels), 30x30 out.
+        let (m, k, n) = (8, 72, 900);
+        let a = ramp_i8(m * k, 7, 0);
+        let b = ramp_i8(k * n, 11, 3);
+        let sa = scales(m);
+        let mut want = vec![0.0f32; m * n];
+        reference::gemm_i8(m, k, n, &a, &sa, &b, 0.05, &mut want);
+        let mut got = vec![f32::NAN; m * n]; // stale contents must be ignored
+        gemm_i8_with(m, k, n, &a, &sa, &b, 0.05, &mut got, &mut I8GemmScratch::new());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn odd_k_tail_is_exact() {
+        let (m, k, n) = (5, 7, 19);
+        let a = ramp_i8(m * k, 13, -2);
+        let b = ramp_i8(k * n, 5, 1);
+        let sa = scales(m);
+        let mut want = vec![0.0f32; m * n];
+        reference::gemm_i8(m, k, n, &a, &sa, &b, 0.125, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        gemm_i8_with(m, k, n, &a, &sa, &b, 0.125, &mut got, &mut I8GemmScratch::new());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        // Saturated ±127 everywhere exercises the widest i16 products
+        // (madd adds two 16129 products: still far inside i32).
+        let (m, k, n) = (4, 64, 16);
+        let a = vec![127i8; m * k];
+        let b = vec![-127i8; k * n];
+        let sa = vec![1.0f32; m];
+        let mut want = vec![0.0f32; m * n];
+        reference::gemm_i8(m, k, n, &a, &sa, &b, 1.0, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        gemm_i8_with(m, k, n, &a, &sa, &b, 1.0, &mut got, &mut I8GemmScratch::new());
+        assert_eq!(got, want);
+        assert_eq!(got[0], (64.0 * 127.0 * -127.0) as f32);
+    }
+
+    #[test]
+    fn f32b_entry_point_equals_quantize_then_gemm() {
+        let (m, k, n) = (6, 18, 40);
+        let a = ramp_i8(m * k, 9, 0);
+        let sa = scales(m);
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 17) as f32 - 8.0) * 0.03).collect();
+        let mut qb = Vec::new();
+        let b_scale = quantize_dynamic(&b, &mut qb);
+        let mut want = vec![0.0f32; m * n];
+        reference::gemm_i8(m, k, n, &a, &sa, &qb, b_scale, &mut want);
+        let mut got = vec![0.0f32; m * n];
+        gemm_i8_f32b_with(m, k, n, &a, &sa, &b, &mut got, &mut I8GemmScratch::new());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_activations_produce_zero_output() {
+        let (m, k, n) = (3, 10, 5);
+        let a = ramp_i8(m * k, 3, 0);
+        let sa = scales(m);
+        let b = vec![0.0f32; k * n];
+        let mut got = vec![1.0f32; m * n];
+        gemm_i8_f32b_with(m, k, n, &a, &sa, &b, &mut got, &mut I8GemmScratch::new());
+        assert!(got.iter().all(|&v| v == 0.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn packed_equals_reference(m in 1usize..19, k in 1usize..40, n in 1usize..37) {
+            let a = ramp_i8(m * k, 7, 1);
+            let b = ramp_i8(k * n, 11, -1);
+            let sa = scales(m);
+            let mut want = vec![0.0f32; m * n];
+            reference::gemm_i8(m, k, n, &a, &sa, &b, 0.02, &mut want);
+            let mut got = vec![0.0f32; m * n];
+            gemm_i8_with(m, k, n, &a, &sa, &b, 0.02, &mut got, &mut I8GemmScratch::new());
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn scratch_reuse_is_stable(m in 1usize..10, k in 1usize..30, n in 1usize..30) {
+            let mut scratch = I8GemmScratch::new();
+            // A big call first so the small call reuses oversized buffers.
+            let (bm, bk, bn) = (16, 48, 64);
+            let mut c_big = vec![0.0f32; bm * bn];
+            gemm_i8_with(bm, bk, bn, &ramp_i8(bm * bk, 5, 0), &scales(bm),
+                &ramp_i8(bk * bn, 3, 0), 0.1, &mut c_big, &mut scratch);
+            let a = ramp_i8(m * k, 7, 2);
+            let b = ramp_i8(k * n, 13, -3);
+            let sa = scales(m);
+            let mut want = vec![0.0f32; m * n];
+            reference::gemm_i8(m, k, n, &a, &sa, &b, 0.5, &mut want);
+            let mut got = vec![0.0f32; m * n];
+            gemm_i8_with(m, k, n, &a, &sa, &b, 0.5, &mut got, &mut scratch);
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Reduced-precision weight storage for the inference path.
+//!
+//! Training always runs in f32. For deployment the predict path can trade a
+//! bounded amount of accuracy for speed and bundle size:
+//!
+//! * **f16** — half-precision *storage* with f32 compute: weights are rounded
+//!   to the nearest representable binary16 value (round-to-nearest-even) and
+//!   expanded back to f32, so the existing f32 kernels run unchanged on
+//!   slightly coarser weights. The low-risk middle tier.
+//! * **int8** — per-channel symmetric quantization: each output channel
+//!   (GEMM row) gets its own scale `max_abs / 127`, weights are stored as
+//!   `i8`, activations are quantized dynamically per tensor, and the GEMM
+//!   accumulates in **i32** (exact) before a single f32 dequantization
+//!   multiply. See [`crate::linalg_i8`] for the kernels.
+//!
+//! Calibration is trivial by design: symmetric scales depend only on the
+//! weight tensor itself (no activation statistics), so they are captured at
+//! bundle-save time and reproduced bit-for-bit on load.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Numeric precision of the inference path.
+///
+/// `F32` is the training precision and the default; `F16` and `Int8` are
+/// storage/compute tiers applied by `set_precision` on the layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full f32 weights and arithmetic (bitwise identical to training).
+    #[default]
+    F32,
+    /// Weights rounded through IEEE binary16 storage; f32 arithmetic.
+    F16,
+    /// Per-channel symmetric int8 weights, i32 accumulate, f32 dequantize.
+    Int8,
+}
+
+impl FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Precision, String> {
+        match s {
+            "f32" => Ok(Precision::F32),
+            "f16" => Ok(Precision::F16),
+            "int8" | "i8" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision '{other}' (expected f32, f16 or int8)")),
+        }
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        })
+    }
+}
+
+/// Converts an f32 to IEEE binary16 bits with round-to-nearest-even.
+///
+/// Out-of-range magnitudes saturate to ±infinity, values below half the
+/// smallest subnormal flush to ±0, and NaN payloads are preserved as quiet
+/// NaNs. (The `f16` primitive is not yet stable, hence the manual path.)
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Infinity or NaN; force NaNs quiet so the payload survives truncation.
+        return if mant == 0 { sign | 0x7c00 } else { sign | 0x7e00 | ((mant >> 13) as u16 & 0x01ff) };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> infinity
+    }
+    if unbiased >= -14 {
+        // Normal range: re-bias the exponent, round away the low 13 bits.
+        let mut out = (((unbiased + 15) as u32) << 10) | (mant >> 13);
+        let round = mant & 0x1fff;
+        if round > 0x1000 || (round == 0x1000 && out & 1 != 0) {
+            out += 1; // carries into the exponent (and to infinity) correctly
+        }
+        return sign | out as u16;
+    }
+    if unbiased < -25 {
+        return sign; // below half the smallest subnormal -> zero
+    }
+    // Subnormal range: shift the full significand (with implicit bit) right.
+    let mant = mant | 0x0080_0000;
+    let shift = (13 - 14 - unbiased) as u32;
+    let mut out = mant >> shift;
+    let round = mant & ((1u32 << shift) - 1);
+    let half = 1u32 << (shift - 1);
+    if round > half || (round == half && out & 1 != 0) {
+        out += 1;
+    }
+    sign | out as u16
+}
+
+/// Expands IEEE binary16 bits to the exactly-representable f32 value.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = if exp == 0x1f {
+        sign | 0x7f80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: normalize into an f32 with an explicit exponent.
+            let mut e = 127 - 15 + 1;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            sign | ((e as u32) << 23) | ((m & 0x03ff) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Rounds an f32 through f16 storage: the value the F16 tier computes with.
+pub fn round_to_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static DETECTED: OnceLock<bool> = OnceLock::new();
+    *DETECTED.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+/// A row-major `rows x cols` int8 matrix with one symmetric scale per row.
+///
+/// Dequantization: `w[r][c] = data[r * cols + c] as f32 * scales[r]`. Rows
+/// correspond to output channels in the GEMM formulation (`C = W x cols`),
+/// which is what makes per-row scales factor cleanly out of the i32
+/// accumulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a row-major f32 matrix with one symmetric scale per row
+    /// (`scale = max_abs / 127`, round to nearest with ties to even,
+    /// clamped to ±127 so the range stays symmetric). All-zero rows get
+    /// scale 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.len() != rows * cols` or either dimension is zero.
+    pub fn quantize_rows(rows: usize, cols: usize, w: &[f32]) -> QuantizedMatrix {
+        assert!(rows > 0 && cols > 0, "quantized matrix must be non-empty");
+        assert_eq!(w.len(), rows * cols, "weight length mismatch");
+        let mut data = vec![0i8; rows * cols];
+        let mut scales = vec![1.0f32; rows];
+        for r in 0..rows {
+            let row = &w[r * cols..(r + 1) * cols];
+            let max_abs = max_abs(row);
+            if max_abs > 0.0 {
+                quantize_slice(row, 127.0 / max_abs, &mut data[r * cols..(r + 1) * cols]);
+                scales[r] = max_abs / 127.0;
+            }
+        }
+        QuantizedMatrix { rows, cols, data, scales }
+    }
+
+    /// Reassembles a matrix from stored parts (bundle deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent lengths or empty dimensions.
+    pub fn from_parts(rows: usize, cols: usize, data: Vec<i8>, scales: Vec<f32>) -> QuantizedMatrix {
+        assert!(rows > 0 && cols > 0, "quantized matrix must be non-empty");
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert_eq!(scales.len(), rows, "scale length mismatch");
+        QuantizedMatrix { rows, cols, data, scales }
+    }
+
+    /// Number of rows (output channels).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (reduction length).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major quantized values.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-row dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Expands back to f32 (testing and storage round-trips).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[r * self.cols + c] = self.data[r * self.cols + c] as f32 * self.scales[r];
+            }
+        }
+        out
+    }
+}
+
+/// The weight representation a layer's inference path computes with.
+///
+/// `F32` means "use the training parameters as-is" (the default — zero
+/// cost, bitwise identical to training). The other tiers hold a derived
+/// copy of the weights in GEMM layout, rebuilt by each layer's
+/// `set_precision`; the training `Param` values stay untouched so dropping
+/// back to `Precision::F32` is always lossless.
+#[derive(Debug, Clone, Default)]
+pub enum InferWeights {
+    /// Compute directly on the f32 training parameters.
+    #[default]
+    F32,
+    /// f32 copy of the weights rounded through binary16 storage.
+    F16(Vec<f32>),
+    /// Per-row symmetric int8 quantization for the i8 GEMM kernels.
+    Int8(QuantizedMatrix),
+}
+
+impl InferWeights {
+    /// Builds the representation for `p` from a row-major `rows x cols`
+    /// weight view (rows = output channels).
+    pub fn build(p: Precision, rows: usize, cols: usize, w: &[f32]) -> InferWeights {
+        match p {
+            Precision::F32 => InferWeights::F32,
+            Precision::F16 => InferWeights::F16(w.iter().map(|&v| round_to_f16(v)).collect()),
+            Precision::Int8 => InferWeights::Int8(QuantizedMatrix::quantize_rows(rows, cols, w)),
+        }
+    }
+
+    /// The precision tier this representation implements.
+    pub fn precision(&self) -> Precision {
+        match self {
+            InferWeights::F32 => Precision::F32,
+            InferWeights::F16(_) => Precision::F16,
+            InferWeights::Int8(_) => Precision::Int8,
+        }
+    }
+}
+
+/// Quantizes an activation tensor with one dynamic symmetric scale
+/// (`max_abs / 127`), writing into `q` (resized to `x.len()`), and returns
+/// the scale. An all-zero (or empty) input quantizes to zeros with scale 0,
+/// which dequantizes exactly to zero downstream.
+pub fn quantize_dynamic(x: &[f32], q: &mut Vec<i8>) -> f32 {
+    q.clear();
+    q.resize(x.len(), 0);
+    let max_abs = max_abs(x);
+    if max_abs <= 0.0 {
+        return 0.0;
+    }
+    quantize_slice(x, 127.0 / max_abs, q);
+    max_abs / 127.0
+}
+
+/// Largest absolute value in the slice, via integer max over the absolute
+/// bit patterns (monotonic for finite floats). Non-finite inputs would
+/// quantize to garbage anyway; weights and activations in this workspace
+/// are finite.
+fn max_abs(xs: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just detected.
+        return unsafe { simd::max_abs_avx2(xs) };
+    }
+    max_abs_scalar(xs)
+}
+
+fn max_abs_scalar(xs: &[f32]) -> f32 {
+    let mut m = 0u32;
+    for &x in xs {
+        m = m.max(x.to_bits() & 0x7fff_ffff);
+    }
+    f32::from_bits(m)
+}
+
+/// Quantizes `x` into `q` with a fixed inverse scale. The SIMD path is
+/// bitwise identical to the scalar one: both compute `x * inv_scale` in f32
+/// and round to nearest-even (`cvtps` under the default rounding mode), and
+/// with `inv_scale = 127 / max_abs` the products stay inside ±127 so
+/// neither the scalar clamp nor the pack saturation ever engages.
+fn quantize_slice(x: &[f32], inv_scale: f32, q: &mut [i8]) {
+    debug_assert_eq!(x.len(), q.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just detected.
+        unsafe { simd::quantize_avx2(x, inv_scale, q) };
+        return;
+    }
+    for (qi, &v) in q.iter_mut().zip(x) {
+        *qi = quantize_value(v, inv_scale);
+    }
+}
+
+#[inline]
+fn quantize_value(x: f32, inv_scale: f32) -> i8 {
+    (x * inv_scale).round_ties_even().clamp(-127.0, 127.0) as i8
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+
+    /// AVX2 max-|x|: integer max over absolute bit patterns, identical to
+    /// the scalar reduction.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max_abs_avx2(xs: &[f32]) -> f32 {
+        let mask = _mm256_set1_epi32(0x7fff_ffff);
+        let mut m = _mm256_setzero_si256();
+        let chunks = xs.len() / 8;
+        for i in 0..chunks {
+            let v = _mm256_loadu_si256(xs.as_ptr().add(i * 8) as *const __m256i);
+            m = _mm256_max_epu32(m, _mm256_and_si256(v, mask));
+        }
+        let mut x = _mm_max_epu32(_mm256_castsi256_si128(m), _mm256_extracti128_si256(m, 1));
+        x = _mm_max_epu32(x, _mm_shuffle_epi32(x, 0b00_00_11_10));
+        x = _mm_max_epu32(x, _mm_shuffle_epi32(x, 0b00_00_00_01));
+        let mut best = _mm_cvtsi128_si32(x) as u32;
+        for &v in &xs[chunks * 8..] {
+            best = best.max(v.to_bits() & 0x7fff_ffff);
+        }
+        f32::from_bits(best)
+    }
+
+    /// AVX2 bulk quantization: 32 floats per iteration via mul + `cvtps`
+    /// (nearest-even, matching [`super::quantize_value`]) + saturating
+    /// packs, with a lane-ordering permute at the end.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available; `x` and `q` must be the same
+    /// length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn quantize_avx2(x: &[f32], inv_scale: f32, q: &mut [i8]) {
+        debug_assert_eq!(x.len(), q.len());
+        let vinv = _mm256_set1_ps(inv_scale);
+        // packs(a,b) + packs(ab,cd) interleave 128-bit lanes; this permute
+        // of the eight 4-byte groups restores source order.
+        let order = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        let n = x.len();
+        let mut i = 0;
+        while i + 32 <= n {
+            let p = x.as_ptr().add(i);
+            let a = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(p), vinv));
+            let b = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(p.add(8)), vinv));
+            let c = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(p.add(16)), vinv));
+            let d = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(p.add(24)), vinv));
+            let lo = _mm256_packs_epi32(a, b);
+            let hi = _mm256_packs_epi32(c, d);
+            let bytes = _mm256_permutevar8x32_epi32(_mm256_packs_epi16(lo, hi), order);
+            _mm256_storeu_si256(q.as_mut_ptr().add(i) as *mut __m256i, bytes);
+            i += 32;
+        }
+        for j in i..n {
+            q[j] = super::quantize_value(x[j], inv_scale);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_parses_and_prints() {
+        assert_eq!("f32".parse::<Precision>().unwrap(), Precision::F32);
+        assert_eq!("f16".parse::<Precision>().unwrap(), Precision::F16);
+        assert_eq!("int8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert_eq!("i8".parse::<Precision>().unwrap(), Precision::Int8);
+        assert!("fp64".parse::<Precision>().is_err());
+        assert_eq!(Precision::Int8.to_string(), "int8");
+    }
+
+    #[test]
+    fn f16_round_trip_of_exact_values() {
+        // Values exactly representable in binary16 survive the round trip.
+        for &v in &[0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099975586] {
+            let bits = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(bits), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn f16_known_encodings() {
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // f16 max
+        assert_eq!(f32_to_f16_bits(65536.0), 0x7c00); // overflow -> inf
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(5.9604645e-8), 0x0001); // smallest subnormal
+        assert_eq!(f32_to_f16_bits(1e-10), 0x0000); // underflow -> zero
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly between 1.0 and the next f16 (1.0 + 2^-10):
+        // ties go to the even mantissa, i.e. down to 1.0.
+        let tie = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tie)), 1.0);
+        // Just above the tie rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(above)), 1.0 + 2.0f32.powi(-10));
+        // The next tie (between 1 + 2^-10 and 1 + 2^-9) rounds up to even.
+        let tie2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tie2)), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn f16_round_trip_is_idempotent() {
+        let mut x = -3.0f32;
+        while x < 3.0 {
+            let once = round_to_f16(x);
+            assert_eq!(round_to_f16(once), once, "not idempotent at {x}");
+            assert!((once - x).abs() <= x.abs() * 1e-3 + 1e-7, "too far at {x}: {once}");
+            x += 0.0137;
+        }
+    }
+
+    #[test]
+    fn quantize_rows_bounds_error_by_half_step() {
+        let w: Vec<f32> = (0..24).map(|i| (i as f32 - 11.5) * 0.13).collect();
+        let q = QuantizedMatrix::quantize_rows(4, 6, &w);
+        let back = q.dequantize();
+        for (r, chunk) in w.chunks(6).enumerate() {
+            let max_abs = chunk.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let step = max_abs / 127.0;
+            for (a, b) in chunk.iter().zip(&back[r * 6..(r + 1) * 6]) {
+                assert!((a - b).abs() <= step * 0.5 + 1e-7, "row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_rows_is_per_row() {
+        // A large value in row 0 must not coarsen row 1's quantization.
+        let w = vec![100.0, -100.0, 0.001, -0.001];
+        let q = QuantizedMatrix::quantize_rows(2, 2, &w);
+        let back = q.dequantize();
+        assert!((back[2] - 0.001).abs() < 1e-5);
+        assert_eq!(q.data()[0], 127);
+        assert_eq!(q.data()[1], -127);
+    }
+
+    #[test]
+    fn zero_row_gets_unit_scale() {
+        let q = QuantizedMatrix::quantize_rows(2, 3, &[0.0; 6]);
+        assert_eq!(q.scales(), &[1.0, 1.0]);
+        assert!(q.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn dynamic_quantization_round_trips() {
+        let x: Vec<f32> = (0..100).map(|i| ((i * 37) % 19) as f32 * 0.07 - 0.6).collect();
+        let mut q = Vec::new();
+        let scale = quantize_dynamic(&x, &mut q);
+        let max_abs = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!((scale - max_abs / 127.0).abs() < 1e-9);
+        for (&orig, &qi) in x.iter().zip(&q) {
+            assert!((orig - qi as f32 * scale).abs() <= scale * 0.5 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn bulk_quantization_matches_scalar_reference() {
+        // Exercises the SIMD main loop, its tail, and sub-vector lengths;
+        // on non-AVX2 hosts this degenerates to scalar == scalar.
+        for n in [1usize, 7, 31, 32, 33, 64, 100, 257] {
+            let x: Vec<f32> = (0..n).map(|i| ((i * 37) % 41) as f32 * 0.11 - 2.0).collect();
+            let mut q = Vec::new();
+            let scale = quantize_dynamic(&x, &mut q);
+            assert!(scale > 0.0);
+            let inv = 127.0 / max_abs_scalar(&x);
+            assert!((max_abs(&x) - max_abs_scalar(&x)).abs() == 0.0, "max_abs diverged at n={n}");
+            for (i, (&qi, &v)) in q.iter().zip(&x).enumerate() {
+                assert_eq!(qi, quantize_value(v, inv), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_quantization_of_zeros() {
+        let mut q = vec![7i8; 3];
+        let scale = quantize_dynamic(&[0.0, 0.0], &mut q);
+        assert_eq!(scale, 0.0);
+        assert_eq!(q, vec![0, 0]);
+    }
+}

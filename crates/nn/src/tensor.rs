@@ -163,6 +163,29 @@ impl Tensor {
         Tensor { shape: vec![channels, h, w], data }
     }
 
+    /// [`Tensor::concat_channels`] into a reused output tensor: `out` is
+    /// resized in place, so steady-state calls allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or spatial dims differ.
+    pub fn concat_channels_into(parts: &[&Tensor], out: &mut Tensor) {
+        assert!(!parts.is_empty(), "concat of zero tensors");
+        let (h, w) = (parts[0].shape[1], parts[0].shape[2]);
+        let mut channels = 0;
+        for p in parts {
+            assert_eq!(p.shape.len(), 3, "concat needs rank-3 tensors");
+            assert_eq!((p.shape[1], p.shape[2]), (h, w), "concat spatial mismatch");
+            channels += p.shape[0];
+        }
+        out.resize_in_place(&[channels, h, w]);
+        let mut offset = 0;
+        for p in parts {
+            out.data[offset..offset + p.data.len()].copy_from_slice(&p.data);
+            offset += p.data.len();
+        }
+    }
+
     /// Splits a rank-3 tensor into channel groups of the given sizes —
     /// the backward of [`Tensor::concat_channels`].
     ///
@@ -226,6 +249,33 @@ impl Tensor {
     /// Sets every element to zero (grad reset).
     pub fn zero(&mut self) {
         self.data.fill(0.0);
+    }
+
+    /// Reshapes in place to `shape`, zero-filling every element and reusing
+    /// the existing allocation when capacity permits. The workhorse of the
+    /// zero-alloc inference path: repeated calls with the same shape never
+    /// touch the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape` is empty or has a zero extent.
+    pub fn resize_in_place(&mut self, shape: &[usize]) {
+        assert!(!shape.is_empty(), "tensor must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero");
+        let n: usize = shape.iter().product();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+}
+
+impl Default for Tensor {
+    /// A single zero scalar — the cheapest value upholding the non-empty
+    /// invariant, so buffer structs can `#[derive(Default)]` and grow their
+    /// tensors with [`Tensor::resize_in_place`].
+    fn default() -> Tensor {
+        Tensor::zeros(&[1])
     }
 }
 

@@ -21,7 +21,7 @@
 //! cache can cost time but can never poison training data.
 //!
 //! Telemetry: `sim.wnv.cache.hits` / `.misses` / `.invalidations` /
-//! `.stores` count cache outcomes per process.
+//! `.stores` / `.evictions` count cache outcomes per process.
 
 use crate::error::SimResult;
 use crate::transient::TransientStats;
@@ -212,6 +212,136 @@ impl WnvCache {
             Err(e) => eprintln!("warning: wnv cache: cannot store entry {}: {e}", key.hex()),
         }
         Ok(reports)
+    }
+}
+
+/// A size/age summary of a cache directory (`pdn cache stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of `.wnv` entries.
+    pub entries: usize,
+    /// Their combined size in bytes.
+    pub total_bytes: u64,
+    /// Age of the oldest entry (`None` for an empty cache).
+    pub oldest_age: Option<Duration>,
+    /// Age of the newest entry (`None` for an empty cache).
+    pub newest_age: Option<Duration>,
+}
+
+/// What one [`WnvCache::gc`] sweep removed and what survived it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries deleted.
+    pub removed: usize,
+    /// Bytes those entries occupied.
+    pub freed_bytes: u64,
+    /// Entries still present after the sweep.
+    pub kept: usize,
+    /// Bytes they occupy.
+    pub kept_bytes: u64,
+}
+
+/// One entry's bookkeeping data, oldest-first sort key included.
+#[derive(Debug, Clone)]
+struct EntryMeta {
+    path: PathBuf,
+    bytes: u64,
+    modified: std::time::SystemTime,
+}
+
+impl WnvCache {
+    /// Enumerates the cache's `.wnv` entries, oldest first (modification
+    /// time, ties broken by file name so eviction order is stable).
+    fn scan(&self) -> io::Result<Vec<EntryMeta>> {
+        let mut entries = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("wnv") {
+                continue;
+            }
+            let meta = match entry.metadata() {
+                Ok(m) if m.is_file() => m,
+                _ => continue,
+            };
+            let modified = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push(EntryMeta { path, bytes: meta.len(), modified });
+        }
+        entries.sort_by(|a, b| a.modified.cmp(&b.modified).then_with(|| a.path.cmp(&b.path)));
+        Ok(entries)
+    }
+
+    /// Sizes up the cache: entry count, total bytes, and the ages of the
+    /// oldest and newest entries. Non-entry files in the directory are
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan errors.
+    pub fn stats(&self) -> io::Result<CacheStats> {
+        let entries = self.scan()?;
+        let now = std::time::SystemTime::now();
+        let age = |e: &EntryMeta| now.duration_since(e.modified).unwrap_or(Duration::ZERO);
+        Ok(CacheStats {
+            entries: entries.len(),
+            total_bytes: entries.iter().map(|e| e.bytes).sum(),
+            oldest_age: entries.first().map(age),
+            newest_age: entries.last().map(age),
+        })
+    }
+
+    /// Evicts entries until both bounds hold: entries older than `max_age`
+    /// always go, then the oldest survivors go until the combined size fits
+    /// in `max_bytes`. A `None` bound leaves that dimension unconstrained,
+    /// so `gc(None, None)` removes nothing. Each eviction counts on
+    /// `sim.wnv.cache.evictions`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-scan errors; an entry that cannot be deleted is
+    /// reported as a warning, counted as kept, and the sweep continues.
+    pub fn gc(&self, max_bytes: Option<u64>, max_age: Option<Duration>) -> io::Result<GcReport> {
+        let entries = self.scan()?;
+        let now = std::time::SystemTime::now();
+        let mut evict = vec![false; entries.len()];
+        if let Some(limit) = max_age {
+            for (e, flag) in entries.iter().zip(&mut evict) {
+                *flag = now.duration_since(e.modified).is_ok_and(|age| age > limit);
+            }
+        }
+        if let Some(limit) = max_bytes {
+            let mut kept_bytes: u64 =
+                entries.iter().zip(&evict).filter(|&(_, &gone)| !gone).map(|(e, _)| e.bytes).sum();
+            // `scan` returns oldest first, so this walk evicts by age.
+            for (e, flag) in entries.iter().zip(&mut evict) {
+                if kept_bytes <= limit {
+                    break;
+                }
+                if !*flag {
+                    *flag = true;
+                    kept_bytes -= e.bytes;
+                }
+            }
+        }
+        let mut report = GcReport::default();
+        for (e, flag) in entries.iter().zip(&evict) {
+            if *flag {
+                match std::fs::remove_file(&e.path) {
+                    Ok(()) => {
+                        report.removed += 1;
+                        report.freed_bytes += e.bytes;
+                        telemetry::counter_add("sim.wnv.cache.evictions", 1);
+                        continue;
+                    }
+                    Err(err) => {
+                        eprintln!("warning: wnv cache: cannot evict {}: {err}", e.path.display());
+                    }
+                }
+            }
+            report.kept += 1;
+            report.kept_bytes += e.bytes;
+        }
+        Ok(report)
     }
 }
 
@@ -436,6 +566,70 @@ mod tests {
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
         }
         assert_eq!(decode_entry(&full, key).unwrap().len(), reports.len());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    fn backdate(path: &Path, secs_ago: u64) {
+        let t = std::time::SystemTime::now() - Duration::from_secs(secs_ago);
+        std::fs::File::options().write(true).open(path).unwrap().set_modified(t).unwrap();
+    }
+
+    #[test]
+    fn stats_counts_only_entries() {
+        let (_, runner, vectors) = fixture();
+        let cache = tmp_cache("stats");
+        let reports = runner.run_group(&vectors).unwrap();
+        for k in 1..=3u64 {
+            cache.store(CacheKey(k), &reports).unwrap();
+        }
+        std::fs::write(cache.dir().join("notes.txt"), b"not an entry").unwrap();
+        let entry_bytes =
+            std::fs::metadata(cache.dir().join(format!("{}.wnv", CacheKey(1).hex())))
+                .unwrap()
+                .len();
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.total_bytes, 3 * entry_bytes);
+        assert!(stats.oldest_age.unwrap() >= stats.newest_age.unwrap());
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
+    fn gc_evicts_by_age_then_size_oldest_first() {
+        let (_, runner, vectors) = fixture();
+        let cache = tmp_cache("gc");
+        let reports = runner.run_group(&vectors).unwrap();
+        let path_of = |k: u64| cache.dir().join(format!("{}.wnv", CacheKey(k).hex()));
+        for k in 1..=3u64 {
+            cache.store(CacheKey(k), &reports).unwrap();
+        }
+        let entry_bytes = std::fs::metadata(path_of(1)).unwrap().len();
+        backdate(&path_of(1), 1000);
+        backdate(&path_of(2), 500);
+
+        // Unbounded sweep is a no-op.
+        let noop = cache.gc(None, None).unwrap();
+        assert_eq!(noop, GcReport { removed: 0, freed_bytes: 0, kept: 3, kept_bytes: 3 * entry_bytes });
+
+        // Age bound: only the 1000 s-old entry exceeds 750 s.
+        pdn_core::telemetry::reset();
+        pdn_core::telemetry::enable();
+        let aged = cache.gc(None, Some(Duration::from_secs(750))).unwrap();
+        assert_eq!(aged.removed, 1);
+        assert_eq!(aged.freed_bytes, entry_bytes);
+        assert_eq!(aged.kept, 2);
+        assert!(!path_of(1).exists());
+        assert!(path_of(2).exists() && path_of(3).exists());
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.evictions"), 1);
+        pdn_core::telemetry::reset();
+
+        // Size bound: room for one entry, so the older survivor goes.
+        let sized = cache.gc(Some(entry_bytes), None).unwrap();
+        assert_eq!(sized.removed, 1);
+        assert_eq!(sized.kept, 1);
+        assert_eq!(sized.kept_bytes, entry_bytes);
+        assert!(!path_of(2).exists());
+        assert!(path_of(3).exists());
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 

@@ -45,7 +45,7 @@ pub mod static_ir;
 pub mod transient;
 pub mod wnv;
 
-pub use cache::{CacheKey, WnvCache};
+pub use cache::{CacheKey, CacheStats, GcReport, WnvCache};
 pub use error::{SimError, SimResult};
 pub use probe::{ProbeSet, ProbeTrace};
 pub use static_ir::StaticAnalysis;

@@ -48,6 +48,17 @@ if grep -q '"name":"sim.wnv.vectors"' "$t2"; then
 fi
 echo "cache round trip: store on run 1, hit (no simulation) on run 2"
 
+echo
+echo "== quantization accuracy smoke =="
+# f16/int8 must stay within the accuracy gates of pdn-eval::quantization
+# (the eval exits non-zero and prints the offending precision otherwise).
+quant_out="$(./target/release/pdn eval --design D1 --vectors 4 --steps 30 \
+    --epochs 2 --cache-dir none --precision all)" \
+    || { echo "quantization smoke: eval failed"; exit 1; }
+grep -q 'quantization gate : ok' <<<"$quant_out" \
+    || { echo "quantization smoke: accuracy gate failed"; echo "$quant_out"; exit 1; }
+echo "quantization gate: f16 + int8 within accuracy bounds"
+
 if [[ "${PDN_BENCH_GATE:-1}" != "0" && -f BENCH_components.json ]]; then
     echo
     echo "== bench regression gate (PDN_BENCH_GATE=0 to skip) =="

@@ -19,16 +19,18 @@ use pdn_wnv::eval::harness::{EvalOptions, EvaluatedDesign, ExperimentConfig};
 use pdn_wnv::eval::render::{ascii_map, write_csv};
 use pdn_wnv::eval::tracereport::{self, ReportOptions, TelemetryLog};
 use pdn_wnv::grid::design::{DesignPreset, DesignScale};
+use pdn_wnv::eval::quantization;
 use pdn_wnv::model::checkpoint::CheckpointConfig;
 use pdn_wnv::model::model::Predictor;
 use pdn_wnv::model::trainer::TrainConfig;
+use pdn_wnv::nn::quant::Precision;
 use pdn_wnv::sim::wnv::WnvRunner;
 use pdn_wnv::sim::WnvCache;
 use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     pdn_wnv::core::threads::configure_from_env();
@@ -54,12 +56,15 @@ const USAGE: &str = "usage:
                       [--vector FILE.csv] [--out DIR]
   pdn train           --design D1..D4 [--scale S] [--vectors N] [--epochs E] --out MODEL
                       [--cache-dir DIR|none] [--checkpoint FILE.ckpt]
-                      [--checkpoint-every N] [--resume true]
+                      [--checkpoint-every N] [--checkpoint-keep K] [--resume true]
   pdn eval            --design D1..D4 [--scale S] [--vectors N] [--epochs E]
                       [--cache-dir DIR|none] [--checkpoint FILE.ckpt]
-                      [--checkpoint-every N] [--resume true]
+                      [--checkpoint-every N] [--checkpoint-keep K] [--resume true]
+                      [--precision f16|int8|all]
   pdn predict         --model MODEL --design D1..D4 [--scale S] [--seed K]
-                      [--vector FILE.csv] [--out DIR]
+                      [--vector FILE.csv] [--out DIR] [--precision f32|f16|int8]
+  pdn cache stats     [--cache-dir DIR]
+  pdn cache gc        [--cache-dir DIR] [--max-mb MB] [--max-age-days D]
   pdn export-netlist  --design D1..D4 [--scale S] --out FILE.sp
   pdn export-vector   --design D1..D4 [--scale S] [--steps N] [--seed K] --out FILE.csv
   pdn report          RUN.jsonl [BASELINE.jsonl] [--out REPORT.md] [--trace TRACE.json]
@@ -75,6 +80,17 @@ every command (except report) also accepts:
 (default: PDN_CACHE_DIR, else ~/.cache/pdn-wnv; `none` disables) so a
 repeated run skips the transient solves, and can checkpoint training with
 --checkpoint; --resume true continues an interrupted run bit-identically.
+--checkpoint-keep K additionally writes epoch-stamped checkpoint
+generations and prunes all but the newest K.
+
+`pdn cache stats` sizes the ground-truth cache up; `pdn cache gc` evicts
+entries older than --max-age-days, then oldest-first until the cache fits
+in --max-mb.
+
+`pdn eval --precision f16|int8|all` replays the held-out vectors through
+the quantized inference path and fails when its deviation from f32 exceeds
+the accuracy gate; `pdn predict --precision` serves a query at the chosen
+precision.
 
 `pdn report` renders a telemetry sink as markdown (stage tree, solver
 percentiles, training curve, speedup table); with a BASELINE it also diffs
@@ -90,6 +106,10 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         // `report` takes positional file arguments and never records
         // telemetry about itself.
         return report_cmd(rest);
+    }
+    if command == "cache" {
+        // `cache` takes a positional subcommand and only touches files.
+        return cache_cmd(rest);
     }
     let opts = parse_flags(rest)?;
     if let Some(path) = opts.get("telemetry") {
@@ -276,6 +296,79 @@ where
     }
 }
 
+/// Like [`parse`] without a default: `Ok(None)` when the flag is absent.
+fn parse_opt<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, Box<dyn std::error::Error>>
+where
+    T::Err: std::fmt::Display,
+{
+    match opts.get(key) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|e| format!("bad --{key}: {e}").into()),
+    }
+}
+
+/// `pdn cache stats|gc [--cache-dir DIR] [--max-mb MB] [--max-age-days D]`.
+fn cache_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some((verb, rest)) = args.split_first() else {
+        return Err("cache needs a subcommand (stats|gc)".into());
+    };
+    let opts = parse_flags(rest)?;
+    let Some(cache) = cache_from_opts(&opts)? else {
+        return Err("caching is disabled (--cache-dir/PDN_CACHE_DIR is none)".into());
+    };
+    let mib = |bytes: u64| bytes as f64 / (1024.0 * 1024.0);
+    match verb.as_str() {
+        "stats" => {
+            let s = cache.stats()?;
+            println!("cache dir : {}", cache.dir().display());
+            println!("entries   : {}", s.entries);
+            println!("size      : {:.2} MiB", mib(s.total_bytes));
+            if let (Some(oldest), Some(newest)) = (s.oldest_age, s.newest_age) {
+                println!("oldest    : {}", human_age(oldest));
+                println!("newest    : {}", human_age(newest));
+            }
+            Ok(())
+        }
+        "gc" => {
+            let max_mb: Option<f64> = parse_opt(&opts, "max-mb")?;
+            let max_days: Option<f64> = parse_opt(&opts, "max-age-days")?;
+            if max_mb.is_none() && max_days.is_none() {
+                return Err("cache gc needs --max-mb and/or --max-age-days".into());
+            }
+            let max_bytes = max_mb.map(|mb| (mb.max(0.0) * 1024.0 * 1024.0) as u64);
+            let max_age = max_days.map(|d| Duration::from_secs_f64(d.max(0.0) * 86_400.0));
+            let r = cache.gc(max_bytes, max_age)?;
+            println!(
+                "evicted {} entries ({:.2} MiB); {} entries ({:.2} MiB) remain in {}",
+                r.removed,
+                mib(r.freed_bytes),
+                r.kept,
+                mib(r.kept_bytes),
+                cache.dir().display()
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown cache subcommand `{other}` (stats|gc)").into()),
+    }
+}
+
+/// Renders an entry age compactly: seconds, then minutes, hours, days.
+fn human_age(age: Duration) -> String {
+    let s = age.as_secs_f64();
+    if s < 120.0 {
+        format!("{s:.0}s ago")
+    } else if s < 2.0 * 3600.0 {
+        format!("{:.0}m ago", s / 60.0)
+    } else if s < 2.0 * 86_400.0 {
+        format!("{:.1}h ago", s / 3600.0)
+    } else {
+        format!("{:.1}d ago", s / 86_400.0)
+    }
+}
+
 fn info(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
     let preset = design(opts)?;
     let spec = preset.spec(scale(opts)?);
@@ -377,8 +470,11 @@ fn checkpoints_from_opts(
     opts: &HashMap<String, String>,
 ) -> Result<Option<CheckpointConfig>, Box<dyn std::error::Error>> {
     let Some(path) = opts.get("checkpoint") else {
-        if opts.contains_key("resume") || opts.contains_key("checkpoint-every") {
-            return Err("--resume/--checkpoint-every need --checkpoint FILE".into());
+        let dependents = ["resume", "checkpoint-every", "checkpoint-keep"];
+        if dependents.iter().any(|k| opts.contains_key(*k)) {
+            return Err(
+                "--resume/--checkpoint-every/--checkpoint-keep need --checkpoint FILE".into()
+            );
         }
         return Ok(None);
     };
@@ -386,6 +482,7 @@ fn checkpoints_from_opts(
         path: PathBuf::from(path),
         every: parse(opts, "checkpoint-every", 5usize)?.max(1),
         resume: parse(opts, "resume", false)?,
+        keep: parse_opt(opts, "checkpoint-keep")?,
     }))
 }
 
@@ -418,10 +515,14 @@ fn run_pipeline(
     }
     if let Some(ck) = &checkpoints {
         println!(
-            "training checkpoints: {} (every {} epochs{})",
+            "training checkpoints: {} (every {} epochs{}{})",
             ck.path.display(),
             ck.every,
-            if ck.resume { ", resume enabled" } else { "" }
+            if ck.resume { ", resume enabled" } else { "" },
+            match ck.keep {
+                Some(k) => format!(", keep last {k}"),
+                None => String::new(),
+            }
         );
     }
     let options = EvalOptions {
@@ -464,7 +565,7 @@ fn eval_cmd(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Er
         config.train.epochs
     );
     let t0 = Instant::now();
-    let eval = run_pipeline(preset, &config, opts)?;
+    let mut eval = run_pipeline(preset, &config, opts)?;
     let stats = pdn_wnv::eval::metrics::pooled_error_stats(&eval.test_pairs);
     println!("done in {:.1}s", t0.elapsed().as_secs_f64());
     println!("held-out accuracy : {stats}");
@@ -474,6 +575,27 @@ fn eval_cmd(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Er
         eval.predict_time_per_vector.as_secs_f64(),
         eval.speedup()
     );
+    if let Some(spec) = opts.get("precision") {
+        let precisions: Vec<Precision> = match spec.trim() {
+            "all" => vec![Precision::F16, Precision::Int8],
+            one => vec![one.parse().map_err(|e| format!("bad --precision: {e}"))?],
+        };
+        let vectors: Vec<_> =
+            eval.test_indices.iter().map(|&i| eval.prepared.vectors[i].clone()).collect();
+        let truths: Vec<_> = eval.test_pairs.iter().map(|(_, t)| t.clone()).collect();
+        let report = stage("quantization", || {
+            quantization::compare_precisions(
+                &mut eval.predictor,
+                &eval.prepared.grid,
+                &vectors,
+                &truths,
+                &precisions,
+            )
+        });
+        print!("{report}");
+        quantization::check_gates(&report).map_err(|e| format!("quantization gate: {e}"))?;
+        println!("quantization gate : ok");
+    }
     Ok(())
 }
 
@@ -485,12 +607,16 @@ fn predict(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Err
     })?;
     let seed = parse(opts, "seed", 7u64)?;
     let mut predictor = try_stage("load_model", || Predictor::load_from(model_path))?;
+    if let Some(p) = parse_opt::<Precision>(opts, "precision")? {
+        predictor.set_precision(p);
+    }
     let vector = try_stage("load_vector", || load_or_generate_vector(opts, &grid))?;
     let t0 = Instant::now();
     let map = stage("predict", || predictor.predict(&grid, &vector));
     println!(
-        "predicted in {:.4}s: worst droop {}",
+        "predicted in {:.4}s at {}: worst droop {}",
         t0.elapsed().as_secs_f64(),
+        predictor.precision(),
         Volts(map.max())
     );
     println!("\n{}", ascii_map(&map, 0.0, map.max().max(1e-9)));
