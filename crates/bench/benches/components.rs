@@ -20,6 +20,7 @@ use pdn_sparse::cholesky::SparseCholesky;
 use pdn_sparse::ichol::IncompleteCholesky;
 use pdn_sparse::mindeg::minimum_degree;
 use pdn_sparse::ordering::reverse_cuthill_mckee;
+use pdn_sparse::supernodal::{FillOrdering, SupernodalCholesky, SymbolicCholesky};
 use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
 use pdn_vectors::vector::TestVector;
 
@@ -62,6 +63,54 @@ fn bench_sparse_solvers(c: &mut Criterion) {
     let md_fill =
         SparseCholesky::factor(&a.permute_symmetric(&minimum_degree(&a))).expect("spd").nnz();
     println!("\ndirect-factor fill-in: rcm {rcm_fill} nnz, min-degree {md_fill} nnz");
+
+    // Simplicial vs supernodal numeric factorization. The Tiny-scale
+    // matrix above is too small for panels to pay off, so these entries
+    // use a Ci-scale grid (~21 k nodes) — still fast enough for quick
+    // mode, big enough that the factor is GEMM-bound. Both sides use the
+    // same min-degree ordering (the simplicial factor consumes the
+    // permuted matrix, the supernodal analysis is forced to min-degree),
+    // so the delta isolates the numeric phase's panel restructuring.
+    let grid_ci = DesignPreset::D4.spec(pdn_grid::design::DesignScale::Ci).build(7).expect("ci");
+    let mut coo_ci = stamp::conductance_coo(&grid_ci);
+    for b in grid_ci.bumps() {
+        coo_ci.push(b.node.index(), b.node.index(), 1.0 / b.resistance.0);
+    }
+    let a = coo_ci.to_csr();
+    let md_perm = minimum_degree(&a);
+    let a_md = a.permute_symmetric(&md_perm);
+    group.bench_function("cholesky_factor_simplicial", |b| {
+        b.iter(|| SparseCholesky::factor(&a_md).expect("spd"))
+    });
+    let sym = std::sync::Arc::new(
+        SymbolicCholesky::analyze_with(&a, FillOrdering::MinimumDegree).expect("spd"),
+    );
+    group.bench_function("cholesky_factor_supernodal", |b| {
+        b.iter(|| SupernodalCholesky::factor_with(sym.clone(), &a).expect("spd"))
+    });
+    // Blocked multi-RHS solve vs K sequential single-vector solves against
+    // the same factor (K = 16, the transient batch width that matters).
+    let chol = SupernodalCholesky::factor_with(sym.clone(), &a).expect("spd");
+    let k_sweep = 16usize;
+    let n = a.n_rows();
+    let rhs16: Vec<f64> =
+        (0..k_sweep * n).map(|i| (((i / n) * 17 + (i % n) * 31) % 101) as f64 * 1e-4).collect();
+    group.bench_function("cholesky_solve_seq16", |b| {
+        b.iter(|| {
+            let mut xs = rhs16.clone();
+            for x in xs.chunks_mut(n) {
+                chol.solve_in_place(x);
+            }
+            xs
+        })
+    });
+    group.bench_function("cholesky_solve_multi", |b| {
+        b.iter(|| {
+            let mut xs = rhs16.clone();
+            chol.solve_sweep(&mut xs, k_sweep);
+            xs
+        })
+    });
     group.finish();
 }
 

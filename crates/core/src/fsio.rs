@@ -88,6 +88,68 @@ where
     result
 }
 
+/// Atomically publishes a whole directory of artifacts.
+///
+/// `build` receives a hidden staging directory (a sibling of `dest`, so the
+/// final rename never crosses a filesystem) and populates it; only after it
+/// succeeds is the staging directory renamed to `dest`. A previously
+/// published `dest` is moved aside first and removed after the swap, so
+/// readers observe either the complete old directory or the complete new
+/// one — never a half-written mixture. On any error the staging directory
+/// (and, if the swap itself failed, the displaced old directory is restored)
+/// is cleaned up and `dest` is left as it was.
+///
+/// # Errors
+///
+/// Propagates errors from `build` and from the underlying filesystem
+/// operations.
+pub fn publish_dir<F>(dest: impl AsRef<Path>, build: F) -> io::Result<()>
+where
+    F: FnOnce(&Path) -> io::Result<()>,
+{
+    let dest = dest.as_ref();
+    if let Some(parent) = dest.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let stage = tmp_path_for(dest);
+    let result = (|| {
+        fs::create_dir(&stage)?;
+        build(&stage)?;
+        // Move a previous publication aside rather than deleting it before
+        // the swap: if the rename below fails we can put it back.
+        let displaced = tmp_path_for(dest);
+        let had_old = dest.exists();
+        if had_old {
+            fs::rename(dest, &displaced)?;
+        }
+        if let Err(e) = fs::rename(&stage, dest) {
+            if had_old {
+                let _ = fs::rename(&displaced, dest);
+            }
+            return Err(e);
+        }
+        if had_old {
+            let _ = fs::remove_dir_all(&displaced);
+        }
+        // Persist the swap: fsync the parent directory (best-effort on
+        // filesystems that reject directory fsync).
+        if let Some(parent) = dest.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Ok(dir) = File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_dir_all(&stage);
+    }
+    result
+}
+
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a 64-bit prime.
@@ -238,6 +300,47 @@ mod tests {
         atomic_write(&path, b"old").unwrap();
         fs::write(tmp_path_for(&path), b"torn").unwrap();
         assert_eq!(fs::read(&path).unwrap(), b"old");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn publish_dir_swaps_complete_directories() {
+        let dir = tmp_dir("publish");
+        let dest = dir.join("experiments");
+        publish_dir(&dest, |stage| {
+            fs::write(stage.join("a.txt"), b"one")?;
+            fs::write(stage.join("b.txt"), b"two")
+        })
+        .unwrap();
+        assert_eq!(fs::read(dest.join("a.txt")).unwrap(), b"one");
+        // Republish with different contents: old files must not leak into
+        // the new publication.
+        publish_dir(&dest, |stage| fs::write(stage.join("c.txt"), b"three")).unwrap();
+        assert!(!dest.join("a.txt").exists());
+        assert_eq!(fs::read(dest.join("c.txt")).unwrap(), b"three");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_publish_keeps_previous_directory() {
+        let dir = tmp_dir("publish_fail");
+        let dest = dir.join("experiments");
+        publish_dir(&dest, |stage| fs::write(stage.join("keep.txt"), b"v1")).unwrap();
+        let err = publish_dir(&dest, |stage| {
+            fs::write(stage.join("partial.txt"), b"half")?;
+            Err(io::Error::other("simulated crash"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        // The old publication is intact and no staging debris remains.
+        assert_eq!(fs::read(dest.join("keep.txt")).unwrap(), b"v1");
+        assert!(!dest.join("partial.txt").exists());
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "staging dirs left: {leftovers:?}");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,16 +4,21 @@
 //! ```text
 //! cargo run -p pdn-eval --release --bin experiments            # CI scale (~1 h)
 //! cargo run -p pdn-eval --release --bin experiments -- --quick # Tiny scale (~1 min)
+//! cargo run -p pdn-eval --release --bin experiments -- --out DIR
 //! ```
 //!
-//! Text output goes to stdout; CSV artifacts go to `target/experiments/`.
+//! Text output goes to stdout; CSV artifacts go to `--out` (default
+//! `target/experiments/`). The output directory is published atomically:
+//! artifacts are staged in a hidden sibling directory and renamed into
+//! place only once the whole suite succeeds, so an interrupted run never
+//! leaves a half-regenerated mixture of old and new tables.
 
 use pdn_eval::experiments::{ablations, fig4, fig5, fig6, table1, table2, table3};
 use pdn_eval::harness::{EvaluatedDesign, ExperimentConfig, PreparedDesign};
 use pdn_grid::design::DesignPreset;
 use pdn_powernet::model::PowerNetTrainConfig;
 use pdn_powernet::PowerNetConfig;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 fn main() {
@@ -22,13 +27,38 @@ fn main() {
     // Flush the telemetry sink (with summary records) even if a driver
     // panics partway through the suite.
     let _flush = pdn_core::telemetry::FlushGuard::new();
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = match args.iter().position(|a| a == "--out") {
+        Some(i) => PathBuf::from(
+            args.get(i + 1).map(String::as_str).expect("--out requires a directory"),
+        ),
+        None => PathBuf::from("target/experiments"),
+    };
     let config = if quick { ExperimentConfig::quick() } else { ExperimentConfig::ci() };
-    let out_dir = PathBuf::from("target/experiments");
-    std::fs::create_dir_all(&out_dir).expect("create output dir");
     let started = Instant::now();
 
     println!("== pdn-wnv experiment suite ({:?} scale) ==\n", config.scale);
+
+    pdn_core::fsio::publish_dir(&out_dir, |stage| run_suite(stage, &config, quick))
+        .expect("publish experiment artifacts");
+
+    println!(
+        "\nAll artifacts written to {} (total {:.1} min)",
+        out_dir.display(),
+        started.elapsed().as_secs_f64() / 60.0
+    );
+    if pdn_core::telemetry::enabled() {
+        pdn_core::telemetry::write_summary_records();
+        pdn_core::telemetry::flush();
+        println!("\n{}", pdn_core::telemetry::summary());
+    }
+}
+
+/// Regenerates every table and figure into `out_dir` (a staging directory;
+/// the caller publishes it atomically).
+fn run_suite(out_dir: &Path, config: &ExperimentConfig, quick: bool) -> std::io::Result<()> {
+    let config = *config;
 
     // --- prepare + evaluate all four designs (shared by every artifact) ---
     let mut evaluated: Vec<EvaluatedDesign> = Vec::new();
@@ -53,15 +83,13 @@ fn main() {
     let prepared: Vec<&PreparedDesign> = evaluated.iter().map(|e| &e.prepared).collect();
     let t1 = table1::run(&prepared);
     println!("Table 1: design characteristics\n{t1}");
-    pdn_core::fsio::atomic_write(out_dir.join("table1.txt"), t1.to_string().as_bytes())
-        .expect("write table1");
+    pdn_core::fsio::atomic_write(out_dir.join("table1.txt"), t1.to_string().as_bytes())?;
 
     // --- Table 2 ---
     let refs: Vec<&EvaluatedDesign> = evaluated.iter().collect();
     let t2 = table2::run(&refs);
     println!("Table 2: proposed framework vs simulator\n{t2}");
-    pdn_core::fsio::atomic_write(out_dir.join("table2.txt"), t2.to_string().as_bytes())
-        .expect("write table2");
+    pdn_core::fsio::atomic_write(out_dir.join("table2.txt"), t2.to_string().as_bytes())?;
 
     // --- Table 3: PowerNet on D4 ---
     let d4 = &evaluated[3];
@@ -95,18 +123,17 @@ fn main() {
         d4.prepared.preset.name(),
         t0.elapsed().as_secs_f64()
     );
-    pdn_core::fsio::atomic_write(out_dir.join("table3.txt"), t3.to_string().as_bytes())
-        .expect("write table3");
+    pdn_core::fsio::atomic_write(out_dir.join("table3.txt"), t3.to_string().as_bytes())?;
 
     // --- Fig. 4: D1-D3 maps ---
     let f4 = fig4::run(&refs[..3]);
     println!("Fig. 4: ground truth vs prediction (D1-D3)\n{f4}");
-    f4.write_artifacts(&out_dir).expect("write fig4");
+    f4.write_artifacts(out_dir)?;
 
     // --- Fig. 5: D4 detail ---
     let f5 = fig5::run(d4);
     println!("Fig. 5: D4 error analysis\n{f5}");
-    f5.write_artifacts(&out_dir).expect("write fig5");
+    f5.write_artifacts(out_dir)?;
 
     // --- Fig. 6: compression sweep on D1 and D2 (the designs the paper's
     //     text discusses) ---
@@ -125,29 +152,17 @@ fn main() {
         let prep = PreparedDesign::prepare(preset, &sweep_config).expect("prepare");
         let f6 = fig6::run(prep, rates, &sweep_config);
         println!("Fig. 6 ({}): compression sweep\n{f6}", preset.name());
-        f6.write_artifacts(&out_dir).expect("write fig6");
+        f6.write_artifacts(out_dir)?;
         pdn_core::fsio::atomic_write(
             out_dir.join(format!("fig6_{}.txt", preset.name())),
             f6.to_string().as_bytes(),
-        )
-        .expect("write fig6 text");
+        )?;
     }
 
     // --- extension: ablation study on D1 ---
     let prep = PreparedDesign::prepare(DesignPreset::D1, &sweep_config).expect("prepare");
     let abl = ablations::run(prep, &sweep_config);
     println!("{abl}");
-    pdn_core::fsio::atomic_write(out_dir.join("ablations_D1.txt"), abl.to_string().as_bytes())
-        .expect("write ablations");
-
-    println!(
-        "\nAll artifacts written to {} (total {:.1} min)",
-        out_dir.display(),
-        started.elapsed().as_secs_f64() / 60.0
-    );
-    if pdn_core::telemetry::enabled() {
-        pdn_core::telemetry::write_summary_records();
-        pdn_core::telemetry::flush();
-        println!("\n{}", pdn_core::telemetry::summary());
-    }
+    pdn_core::fsio::atomic_write(out_dir.join("ablations_D1.txt"), abl.to_string().as_bytes())?;
+    Ok(())
 }

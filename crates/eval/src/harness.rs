@@ -13,6 +13,7 @@ use pdn_model::checkpoint::CheckpointConfig;
 use pdn_model::model::{ModelConfig, Predictor, WnvModel};
 use pdn_model::trainer::{TrainConfig, TrainHistory, Trainer};
 use pdn_sim::cache::run_group_cached;
+use pdn_sim::transient::SolverKind;
 use pdn_sim::wnv::{NoiseReport, WnvRunner};
 use pdn_sim::WnvCache;
 use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
@@ -30,6 +31,9 @@ pub struct EvalOptions<'a> {
     pub checkpoints: Option<&'a CheckpointConfig>,
     /// Zero the distance feature (the `no-distance` ablation).
     pub zero_distance: bool,
+    /// Which transient linear solver simulates the ground truth. Part of
+    /// the cache key, so CG and direct runs never share entries.
+    pub solver: SolverKind,
 }
 
 /// Configuration of a full experiment run.
@@ -140,6 +144,22 @@ impl PreparedDesign {
         config: &ExperimentConfig,
         cache: Option<&WnvCache>,
     ) -> Result<PreparedDesign, pdn_sim::error::SimError> {
+        Self::prepare_opts(preset, config, cache, SolverKind::default())
+    }
+
+    /// Like [`PreparedDesign::prepare_with`] with an explicit ground-truth
+    /// solver. The solver settings are part of the cache key, so switching
+    /// solvers re-simulates rather than serving the other solver's entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures.
+    pub fn prepare_opts(
+        preset: DesignPreset,
+        config: &ExperimentConfig,
+        cache: Option<&WnvCache>,
+        solver: SolverKind,
+    ) -> Result<PreparedDesign, pdn_sim::error::SimError> {
         let mut span = pdn_core::telemetry::span("eval.prepare");
         span.field("design", preset.name());
         span.field("vectors", config.vectors);
@@ -150,7 +170,7 @@ impl PreparedDesign {
             GeneratorConfig { steps: config.steps, ..Default::default() },
         );
         let vectors = gen.generate_group(config.vectors, config.seed);
-        let runner = WnvRunner::new(&grid)?;
+        let runner = WnvRunner::with_solver(&grid, solver)?;
         let t_sim = Instant::now();
         let reports = run_group_cached(cache, &runner, &grid, &vectors)?;
         let sim_wall = t_sim.elapsed();
@@ -230,7 +250,8 @@ impl EvaluatedDesign {
         config: &ExperimentConfig,
         options: &EvalOptions<'_>,
     ) -> Result<EvaluatedDesign, Box<dyn std::error::Error>> {
-        let prepared = PreparedDesign::prepare_with(preset, config, options.cache)?;
+        let prepared =
+            PreparedDesign::prepare_opts(preset, config, options.cache, options.solver)?;
         Ok(Self::evaluate_prepared_opts(prepared, config, options)?)
     }
 

@@ -3,17 +3,24 @@
 //! Simulating the WNV ground truth dominates every experiment's wall clock
 //! — the very cost the paper's CNN exists to avoid — yet repeated runs with
 //! identical inputs used to pay it again each time. This module caches
-//! [`NoiseReport`] groups on disk, keyed by a content digest of everything
-//! that determines the simulator's output:
+//! [`NoiseReport`]s on disk, **one entry per test vector**, keyed by a
+//! content digest of everything that determines the simulator's output for
+//! that vector:
 //!
 //! * the elaborated grid — the spec (which encodes design, scale and every
 //!   electrical constant) *and* the built structure (resistors, per-node
 //!   capacitance, bumps, loads), so the build seed's placement jitter is
 //!   captured by content rather than by trusting a seed label;
-//! * every test vector, byte for byte (`dt` + all current samples);
+//! * the test vector itself, byte for byte (`dt` + all current samples);
 //! * the solver settings ([`TransientSimulator::digest_solver_settings`]);
 //! * a format-version tag, so changing this file's layout invalidates old
 //!   entries instead of misreading them.
+//!
+//! Per-vector keying means changing, adding or removing one vector in a
+//! group re-simulates only the affected vectors — earlier versions keyed
+//! whole groups and re-simulated everything. The grid + solver part of the
+//! digest is computed once per group and cloned per vector, so key
+//! computation stays linear in the input size.
 //!
 //! Entries are written atomically ([`pdn_core::fsio`]) and sealed with a
 //! trailing payload digest; a torn or bit-flipped entry fails the integrity
@@ -36,16 +43,16 @@ use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-const MAGIC: &[u8; 8] = b"PDNWNVC1";
+const MAGIC: &[u8; 8] = b"PDNWNVC2";
 /// Bump this when the entry layout or key recipe changes: old entries then
 /// simply never match, rather than being misparsed.
-const FORMAT_TAG: &str = "pdn-wnv-cache-v1";
+const FORMAT_TAG: &str = "pdn-wnv-cache-v2";
 /// Upper bound on tile-map dimensions accepted from a cache entry; guards
 /// the deserializer against allocating garbage-sized buffers from a
 /// corrupt length field before the integrity digest is even checked.
 const MAX_DIM: u32 = 1 << 20;
 
-/// The content-addressed key of one ground-truth group.
+/// The content-addressed key of one vector's ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey(pub u64);
 
@@ -56,9 +63,11 @@ impl CacheKey {
     }
 }
 
-/// Computes the cache key for simulating `vectors` on `grid` with the
-/// given runner's solver settings.
-pub fn cache_key(grid: &PowerGrid, vectors: &[TestVector], runner: &WnvRunner) -> CacheKey {
+/// Digests everything a group's vectors share — the elaborated grid and
+/// the runner's solver settings. The returned [`Digest`] is the common key
+/// prefix: extend a copy with one vector ([`vector_cache_key_from`]) to
+/// get that vector's [`CacheKey`].
+pub fn group_digest(grid: &PowerGrid, runner: &WnvRunner) -> Digest {
     let mut d = Digest::new();
     d.update_str(FORMAT_TAG);
     // The spec's Debug form covers every electrical and geometric constant
@@ -89,18 +98,28 @@ pub fn cache_key(grid: &PowerGrid, vectors: &[TestVector], runner: &WnvRunner) -
         d.update_u64(l.cluster as u64);
     }
     runner.simulator().digest_solver_settings(&mut d);
-    d.update_u64(vectors.len() as u64);
-    for v in vectors {
-        d.update_f64(v.time_step().0);
-        d.update_u64(v.step_count() as u64);
-        d.update_u64(v.load_count() as u64);
-        for k in 0..v.step_count() {
-            for &i in v.step(k) {
-                d.update_f64(i);
-            }
+    d
+}
+
+/// Extends a [`group_digest`] copy with one vector's bytes, yielding that
+/// vector's entry key.
+pub fn vector_cache_key_from(base: &Digest, v: &TestVector) -> CacheKey {
+    let mut d = *base;
+    d.update_f64(v.time_step().0);
+    d.update_u64(v.step_count() as u64);
+    d.update_u64(v.load_count() as u64);
+    for k in 0..v.step_count() {
+        for &i in v.step(k) {
+            d.update_f64(i);
         }
     }
     CacheKey(d.finish())
+}
+
+/// Computes the cache key for simulating one `vector` on `grid` with the
+/// given runner's solver settings.
+pub fn cache_key(grid: &PowerGrid, vector: &TestVector, runner: &WnvRunner) -> CacheKey {
+    vector_cache_key_from(&group_digest(grid, runner), vector)
 }
 
 /// An on-disk cache of simulated [`NoiseReport`] groups.
@@ -148,10 +167,10 @@ impl WnvCache {
         self.dir.join(format!("{}.wnv", key.hex()))
     }
 
-    /// Looks an entry up, verifying its integrity digest. A missing entry
-    /// returns `None`; a corrupt one is deleted, counted as an
-    /// invalidation, and also returns `None` so the caller re-simulates.
-    pub fn lookup(&self, key: CacheKey) -> Option<Vec<NoiseReport>> {
+    /// Looks one vector's entry up, verifying its integrity digest. A
+    /// missing entry returns `None`; a corrupt one is deleted, counted as
+    /// an invalidation, and also returns `None` so the caller re-simulates.
+    pub fn lookup(&self, key: CacheKey) -> Option<NoiseReport> {
         let path = self.entry_path(key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -162,7 +181,7 @@ impl WnvCache {
             }
         };
         match decode_entry(&bytes, key) {
-            Ok(reports) => Some(reports),
+            Ok(report) => Some(report),
             Err(e) => {
                 eprintln!(
                     "warning: wnv cache: dropping corrupt entry {}: {e}",
@@ -175,21 +194,24 @@ impl WnvCache {
         }
     }
 
-    /// Atomically stores a report group under `key`.
+    /// Atomically stores one vector's report under `key`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; the cache is left without the entry (never
     /// with a partial one).
-    pub fn store(&self, key: CacheKey, reports: &[NoiseReport]) -> io::Result<()> {
-        let payload = encode_entry(key, reports);
+    pub fn store(&self, key: CacheKey, report: &NoiseReport) -> io::Result<()> {
+        let payload = encode_entry(key, report);
         fsio::atomic_write(self.entry_path(key), &payload)
     }
 
-    /// Cached [`WnvRunner::run_group`]: returns the stored reports when the
-    /// key hits (skipping simulation entirely), otherwise simulates and
-    /// stores the result. A store failure degrades to a warning — the
-    /// simulated reports are still returned.
+    /// Cached [`WnvRunner::run_group`] with per-vector granularity: each
+    /// vector whose key hits is served from disk; only the misses are
+    /// simulated (batched together in one group run, which is bitwise
+    /// identical to solo runs) and stored. Changing one vector of a cached
+    /// group therefore costs one simulation, not the whole group. A store
+    /// failure degrades to a warning — the simulated reports are still
+    /// returned.
     ///
     /// # Errors
     ///
@@ -200,18 +222,33 @@ impl WnvCache {
         grid: &PowerGrid,
         vectors: &[TestVector],
     ) -> SimResult<Vec<NoiseReport>> {
-        let key = cache_key(grid, vectors, runner);
-        if let Some(reports) = self.lookup(key) {
-            telemetry::counter_add("sim.wnv.cache.hits", 1);
-            return Ok(reports);
+        let base = group_digest(grid, runner);
+        let keys: Vec<CacheKey> =
+            vectors.iter().map(|v| vector_cache_key_from(&base, v)).collect();
+        let mut results: Vec<Option<NoiseReport>> =
+            keys.iter().map(|&k| self.lookup(k)).collect();
+        let hits = results.iter().filter(|r| r.is_some()).count();
+        let misses = vectors.len() - hits;
+        telemetry::counter_add("sim.wnv.cache.hits", hits as u64);
+        telemetry::counter_add("sim.wnv.cache.misses", misses as u64);
+        if misses > 0 {
+            let missing_idx: Vec<usize> =
+                results.iter().enumerate().filter(|(_, r)| r.is_none()).map(|(i, _)| i).collect();
+            let missing: Vec<TestVector> =
+                missing_idx.iter().map(|&i| vectors[i].clone()).collect();
+            let simulated = runner.run_group(&missing)?;
+            for (&i, report) in missing_idx.iter().zip(simulated) {
+                match self.store(keys[i], &report) {
+                    Ok(()) => telemetry::counter_add("sim.wnv.cache.stores", 1),
+                    Err(e) => eprintln!(
+                        "warning: wnv cache: cannot store entry {}: {e}",
+                        keys[i].hex()
+                    ),
+                }
+                results[i] = Some(report);
+            }
         }
-        telemetry::counter_add("sim.wnv.cache.misses", 1);
-        let reports = runner.run_group(vectors)?;
-        match self.store(key, &reports) {
-            Ok(()) => telemetry::counter_add("sim.wnv.cache.stores", 1),
-            Err(e) => eprintln!("warning: wnv cache: cannot store entry {}: {e}", key.hex()),
-        }
-        Ok(reports)
+        Ok(results.into_iter().map(|r| r.expect("all slots filled")).collect())
     }
 }
 
@@ -345,24 +382,21 @@ impl WnvCache {
     }
 }
 
-fn encode_entry(key: CacheKey, reports: &[NoiseReport]) -> Vec<u8> {
+fn encode_entry(key: CacheKey, r: &NoiseReport) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&key.0.to_le_bytes());
-    out.extend_from_slice(&(reports.len() as u32).to_le_bytes());
-    for r in reports {
-        let (rows, cols) = r.worst_noise.shape();
-        out.extend_from_slice(&(rows as u32).to_le_bytes());
-        out.extend_from_slice(&(cols as u32).to_le_bytes());
-        for v in r.worst_noise.as_slice() {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        out.extend_from_slice(&r.max_noise.0.to_le_bytes());
-        out.extend_from_slice(&(r.elapsed.as_nanos() as u64).to_le_bytes());
-        out.extend_from_slice(&(r.stats.steps as u64).to_le_bytes());
-        out.extend_from_slice(&(r.stats.cg_iterations as u64).to_le_bytes());
-        out.extend_from_slice(&r.stats.worst_residual.to_le_bytes());
+    let (rows, cols) = r.worst_noise.shape();
+    out.extend_from_slice(&(rows as u32).to_le_bytes());
+    out.extend_from_slice(&(cols as u32).to_le_bytes());
+    for v in r.worst_noise.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
     }
+    out.extend_from_slice(&r.max_noise.0.to_le_bytes());
+    out.extend_from_slice(&(r.elapsed.as_nanos() as u64).to_le_bytes());
+    out.extend_from_slice(&(r.stats.steps as u64).to_le_bytes());
+    out.extend_from_slice(&(r.stats.cg_iterations as u64).to_le_bytes());
+    out.extend_from_slice(&r.stats.worst_residual.to_le_bytes());
     // Seal everything after the magic with a content digest; a torn write
     // or flipped bit fails verification on load.
     let seal = fsio::digest_bytes(&out[MAGIC.len()..]);
@@ -374,8 +408,8 @@ fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-fn decode_entry(bytes: &[u8], expected: CacheKey) -> io::Result<Vec<NoiseReport>> {
-    if bytes.len() < MAGIC.len() + 8 + 4 + 8 {
+fn decode_entry(bytes: &[u8], expected: CacheKey) -> io::Result<NoiseReport> {
+    if bytes.len() < MAGIC.len() + 8 + 8 + 8 {
         return Err(invalid("entry shorter than header"));
     }
     if &bytes[..MAGIC.len()] != MAGIC {
@@ -391,34 +425,29 @@ fn decode_entry(bytes: &[u8], expected: CacheKey) -> io::Result<Vec<NoiseReport>
     if key != expected.0 {
         return Err(invalid("entry key does not match its address"));
     }
-    let count = read_u32(&mut r)? as usize;
-    let mut reports = Vec::with_capacity(count.min(4096));
-    for _ in 0..count {
-        let rows = read_u32(&mut r)?;
-        let cols = read_u32(&mut r)?;
-        if rows > MAX_DIM || cols > MAX_DIM {
-            return Err(invalid("implausible tile-map dimensions"));
-        }
-        let n = (rows as usize) * (cols as usize);
-        let mut data = Vec::with_capacity(n);
-        for _ in 0..n {
-            data.push(read_f64(&mut r)?);
-        }
-        let worst_noise = TileMap::from_vec(rows as usize, cols as usize, data)
-            .map_err(|e| invalid(format!("bad tile map: {e}")))?;
-        let max_noise = Volts(read_f64(&mut r)?);
-        let elapsed = Duration::from_nanos(read_u64(&mut r)?);
-        let stats = TransientStats {
-            steps: read_u64(&mut r)? as usize,
-            cg_iterations: read_u64(&mut r)? as usize,
-            worst_residual: read_f64(&mut r)?,
-        };
-        reports.push(NoiseReport { worst_noise, max_noise, elapsed, stats });
+    let rows = read_u32(&mut r)?;
+    let cols = read_u32(&mut r)?;
+    if rows > MAX_DIM || cols > MAX_DIM {
+        return Err(invalid("implausible tile-map dimensions"));
     }
+    let n = (rows as usize) * (cols as usize);
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(read_f64(&mut r)?);
+    }
+    let worst_noise = TileMap::from_vec(rows as usize, cols as usize, data)
+        .map_err(|e| invalid(format!("bad tile map: {e}")))?;
+    let max_noise = Volts(read_f64(&mut r)?);
+    let elapsed = Duration::from_nanos(read_u64(&mut r)?);
+    let stats = TransientStats {
+        steps: read_u64(&mut r)? as usize,
+        cg_iterations: read_u64(&mut r)? as usize,
+        worst_residual: read_f64(&mut r)?,
+    };
     if !r.is_empty() {
-        return Err(invalid("trailing bytes after last report"));
+        return Err(invalid("trailing bytes after report"));
     }
-    Ok(reports)
+    Ok(NoiseReport { worst_noise, max_noise, elapsed, stats })
 }
 
 fn read_u32(r: &mut &[u8]) -> io::Result<u32> {
@@ -498,12 +527,12 @@ mod tests {
         pdn_core::telemetry::reset();
         pdn_core::telemetry::enable();
         let _ = cache.run_group(&runner, &grid, &vectors).unwrap();
-        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.misses"), 1);
-        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.stores"), 1);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.misses"), 3);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.stores"), 3);
         let simulated_after_first =
             pdn_core::telemetry::counter_value("sim.wnv.vectors");
         let _ = cache.run_group(&runner, &grid, &vectors).unwrap();
-        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.hits"), 1);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.hits"), 3);
         // No additional vectors were simulated on the hit path.
         assert_eq!(
             pdn_core::telemetry::counter_value("sim.wnv.vectors"),
@@ -514,19 +543,48 @@ mod tests {
     }
 
     #[test]
+    fn changing_one_vector_resimulates_only_it() {
+        let (grid, runner, vectors) = fixture();
+        let cache = tmp_cache("partial");
+        let solo: Vec<NoiseReport> =
+            vectors.iter().map(|v| runner.run(v).unwrap()).collect();
+        let _ = cache.run_group(&runner, &grid, &vectors).unwrap();
+        // Swap the middle vector for a fresh one; the other two must hit.
+        let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 30, ..Default::default() });
+        let mut changed = vectors.clone();
+        changed[1] = gen.generate_group(1, 99).pop().unwrap();
+        pdn_core::telemetry::reset();
+        pdn_core::telemetry::enable();
+        let reports = cache.run_group(&runner, &grid, &changed).unwrap();
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.hits"), 2);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.misses"), 1);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.stores"), 1);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.vectors"), 1);
+        pdn_core::telemetry::reset();
+        // Reports come back in input order, the cached ones bit-identical
+        // to solo simulation.
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].worst_noise, solo[0].worst_noise);
+        assert_eq!(reports[2].worst_noise, solo[2].worst_noise);
+        let solo_changed = runner.run(&changed[1]).unwrap();
+        assert_eq!(reports[1].worst_noise, solo_changed.worst_noise);
+        std::fs::remove_dir_all(cache.dir()).ok();
+    }
+
+    #[test]
     fn key_changes_with_inputs() {
         let (grid, runner, vectors) = fixture();
-        let base = cache_key(&grid, &vectors, &runner);
+        let base = cache_key(&grid, &vectors[0], &runner);
         // Different vector bytes.
         let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 30, ..Default::default() });
         let other = gen.generate_group(3, 18);
-        assert_ne!(base, cache_key(&grid, &other, &runner));
+        assert_ne!(base, cache_key(&grid, &other[0], &runner));
+        // A sibling vector from the same group.
+        assert_ne!(base, cache_key(&grid, &vectors[1], &runner));
         // Different grid build seed (same spec).
         let grid2 = DesignPreset::D1.spec(DesignScale::Tiny).build(2).unwrap();
         let runner2 = WnvRunner::new(&grid2).unwrap();
-        assert_ne!(base, cache_key(&grid2, &vectors, &runner2));
-        // Subset of the vectors.
-        assert_ne!(base, cache_key(&grid, &vectors[..2], &runner));
+        assert_ne!(base, cache_key(&grid2, &vectors[0], &runner2));
     }
 
     #[test]
@@ -534,7 +592,7 @@ mod tests {
         let (grid, runner, vectors) = fixture();
         let cache = tmp_cache("corrupt");
         let first = cache.run_group(&runner, &grid, &vectors).unwrap();
-        let key = cache_key(&grid, &vectors, &runner);
+        let key = cache_key(&grid, &vectors[0], &runner);
         let path = cache.dir().join(format!("{}.wnv", key.hex()));
         // Flip one payload byte: the integrity seal must reject the entry.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -546,6 +604,7 @@ mod tests {
         let again = cache.run_group(&runner, &grid, &vectors).unwrap();
         assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.invalidations"), 1);
         assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.misses"), 1);
+        assert_eq!(pdn_core::telemetry::counter_value("sim.wnv.cache.hits"), 2);
         for (a, b) in first.iter().zip(&again) {
             assert_eq!(a.worst_noise, b.worst_noise);
         }
@@ -557,15 +616,15 @@ mod tests {
     fn truncated_entries_rejected_at_every_offset() {
         let (grid, runner, vectors) = fixture();
         let cache = tmp_cache("truncate");
-        let reports = runner.run_group(&vectors).unwrap();
-        let key = cache_key(&grid, &vectors, &runner);
-        cache.store(key, &reports).unwrap();
+        let report = runner.run(&vectors[0]).unwrap();
+        let key = cache_key(&grid, &vectors[0], &runner);
+        cache.store(key, &report).unwrap();
         let full = std::fs::read(cache.dir().join(format!("{}.wnv", key.hex()))).unwrap();
         for cut in [0, 1, 7, 8, 19, full.len() / 2, full.len() - 1] {
             let err = decode_entry(&full[..cut], key).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
         }
-        assert_eq!(decode_entry(&full, key).unwrap().len(), reports.len());
+        assert_eq!(decode_entry(&full, key).unwrap().worst_noise, report.worst_noise);
         std::fs::remove_dir_all(cache.dir()).ok();
     }
 
@@ -578,9 +637,9 @@ mod tests {
     fn stats_counts_only_entries() {
         let (_, runner, vectors) = fixture();
         let cache = tmp_cache("stats");
-        let reports = runner.run_group(&vectors).unwrap();
+        let report = runner.run(&vectors[0]).unwrap();
         for k in 1..=3u64 {
-            cache.store(CacheKey(k), &reports).unwrap();
+            cache.store(CacheKey(k), &report).unwrap();
         }
         std::fs::write(cache.dir().join("notes.txt"), b"not an entry").unwrap();
         let entry_bytes =
@@ -598,10 +657,10 @@ mod tests {
     fn gc_evicts_by_age_then_size_oldest_first() {
         let (_, runner, vectors) = fixture();
         let cache = tmp_cache("gc");
-        let reports = runner.run_group(&vectors).unwrap();
+        let report = runner.run(&vectors[0]).unwrap();
         let path_of = |k: u64| cache.dir().join(format!("{}.wnv", CacheKey(k).hex()));
         for k in 1..=3u64 {
-            cache.store(CacheKey(k), &reports).unwrap();
+            cache.store(CacheKey(k), &report).unwrap();
         }
         let entry_bytes = std::fs::metadata(path_of(1)).unwrap().len();
         backdate(&path_of(1), 1000);
@@ -636,9 +695,9 @@ mod tests {
     #[test]
     fn entry_under_wrong_address_rejected() {
         let (grid, runner, vectors) = fixture();
-        let reports = runner.run_group(&vectors).unwrap();
-        let key = cache_key(&grid, &vectors, &runner);
-        let bytes = encode_entry(key, &reports);
+        let report = runner.run(&vectors[0]).unwrap();
+        let key = cache_key(&grid, &vectors[0], &runner);
+        let bytes = encode_entry(key, &report);
         let err = decode_entry(&bytes, CacheKey(key.0 ^ 1)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }

@@ -7,10 +7,9 @@ use pdn_core::units::Volts;
 use pdn_grid::build::PowerGrid;
 use pdn_grid::stamp;
 use pdn_sparse::cg::{self, CgOptions};
-use pdn_sparse::cholesky::SparseCholesky;
 use pdn_sparse::csr::CsrMatrix;
 use pdn_sparse::ichol::IncompleteCholesky;
-use pdn_sparse::ordering::reverse_cuthill_mckee;
+use pdn_sparse::supernodal::SupernodalCholesky;
 use pdn_sparse::vecops;
 use pdn_vectors::vector::TestVector;
 
@@ -25,15 +24,17 @@ pub enum SolverKind {
     /// (the default; scales to the largest grids).
     #[default]
     IterativeCg,
-    /// RCM-ordered sparse direct Cholesky: one factorization per design,
-    /// two triangular solves per time stamp.
+    /// Supernodal sparse direct Cholesky: one factorization per design,
+    /// two panel-blocked triangular solves per time stamp. The
+    /// fill-reducing ordering (minimum-degree vs RCM) is selected at
+    /// analysis time by predicted factor fill.
     DirectCholesky,
 }
 
 #[derive(Debug)]
 enum SolverState {
     Cg { pre: IncompleteCholesky, opts: CgOptions },
-    Direct { chol: SparseCholesky, perm: Vec<usize>, inv: Vec<usize> },
+    Direct { chol: SupernodalCholesky },
 }
 
 /// Aggregate statistics of one transient run.
@@ -81,6 +82,39 @@ pub struct TransientSimulator {
     dc: StaticAnalysis,
 }
 
+/// Stamps the constant backward-Euler companion system `A = G + C/Δt +
+/// Σ g_b` for a grid, returning the matrix, the `C/Δt` diagonal and the
+/// per-bump `(node, g_companion, L/Δt)` triples. This is the matrix the
+/// transient engine factors once and solves per time stamp; it is public so
+/// that offline tools (`pdn factor`) can drive the factorization directly.
+///
+/// # Errors
+///
+/// Returns [`SimError::NoBumps`] for floating grids.
+#[allow(clippy::type_complexity)]
+pub fn stamp_transient_system(
+    grid: &PowerGrid,
+) -> SimResult<(CsrMatrix, Vec<f64>, Vec<(usize, f64, f64)>)> {
+    if grid.bumps().is_empty() {
+        return Err(SimError::NoBumps);
+    }
+    let dt = grid.spec().time_step().0;
+    let mut coo = stamp::conductance_coo(grid);
+    let cap = stamp::capacitance_vector(grid);
+    let cap_over_dt: Vec<f64> = cap.iter().map(|c| c / dt).collect();
+    for (i, &c) in cap_over_dt.iter().enumerate() {
+        coo.push(i, i, c);
+    }
+    let mut bumps = Vec::with_capacity(grid.bumps().len());
+    for b in grid.bumps() {
+        let l_over_dt = b.inductance.0 / dt;
+        let g = 1.0 / (b.resistance.0 + l_over_dt);
+        coo.push(b.node.index(), b.node.index(), g);
+        bumps.push((b.node.index(), g, l_over_dt));
+    }
+    Ok((coo.to_csr(), cap_over_dt, bumps))
+}
+
 impl TransientSimulator {
     /// Stamps and factors the transient system for a grid, using the grid
     /// spec's time step.
@@ -99,38 +133,16 @@ impl TransientSimulator {
     ///
     /// Same as [`TransientSimulator::new`].
     pub fn with_solver(grid: &PowerGrid, kind: SolverKind) -> SimResult<TransientSimulator> {
-        if grid.bumps().is_empty() {
-            return Err(SimError::NoBumps);
-        }
         let dt = grid.spec().time_step().0;
         let n = grid.node_count();
-        let mut coo = stamp::conductance_coo(grid);
-        let cap = stamp::capacitance_vector(grid);
-        let cap_over_dt: Vec<f64> = cap.iter().map(|c| c / dt).collect();
-        for (i, &c) in cap_over_dt.iter().enumerate() {
-            coo.push(i, i, c);
-        }
-        let mut bumps = Vec::with_capacity(grid.bumps().len());
-        for b in grid.bumps() {
-            let l_over_dt = b.inductance.0 / dt;
-            let g = 1.0 / (b.resistance.0 + l_over_dt);
-            coo.push(b.node.index(), b.node.index(), g);
-            bumps.push((b.node.index(), g, l_over_dt));
-        }
-        let matrix = coo.to_csr();
+        let (matrix, cap_over_dt, bumps) = stamp_transient_system(grid)?;
         let solver = match kind {
             SolverKind::IterativeCg => SolverState::Cg {
                 pre: IncompleteCholesky::factor(&matrix)?,
                 opts: CgOptions { tolerance: 1e-9, max_iterations: 20_000 },
             },
             SolverKind::DirectCholesky => {
-                let perm = reverse_cuthill_mckee(&matrix);
-                let mut inv = vec![0usize; n];
-                for (new, &old) in perm.iter().enumerate() {
-                    inv[old] = new;
-                }
-                let ordered = matrix.permute_symmetric(&perm);
-                SolverState::Direct { chol: SparseCholesky::factor(&ordered)?, perm, inv }
+                SolverState::Direct { chol: SupernodalCholesky::factor(&matrix)? }
             }
         };
         Ok(TransientSimulator {
@@ -153,12 +165,9 @@ impl TransientSimulator {
             SolverState::Cg { pre, opts } => {
                 Ok(cg::solve_warm(&self.matrix, rhs, v, pre, opts)?)
             }
-            SolverState::Direct { chol, perm, inv } => {
-                let mut permuted: Vec<f64> = perm.iter().map(|&old| rhs[old]).collect();
-                chol.solve_in_place(&mut permuted);
-                for (old, vi) in v.iter_mut().enumerate() {
-                    *vi = permuted[inv[old]];
-                }
+            SolverState::Direct { chol } => {
+                v.copy_from_slice(rhs);
+                chol.solve_in_place(v);
                 Ok((0, 0.0))
             }
         }
@@ -172,16 +181,9 @@ impl TransientSimulator {
             SolverState::Cg { pre, opts } => {
                 Ok(cg::solve_warm_multi(&self.matrix, rhs, v, k, pre, opts)?)
             }
-            SolverState::Direct { chol, perm, inv } => {
-                let mut permuted = vec![0.0; rhs.len()];
-                for (new, &old) in perm.iter().enumerate() {
-                    permuted[new * k..(new + 1) * k].copy_from_slice(&rhs[old * k..old * k + k]);
-                }
-                chol.solve_multi_in_place(&mut permuted, k);
-                for (old, vb) in v.chunks_mut(k).enumerate() {
-                    let new = inv[old];
-                    vb.copy_from_slice(&permuted[new * k..new * k + k]);
-                }
+            SolverState::Direct { chol } => {
+                v.copy_from_slice(rhs);
+                chol.solve_multi_in_place(v, k);
                 Ok((0, 0.0))
             }
         }
@@ -197,9 +199,11 @@ impl TransientSimulator {
     }
 
     /// Folds every solver setting that affects numeric output — solver
-    /// kind plus, for CG, tolerance and iteration budget — into `d`. Part
-    /// of the ground-truth cache key, so changing a solver constant
-    /// invalidates cached noise maps.
+    /// kind plus, for CG, tolerance and iteration budget, and for the
+    /// direct path, the fill ordering the analysis selected — into `d`.
+    /// Part of the ground-truth cache key, so changing a solver constant
+    /// (or the ordering heuristic picking differently) invalidates cached
+    /// noise maps.
     pub fn digest_solver_settings(&self, d: &mut pdn_core::fsio::Digest) {
         match &self.solver {
             SolverState::Cg { opts, .. } => {
@@ -207,7 +211,10 @@ impl TransientSimulator {
                 d.update_f64(opts.tolerance);
                 d.update_u64(opts.max_iterations as u64);
             }
-            SolverState::Direct { .. } => d.update_str("cholesky"),
+            SolverState::Direct { chol } => {
+                d.update_str("cholesky.supernodal");
+                d.update_str(chol.symbolic().ordering().name());
+            }
         }
     }
 
@@ -546,6 +553,26 @@ mod tests {
                 assert_eq!(batched[t], solo, "{kind:?}: vector {t} drifted from sequential");
             }
         }
+    }
+
+    #[test]
+    fn solver_digest_records_kind_and_ordering() {
+        let g = grid();
+        let cg = TransientSimulator::new(&g).unwrap();
+        let direct = TransientSimulator::with_solver(&g, SolverKind::DirectCholesky).unwrap();
+        let mut dc = pdn_core::fsio::Digest::new();
+        cg.digest_solver_settings(&mut dc);
+        let mut dd = pdn_core::fsio::Digest::new();
+        direct.digest_solver_settings(&mut dd);
+        assert_ne!(dc.finish(), dd.finish(), "solver kinds must key differently");
+        // The direct digest must track the ordering the analysis picked:
+        // reproduce it by hand and check sensitivity to the ordering name.
+        let mut base = pdn_core::fsio::Digest::new();
+        base.update_str("cholesky.supernodal");
+        let mut with_ordering = base;
+        with_ordering.update_str("other-ordering");
+        assert_ne!(dd.finish(), base.finish());
+        assert_ne!(dd.finish(), with_ordering.finish());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! baseline for the speedup columns of Table 2.
 
 use crate::error::SimResult;
-use crate::transient::{TransientSimulator, TransientStats};
+use crate::transient::{SolverKind, TransientSimulator, TransientStats};
 use pdn_core::geom::TileIndex;
 use pdn_core::map::TileMap;
 use pdn_core::units::Volts;
@@ -86,12 +86,21 @@ impl WnvRunner {
     ///
     /// Propagates assembly errors from [`TransientSimulator::new`].
     pub fn new(grid: &PowerGrid) -> SimResult<WnvRunner> {
+        WnvRunner::with_solver(grid, SolverKind::default())
+    }
+
+    /// Like [`WnvRunner::new`] with an explicit transient solver choice.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WnvRunner::new`].
+    pub fn with_solver(grid: &PowerGrid, kind: SolverKind) -> SimResult<WnvRunner> {
         let tiles = grid.tile_grid();
         let node_tile_flat = (0..grid.node_count())
             .map(|i| tiles.flat_index(grid.node_tile(NodeId::new(i))))
             .collect();
         Ok(WnvRunner {
-            sim: TransientSimulator::new(grid)?,
+            sim: TransientSimulator::with_solver(grid, kind)?,
             bottom: grid.bottom_nodes(),
             node_tile_flat,
             tile_shape: (tiles.rows(), tiles.cols()),

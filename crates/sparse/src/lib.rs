@@ -11,6 +11,10 @@
 //!   systems and for cross-checking the sparse paths in tests;
 //! * [`cholesky::SparseCholesky`] — elimination-tree sparse direct
 //!   Cholesky for the repeated-solve pattern of transient analysis;
+//! * [`supernodal::SupernodalCholesky`] — supernodal Cholesky with dense
+//!   column panels driven by the [`panel`] GEMM/TRSM kernels: the
+//!   paper-scale factor-once/solve-many path, with an analyze/factor/
+//!   refactor split and threaded multi-RHS sweeps;
 //! * [`ichol::IncompleteCholesky`] — zero-fill IC(0) preconditioner;
 //! * [`cg`] — preconditioned conjugate gradient, the workhorse solver;
 //! * [`ordering`] / [`mindeg`] — reverse Cuthill–McKee and minimum-degree
@@ -45,6 +49,8 @@ pub mod error;
 pub mod ichol;
 pub mod mindeg;
 pub mod ordering;
+pub mod panel;
+pub mod supernodal;
 pub mod vecops;
 
 pub use cg::{CgOptions, CgSolution};
@@ -53,3 +59,4 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::{SolveError, SparseResult};
 pub use ichol::IncompleteCholesky;
+pub use supernodal::{FillOrdering, SupernodalCholesky, SymbolicCholesky};

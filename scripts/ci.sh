@@ -38,15 +38,39 @@ PDN_CACHE_DIR="$cache_dir/cache" ./target/release/pdn eval \
     --design D1 --vectors 4 --steps 30 --epochs 2 --telemetry "$t1" >/dev/null
 PDN_CACHE_DIR="$cache_dir/cache" ./target/release/pdn eval \
     --design D1 --vectors 4 --steps 30 --epochs 2 --telemetry "$t2" >/dev/null
-grep -q '"name":"sim.wnv.cache.stores","value":1' "$t1" \
-    || { echo "cache smoke: first run did not store"; exit 1; }
-grep -q '"name":"sim.wnv.cache.hits","value":1' "$t2" \
+# Per-vector entries: all 4 vectors store on run 1, all 4 hit on run 2.
+grep -q '"name":"sim.wnv.cache.stores","value":4' "$t1" \
+    || { echo "cache smoke: first run did not store one entry per vector"; exit 1; }
+grep -q '"name":"sim.wnv.cache.hits","value":4' "$t2" \
     || { echo "cache smoke: second run did not hit the cache"; exit 1; }
 if grep -q '"name":"sim.wnv.vectors"' "$t2"; then
     echo "cache smoke: second run simulated vectors despite a cache hit"
     exit 1
 fi
-echo "cache round trip: store on run 1, hit (no simulation) on run 2"
+echo "cache round trip: 4 stores on run 1, 4 hits (no simulation) on run 2"
+
+echo
+echo "== direct-solver cache smoke =="
+# The supernodal direct solver must carry its own honest cache digest:
+# first run with --solver direct misses (different solver settings than the
+# CG entries above), second run hits without simulating.
+d1="$cache_dir/direct1.jsonl"
+d2="$cache_dir/direct2.jsonl"
+PDN_CACHE_DIR="$cache_dir/cache" ./target/release/pdn eval \
+    --design D1 --vectors 4 --steps 30 --epochs 2 --solver direct \
+    --telemetry "$d1" >/dev/null
+PDN_CACHE_DIR="$cache_dir/cache" ./target/release/pdn eval \
+    --design D1 --vectors 4 --steps 30 --epochs 2 --solver direct \
+    --telemetry "$d2" >/dev/null
+grep -q '"name":"sim.wnv.cache.stores","value":4' "$d1" \
+    || { echo "direct smoke: first run did not store under the direct digest"; exit 1; }
+grep -q '"name":"sim.wnv.cache.hits","value":4' "$d2" \
+    || { echo "direct smoke: second run did not hit the cache"; exit 1; }
+if grep -q '"name":"sim.wnv.vectors"' "$d2"; then
+    echo "direct smoke: second run simulated vectors despite a cache hit"
+    exit 1
+fi
+echo "direct solver: distinct digest, store on run 1, hit on run 2"
 
 echo
 echo "== quantization accuracy smoke =="

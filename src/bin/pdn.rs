@@ -24,8 +24,9 @@ use pdn_wnv::model::checkpoint::CheckpointConfig;
 use pdn_wnv::model::model::Predictor;
 use pdn_wnv::model::trainer::TrainConfig;
 use pdn_wnv::nn::quant::Precision;
+use pdn_wnv::sim::transient::stamp_transient_system;
 use pdn_wnv::sim::wnv::WnvRunner;
-use pdn_wnv::sim::WnvCache;
+use pdn_wnv::sim::{SolverKind, WnvCache};
 use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -53,13 +54,17 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pdn info            --design D1..D4 [--scale tiny|ci|paper]
   pdn simulate        --design D1..D4 [--scale S] [--steps N] [--seed K]
-                      [--vector FILE.csv] [--out DIR]
+                      [--vector FILE.csv] [--out DIR] [--solver cg|direct]
+  pdn factor          --design D1..D4 [--scale S] [--seed K] [--rhs N]
+                      [--ordering auto|natural|rcm|mindeg]
   pdn train           --design D1..D4 [--scale S] [--vectors N] [--epochs E] --out MODEL
-                      [--cache-dir DIR|none] [--checkpoint FILE.ckpt]
-                      [--checkpoint-every N] [--checkpoint-keep K] [--resume true]
+                      [--cache-dir DIR|none] [--solver cg|direct]
+                      [--checkpoint FILE.ckpt] [--checkpoint-every N]
+                      [--checkpoint-keep K] [--resume true]
   pdn eval            --design D1..D4 [--scale S] [--vectors N] [--epochs E]
-                      [--cache-dir DIR|none] [--checkpoint FILE.ckpt]
-                      [--checkpoint-every N] [--checkpoint-keep K] [--resume true]
+                      [--cache-dir DIR|none] [--solver cg|direct]
+                      [--checkpoint FILE.ckpt] [--checkpoint-every N]
+                      [--checkpoint-keep K] [--resume true]
                       [--precision f16|int8|all]
   pdn predict         --model MODEL --design D1..D4 [--scale S] [--seed K]
                       [--vector FILE.csv] [--out DIR] [--precision f32|f16|int8]
@@ -69,6 +74,14 @@ const USAGE: &str = "usage:
   pdn export-vector   --design D1..D4 [--scale S] [--steps N] [--seed K] --out FILE.csv
   pdn report          RUN.jsonl [BASELINE.jsonl] [--out REPORT.md] [--trace TRACE.json]
                       [--slow-ratio R] [--strict true]
+
+`pdn simulate --solver direct` switches the transient engine from the
+default warm-started PCG to the supernodal direct Cholesky (factor once,
+two panel-blocked triangular solves per time stamp). `pdn factor` runs
+just the factor-once/solve-many hot path — symbolic analysis, numeric
+factorization, and an N-RHS solve sweep (default 1000) — and prints each
+phase's wall clock; use `--scale full` for a paper-D1-class feasibility
+run. PDN_THREADS fans the sweep's RHS blocks across threads.
 
 every command (except report) also accepts:
   --telemetry FILE.jsonl   record per-stage timing, trace spans, solver and
@@ -123,6 +136,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let result = match command.as_str() {
         "info" => info(&opts),
         "simulate" => simulate(&opts),
+        "factor" => factor(&opts),
         "train" => train(&opts),
         "eval" => eval_cmd(&opts),
         "predict" => predict(&opts),
@@ -277,8 +291,18 @@ fn scale(opts: &HashMap<String, String>) -> Result<DesignScale, Box<dyn std::err
     match opts.get("scale").map(String::as_str) {
         None | Some("tiny") => Ok(DesignScale::Tiny),
         Some("ci") => Ok(DesignScale::Ci),
+        Some("full") => Ok(DesignScale::Full),
         Some("paper") => Ok(DesignScale::Paper),
-        Some(other) => Err(format!("unknown scale `{other}` (tiny|ci|paper)").into()),
+        Some(other) => Err(format!("unknown scale `{other}` (tiny|ci|full|paper)").into()),
+    }
+}
+
+/// `--solver cg|direct` (default cg): which transient linear solver to use.
+fn solver(opts: &HashMap<String, String>) -> Result<SolverKind, Box<dyn std::error::Error>> {
+    match opts.get("solver").map(String::as_str) {
+        None | Some("cg") => Ok(SolverKind::IterativeCg),
+        Some("direct") => Ok(SolverKind::DirectCholesky),
+        Some(other) => Err(format!("unknown solver `{other}` (cg|direct)").into()),
     }
 }
 
@@ -417,7 +441,8 @@ fn simulate(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Er
     let vector = try_stage("load_vector", || load_or_generate_vector(opts, &grid))?;
     let steps = vector.step_count();
     let seed = parse(opts, "seed", 7u64)?;
-    let runner = try_stage("factorize", || WnvRunner::new(&grid))?;
+    let kind = solver(opts)?;
+    let runner = try_stage("factorize", || WnvRunner::with_solver(&grid, kind))?;
     let t0 = Instant::now();
     let report = try_stage("simulate", || runner.run(&vector))?;
     println!(
@@ -443,6 +468,86 @@ fn simulate(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Er
         }
         Ok(())
     })
+}
+
+/// `pdn factor`: the factor-once/solve-many hot path in isolation —
+/// stamps the transient system, runs the symbolic analysis, the supernodal
+/// numeric factorization, and an `--rhs N` solve sweep, reporting phase
+/// wall clocks and factor fill (also recorded as telemetry spans/gauges).
+fn factor(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    use pdn_wnv::sparse::supernodal::{FillOrdering, SupernodalCholesky, SymbolicCholesky};
+    let preset = design(opts)?;
+    let nrhs = parse(opts, "rhs", 1000usize)?;
+    let seed = parse(opts, "seed", 1u64)?;
+    let ordering: Option<FillOrdering> = match opts.get("ordering").map(String::as_str) {
+        None | Some("auto") => None,
+        Some("natural") => Some(FillOrdering::Natural),
+        Some("rcm") => Some(FillOrdering::Rcm),
+        Some("mindeg") => Some(FillOrdering::MinimumDegree),
+        Some(other) => {
+            return Err(format!("unknown ordering `{other}` (auto|natural|rcm|mindeg)").into())
+        }
+    };
+    let grid = try_stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
+        Ok(preset.spec(scale(opts)?).build(seed)?)
+    })?;
+    let n = grid.node_count();
+    println!("design  : {} ({} nodes)", grid.spec().name(), n);
+    let (matrix, _, _) = try_stage("stamp", || stamp_transient_system(&grid))?;
+    println!("matrix  : {} nnz", matrix.nnz());
+
+    let t0 = Instant::now();
+    let sym = try_stage("analyze", || match ordering {
+        None => SymbolicCholesky::analyze(&matrix),
+        Some(ord) => SymbolicCholesky::analyze_with(&matrix, ord),
+    })?;
+    let t_analyze = t0.elapsed();
+    telemetry::gauge_set("factor.nnz_l", sym.factor_nnz() as f64);
+    telemetry::gauge_set("factor.panel_nnz", sym.panel_nnz() as f64);
+    println!(
+        "analyze : {:.2}s — ordering {}, {} supernodes, nnz(L) {} ({:.2} GiB panels)",
+        t_analyze.as_secs_f64(),
+        sym.ordering().name(),
+        sym.n_supernodes(),
+        sym.factor_nnz(),
+        sym.panel_nnz() as f64 * 8.0 / (1024.0 * 1024.0 * 1024.0),
+    );
+
+    let t1 = Instant::now();
+    let chol =
+        try_stage("numeric", || SupernodalCholesky::factor_with(std::sync::Arc::new(sym), &matrix))?;
+    let t_numeric = t1.elapsed();
+    println!("numeric : {:.2}s", t_numeric.as_secs_f64());
+
+    // Deterministic pseudo-load RHS sweep: unit-scale currents at varying
+    // phases, so the triangular solves see realistic dense traffic.
+    let mut rhs = vec![0.0f64; n * nrhs];
+    for (v, chunk) in rhs.chunks_mut(n).enumerate() {
+        for (i, x) in chunk.iter_mut().enumerate() {
+            *x = (((i * 31 + v * 17 + 7) % 101) as f64 - 50.0) * 1e-4;
+        }
+    }
+    let t2 = Instant::now();
+    stage("sweep", || chol.solve_sweep(&mut rhs, nrhs));
+    let t_sweep = t2.elapsed();
+    let per_solve = t_sweep.as_secs_f64() / nrhs.max(1) as f64;
+    println!(
+        "sweep   : {:.2}s for {} RHS ({:.1} ms/solve, {} threads)",
+        t_sweep.as_secs_f64(),
+        nrhs,
+        per_solve * 1e3,
+        pdn_wnv::core::threads::configure_from_env(),
+    );
+    println!(
+        "total   : {:.2}s (analyze + numeric + sweep)",
+        (t_analyze + t_numeric + t_sweep).as_secs_f64()
+    );
+    // Guard against NaNs escaping a misassembled system.
+    let finite = rhs.iter().all(|x| x.is_finite());
+    if !finite {
+        return Err("solve sweep produced non-finite values".into());
+    }
+    Ok(())
 }
 
 /// Resolves the ground-truth cache: `--cache-dir` wins, then
@@ -529,6 +634,7 @@ fn run_pipeline(
         cache: cache.as_ref(),
         checkpoints: checkpoints.as_ref(),
         zero_distance: false,
+        solver: solver(opts)?,
     };
     try_stage("simulate_and_train", || EvaluatedDesign::evaluate_with(preset, config, &options))
 }
