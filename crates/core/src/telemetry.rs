@@ -735,6 +735,18 @@ pub fn write_summary_records() {
         return;
     }
     s.summary_written = true;
+    let lines = aggregate_records(&s);
+    for line in &lines {
+        s.write_line(line);
+    }
+    if let Some(sink) = &mut s.sink {
+        let _ = sink.flush();
+    }
+}
+
+/// Renders every counter, gauge and histogram as one JSON-lines record each
+/// (the same `kind:counter/gauge/histogram` schema the summary dump uses).
+fn aggregate_records(s: &State) -> Vec<String> {
     let ts = s.ts_us();
     let mut lines: Vec<String> = Vec::new();
     for (name, value) in &s.counters {
@@ -773,12 +785,28 @@ pub fn write_summary_records() {
         line.push('}');
         lines.push(line);
     }
+    lines
+}
+
+/// Snapshot of every aggregated metric as newline-terminated JSON-lines
+/// records, without touching the sink or the once-per-run summary latch.
+/// This is the payload a live endpoint (`pdn serve`'s `GET /metrics`) can
+/// return repeatedly while the process keeps recording; the schema matches
+/// the sink's `kind:counter/gauge/histogram` records, so the same tooling
+/// parses both. Returns an empty string when telemetry is disabled or
+/// nothing has been recorded.
+pub fn snapshot_records() -> String {
+    if !enabled() {
+        return String::new();
+    }
+    let s = lock();
+    let lines = aggregate_records(&s);
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
     for line in &lines {
-        s.write_line(line);
+        out.push_str(line);
+        out.push('\n');
     }
-    if let Some(sink) = &mut s.sink {
-        let _ = sink.flush();
-    }
+    out
 }
 
 /// Flushes the JSON-lines sink, if any.
@@ -930,6 +958,27 @@ mod tests {
         assert_eq!(gauge_value("t.gauge"), None);
         assert!(histogram_summary("t.histo").is_none());
         assert!(histogram_summary("t.timer").is_none());
+    }
+
+    #[test]
+    fn snapshot_records_is_live_and_repeatable() {
+        let _g = test_guard();
+        reset();
+        enable();
+        counter_add("t.snap.counter", 7);
+        gauge_set("t.snap.gauge", 2.5);
+        observe("t.snap.histo", 1.0);
+        let snap = snapshot_records();
+        assert!(snap.contains("\"kind\":\"counter\",\"name\":\"t.snap.counter\",\"value\":7"), "{snap}");
+        assert!(snap.contains("\"kind\":\"gauge\",\"name\":\"t.snap.gauge\""), "{snap}");
+        assert!(snap.contains("\"kind\":\"histogram\",\"name\":\"t.snap.histo\""), "{snap}");
+        assert!(snap.ends_with('\n'));
+        // Unlike the sink summary there is no once-per-run latch: repeated
+        // snapshots keep reflecting live state.
+        counter_add("t.snap.counter", 1);
+        assert!(snapshot_records().contains("\"value\":8"));
+        reset();
+        assert!(snapshot_records().is_empty());
     }
 
     #[test]

@@ -17,29 +17,50 @@ static CONFIGURED: OnceLock<usize> = OnceLock::new();
 /// or unparsable values keep rayon's default (one thread per core). Only
 /// the first call in a process takes effect — rayon's global pool cannot
 /// be resized — and later calls report the width chosen then. If another
-/// component already built the pool, the request is silently ignored and
-/// the existing width is reported.
+/// component already built the pool at a different width, the request
+/// cannot take effect: the mismatch is reported on stderr and counted as
+/// `core.threads.ignored_env` so a long-running daemon that was started
+/// with a stale pool is visible in telemetry instead of silently
+/// misconfigured forever.
 pub fn configure_from_env() -> usize {
-    *CONFIGURED.get_or_init(|| {
-        if let Some(raw) = std::env::var("PDN_THREADS").ok().filter(|r| !r.trim().is_empty()) {
-            match parse_thread_request(&raw) {
-                Ok(n) => {
-                    let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
-                }
-                Err(why) => {
-                    // The old behaviour was to silently fall back to the
-                    // default width, which made typos like PDN_THREADS=O4
-                    // indistinguishable from a deliberate full-width run.
-                    eprintln!(
-                        "pdn-core: ignoring PDN_THREADS={raw:?} ({why}); \
-                         using rayon's default width"
-                    );
-                    crate::telemetry::counter_add("core.threads.invalid_env", 1);
+    *CONFIGURED.get_or_init(|| apply_request(std::env::var("PDN_THREADS").ok().as_deref()))
+}
+
+/// The body of [`configure_from_env`] without the once-per-process latch,
+/// so tests can drive it directly against a pre-built pool.
+fn apply_request(raw: Option<&str>) -> usize {
+    if let Some(raw) = raw.filter(|r| !r.trim().is_empty()) {
+        match parse_thread_request(raw) {
+            Ok(n) => {
+                if rayon::ThreadPoolBuilder::new().num_threads(n).build_global().is_err() {
+                    // The global pool was already built by an earlier caller
+                    // and cannot be resized. Dropping the error here (the
+                    // old behaviour) left a daemon misconfigured forever
+                    // with no trace; report the mismatch instead.
+                    let effective = rayon::current_num_threads();
+                    if effective != n {
+                        eprintln!(
+                            "pdn-core: PDN_THREADS={n} ignored: the global thread pool was \
+                             already built with {effective} threads and cannot be resized; \
+                             restart the process to apply the new width"
+                        );
+                        crate::telemetry::counter_add("core.threads.ignored_env", 1);
+                    }
                 }
             }
+            Err(why) => {
+                // The old behaviour was to silently fall back to the
+                // default width, which made typos like PDN_THREADS=O4
+                // indistinguishable from a deliberate full-width run.
+                eprintln!(
+                    "pdn-core: ignoring PDN_THREADS={raw:?} ({why}); \
+                     using rayon's default width"
+                );
+                crate::telemetry::counter_add("core.threads.invalid_env", 1);
+            }
         }
-        rayon::current_num_threads()
-    })
+    }
+    rayon::current_num_threads()
 }
 
 /// Parses a `PDN_THREADS` value into a pool width.

@@ -1,0 +1,41 @@
+//! Integration test for `PDN_THREADS` handling when the global rayon pool
+//! was already built by an earlier caller.
+//!
+//! This lives in its own test binary because it manipulates three pieces of
+//! process-global state — the rayon global pool, the `PDN_THREADS`
+//! environment variable, and the telemetry registry — that must not race
+//! with unrelated tests sharing the process.
+
+use pdn_core::telemetry;
+use pdn_core::threads::configure_from_env;
+
+#[test]
+fn ignored_env_request_is_warned_and_counted() {
+    telemetry::reset();
+    telemetry::enable();
+
+    // An earlier component claims the global pool before configure_from_env
+    // runs — the situation a long-lived daemon hits when a library eagerly
+    // initializes rayon.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(3)
+        .build_global()
+        .expect("first build_global in this process must succeed");
+
+    std::env::set_var("PDN_THREADS", "2");
+    let width = configure_from_env();
+
+    // The established pool cannot be resized: the effective width is the
+    // pre-built one, and the ignored request is counted (not dropped).
+    assert_eq!(width, 3, "pre-built pool width must win");
+    assert_eq!(
+        telemetry::counter_value("core.threads.ignored_env"),
+        1,
+        "an unsatisfiable PDN_THREADS request must bump core.threads.ignored_env"
+    );
+
+    // The once-per-process latch means repeat calls neither re-warn nor
+    // double-count.
+    assert_eq!(configure_from_env(), 3);
+    assert_eq!(telemetry::counter_value("core.threads.ignored_env"), 1);
+}

@@ -19,6 +19,8 @@
 //! * [`render`] — ASCII heat maps and CSV export for the figure artifacts;
 //! * [`report`] — plain-text table formatting;
 //! * [`jsonl`] — a dependency-free JSON / JSON-lines parser;
+//! * [`serve`] — the `pdn serve` daemon: a threaded HTTP/1.1 front end
+//!   with dynamic request batching over the shared predictor/simulator;
 //! * [`tracereport`] — telemetry run analysis: aggregated span trees,
 //!   Chrome-trace (Perfetto) export, and the markdown report behind
 //!   `pdn report`.
@@ -34,6 +36,7 @@ pub mod metrics;
 pub mod quantization;
 pub mod render;
 pub mod report;
+pub mod serve;
 pub mod tracereport;
 
 pub use harness::{EvalOptions, EvaluatedDesign, ExperimentConfig, PreparedDesign};

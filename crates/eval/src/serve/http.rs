@@ -1,0 +1,162 @@
+//! Minimal HTTP/1.1 support for `pdn serve`.
+//!
+//! Exactly the subset the daemon needs — request line, headers,
+//! `Content-Length` bodies, fixed-length responses, one request per
+//! connection (`Connection: close`) — built on `std` alone so the server
+//! adds no dependencies. Chunked encoding, keep-alive and multipart are
+//! deliberately out of scope: clients are `curl`, test harnesses and
+//! fleet-internal callers.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body. Vector CSVs for even the full-scale
+/// designs are far below this; the cap bounds memory per connection against
+/// hostile or broken clients.
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, e.g. `/predict`. Query strings are kept as-is.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request from `reader`. Returns `Ok(None)` on a clean EOF
+/// before any bytes (client closed an idle connection).
+///
+/// # Errors
+///
+/// `InvalidData` for malformed request lines, headers, or bodies larger
+/// than [`MAX_BODY_BYTES`]; propagates transport errors.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => return Err(bad(format!("malformed request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("unsupported protocol version {version:?}")));
+    }
+
+    let mut content_length: usize = 0;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(bad("connection closed mid-headers"));
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad(format!("malformed header {header:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| bad(format!("bad content-length {value:?}: {e}")))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(bad(format!(
+                    "request body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                )));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(reader, &mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes one complete response and flushes. The connection is meant to be
+/// closed afterwards (`Connection: close` is always sent).
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_eof() {
+        let raw = b"GET /healthz HTTP/1.0\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let req = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(read_request(&mut reader).unwrap().is_none(), "clean EOF is None");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        let raw = b"NOT-HTTP\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+        let raw = b"GET / SPDY/3\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(&raw[..])).is_err());
+        let oversized =
+            format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(read_request(&mut BufReader::new(oversized.as_bytes())).is_err());
+        let truncated = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(&mut BufReader::new(&truncated[..])).is_err());
+    }
+
+    #[test]
+    fn response_has_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+}

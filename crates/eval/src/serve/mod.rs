@@ -1,0 +1,414 @@
+//! `pdn serve`: a threaded HTTP/1.1 daemon answering WNV queries.
+//!
+//! The paper's pitch is prediction fast enough to sit inside a design loop;
+//! this module turns the offline pieces into a long-running service:
+//!
+//! * **Dynamic batching** ([`batcher`]): concurrent `POST /predict`
+//!   requests coalesce into multi-map batches fed through one shared
+//!   [`Predictor`] via the zero-allocation `predict_batch` path, and
+//!   `POST /simulate` requests group into multi-RHS transient batches so
+//!   the const-K batched-solve win applies to mixed traffic. A max-wait
+//!   deadline (~2 ms) bounds tail latency.
+//! * **Single inference owner**: exactly one thread owns the `Predictor`
+//!   (and one the simulator), so the scratch-reuse fast paths need no
+//!   locking and served answers are bitwise identical to offline calls.
+//! * **Cached ground truth**: simulate requests go through the
+//!   [`CacheStore`](pdn_sim::cache::CacheStore) seam with single-flight
+//!   deduplication — two concurrent misses on one key simulate once.
+//! * **Observability**: every request runs under a telemetry span and the
+//!   batcher records queue wait / batch width / compute time, so
+//!   `pdn report` works on server traces unchanged; `GET /metrics` returns
+//!   a live registry snapshot and `GET /healthz` a liveness summary.
+//!
+//! The listener is plain `std::net::TcpListener` + a worker pool sized by
+//! the existing `PDN_THREADS` plumbing; no new dependencies.
+
+pub mod batcher;
+pub mod http;
+pub mod proto;
+
+use batcher::{BatchConfig, Batched, BatcherStats, Job};
+use pdn_core::telemetry;
+use pdn_grid::build::PowerGrid;
+use pdn_model::model::Predictor;
+use pdn_sim::cache::{run_group_cached, WnvCache};
+use pdn_sim::wnv::{WnvRunner, DEFAULT_BATCH};
+use pdn_vectors::vector::TestVector;
+use proto::{error_json, MapResponse, VectorRequest};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration. `Default` suits tests and local runs; the CLI
+/// fills it from flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8320`. Port `0` picks an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection-handling worker threads. `0` sizes from the process-wide
+    /// thread configuration (`PDN_THREADS`), with a floor of 2 so batching
+    /// is possible at all.
+    pub workers: usize,
+    /// Batch formation for `/predict`.
+    pub predict_batch: BatchConfig,
+    /// Batch formation for `/simulate`.
+    pub simulate_batch: BatchConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:8320".to_string(),
+            workers: 0,
+            predict_batch: BatchConfig::default(),
+            simulate_batch: BatchConfig {
+                max_batch: DEFAULT_BATCH,
+                max_wait: Duration::from_millis(2),
+            },
+        }
+    }
+}
+
+/// Live request counters the server exposes (and tests assert on).
+#[derive(Debug)]
+pub struct ServerStats {
+    /// Requests accepted (any route).
+    pub requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Predict batcher counters (batch widths live here).
+    pub predict: Arc<BatcherStats>,
+    /// Simulate batcher counters.
+    pub simulate: Arc<BatcherStats>,
+}
+
+/// Read-only state shared by every connection worker.
+struct Ctx {
+    design: String,
+    rows: usize,
+    cols: usize,
+    loads: usize,
+    hotspot_threshold: f64,
+    started: Instant,
+    stats: ServerStats,
+    predict_tx: Sender<Job<TestVector, MapResponse>>,
+    simulate_tx: Sender<Job<TestVector, Result<MapResponse, String>>>,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// detaches the threads; call `shutdown` for a clean join.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    ctx: Option<Arc<Ctx>>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    batcher_handles: Vec<JoinHandle<()>>,
+}
+
+/// Starts the daemon: validates the bundle against the grid (fail fast,
+/// not mid-request), binds the listener, and spawns the accept loop, the
+/// connection workers and the two batcher threads.
+///
+/// # Errors
+///
+/// `InvalidInput` when the bundle does not match the grid; propagates bind
+/// errors.
+pub fn serve(
+    cfg: &ServeConfig,
+    design: &str,
+    grid: PowerGrid,
+    predictor: Predictor,
+    runner: WnvRunner,
+    cache: Option<WnvCache>,
+) -> io::Result<Server> {
+    predictor
+        .validate_for(&grid)
+        .map_err(|why| io::Error::new(io::ErrorKind::InvalidInput, format!("refusing to serve: {why}")))?;
+
+    // /metrics must reflect live aggregates even when no sink/env was
+    // configured; aggregation costs one relaxed atomic load per metric.
+    if !telemetry::enabled() {
+        telemetry::enable();
+    }
+    telemetry::counter_add("serve.started", 1);
+
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let grid = Arc::new(grid);
+    let tiles = grid.tile_grid();
+    let hotspot_threshold = grid.spec().hotspot_threshold().0;
+
+    let predict_stats = Arc::new(BatcherStats::default());
+    let simulate_stats = Arc::new(BatcherStats::default());
+
+    let mut predictor = predictor;
+    let predict_grid = Arc::clone(&grid);
+    let (predict_tx, predict_handle) = batcher::spawn(
+        "serve.predict",
+        cfg.predict_batch,
+        Arc::clone(&predict_stats),
+        move |batch: Vec<TestVector>| {
+            let mut out = Vec::new();
+            predictor.predict_batch(&predict_grid, &batch, &mut out);
+            out.iter()
+                .map(|map| MapResponse::from_map("predict", map, hotspot_threshold))
+                .collect()
+        },
+    );
+
+    let sim_grid = Arc::clone(&grid);
+    let (simulate_tx, simulate_handle) = batcher::spawn(
+        "serve.simulate",
+        cfg.simulate_batch,
+        Arc::clone(&simulate_stats),
+        move |batch: Vec<TestVector>| match run_group_cached(
+            cache.as_ref(),
+            &runner,
+            &sim_grid,
+            &batch,
+        ) {
+            Ok(reports) => reports
+                .into_iter()
+                .map(|r| {
+                    let mut resp =
+                        MapResponse::from_map("simulate", &r.worst_noise, hotspot_threshold);
+                    resp.sim_elapsed_us = Some(r.elapsed.as_micros() as u64);
+                    resp.sim_steps = Some(r.stats.steps);
+                    Ok(resp)
+                })
+                .collect(),
+            Err(e) => {
+                let msg = format!("simulation failed: {e}");
+                batch.iter().map(|_| Err(msg.clone())).collect()
+            }
+        },
+    );
+
+    let ctx = Arc::new(Ctx {
+        design: design.to_string(),
+        rows: tiles.rows(),
+        cols: tiles.cols(),
+        loads: grid.loads().len(),
+        hotspot_threshold,
+        started: Instant::now(),
+        stats: ServerStats {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            predict: predict_stats,
+            simulate: simulate_stats,
+        },
+        predict_tx,
+        simulate_tx,
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = if cfg.workers == 0 {
+        pdn_core::threads::configure_from_env().max(2)
+    } else {
+        cfg.workers
+    };
+
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let conn_rx = Arc::clone(&conn_rx);
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&conn_rx, &ctx))
+                .expect("spawn serve worker")
+        })
+        .collect();
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_handle = std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &conn_tx, &accept_stop))
+        .expect("spawn serve accept loop");
+
+    Ok(Server {
+        addr,
+        stop,
+        ctx: Some(ctx),
+        accept_handle: Some(accept_handle),
+        worker_handles,
+        batcher_handles: vec![predict_handle, simulate_handle],
+    })
+}
+
+impl Server {
+    /// The bound address (resolves port `0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live request counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.ctx.as_ref().expect("server running").stats
+    }
+
+    /// Signals shutdown without blocking (safe from a signal-watching
+    /// loop); [`Server::shutdown`] still must run for the clean join.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops accepting, drains in-flight connections, and joins every
+    /// thread. In-flight requests are answered before their workers exit.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // The accept loop dropped the connection sender on exit, so the
+        // workers drain the queue and stop.
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Dropping the context drops the batchers' job senders; their
+        // threads run dry and exit.
+        self.ctx = None;
+        for h in self.batcher_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, conn_tx: &Sender<TcpStream>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if conn_tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("pdn serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn worker_loop(conn_rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
+    loop {
+        let stream = {
+            let rx = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, ctx),
+            Err(_) => return, // accept loop gone and queue drained
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let request = match http::read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(e) => {
+            let mut writer = BufWriter::new(stream);
+            let body = error_json(&format!("bad request: {e}"));
+            let _ = http::write_response(&mut writer, 400, "application/json", body.as_bytes());
+            return;
+        }
+    };
+
+    ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
+    telemetry::counter_add("serve.requests", 1);
+    let mut span = telemetry::span("serve.request");
+    span.field("method", request.method.as_str());
+    span.field("path", request.path.as_str());
+
+    let (status, content_type, body) = route(&request, ctx);
+    span.field("status", status as u64);
+    if status >= 400 {
+        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+        telemetry::counter_add("serve.errors", 1);
+    }
+    let mut writer = BufWriter::new(stream);
+    let _ = http::write_response(&mut writer, status, content_type, body.as_bytes());
+}
+
+fn route(request: &http::Request, ctx: &Ctx) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, "application/json", health_json(ctx)),
+        ("GET", "/metrics") => (200, "application/x-ndjson", telemetry::snapshot_records()),
+        ("POST", "/predict") => match VectorRequest::parse(&request.body, ctx.loads) {
+            Ok(req) => dispatch(&ctx.predict_tx, req.vector, Ok),
+            Err(why) => (400, "application/json", error_json(&why)),
+        },
+        ("POST", "/simulate") => match VectorRequest::parse(&request.body, ctx.loads) {
+            Ok(req) => dispatch(&ctx.simulate_tx, req.vector, |resp| resp),
+            Err(why) => (400, "application/json", error_json(&why)),
+        },
+        (_, "/healthz" | "/metrics" | "/predict" | "/simulate") => {
+            (405, "application/json", error_json("method not allowed"))
+        }
+        _ => (404, "application/json", error_json("no such endpoint")),
+    }
+}
+
+/// Enqueues one job and waits for its batched answer. `unwrap_result`
+/// folds the processor's per-job payload into `Result<MapResponse, String>`
+/// (the predict path is infallible, the simulate path is not).
+fn dispatch<T: Send + 'static>(
+    tx: &Sender<Job<TestVector, T>>,
+    vector: TestVector,
+    unwrap_result: impl Fn(T) -> Result<MapResponse, String>,
+) -> (u16, &'static str, String) {
+    let (reply_tx, reply_rx) = mpsc::channel::<Batched<T>>();
+    let job = Job { request: vector, enqueued: Instant::now(), reply: reply_tx };
+    if tx.send(job).is_err() {
+        return (503, "application/json", error_json("batcher unavailable"));
+    }
+    match reply_rx.recv() {
+        Ok(batched) => match unwrap_result(batched.result) {
+            Ok(mut resp) => {
+                resp.batch_width = batched.batch_width;
+                resp.queue_us = batched.queue_us;
+                resp.compute_us = batched.compute_us;
+                (200, "application/json", resp.to_json())
+            }
+            Err(why) => (500, "application/json", error_json(&why)),
+        },
+        // The batcher thread died mid-request (it never drops a reply
+        // sender before answering otherwise).
+        Err(_) => (500, "application/json", error_json("worker failed mid-request")),
+    }
+}
+
+fn health_json(ctx: &Ctx) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(160);
+    let _ = write!(
+        out,
+        "{{\"status\":\"ok\",\"design\":\"{}\",\"rows\":{},\"cols\":{},\"loads\":{},\
+         \"hotspot_threshold\":{},\"uptime_us\":{},\"requests\":{},\"errors\":{}}}",
+        ctx.design,
+        ctx.rows,
+        ctx.cols,
+        ctx.loads,
+        ctx.hotspot_threshold,
+        ctx.started.elapsed().as_micros(),
+        ctx.stats.requests.load(Ordering::Relaxed),
+        ctx.stats.errors.load(Ordering::Relaxed),
+    );
+    out
+}

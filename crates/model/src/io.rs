@@ -166,6 +166,16 @@ impl Predictor {
         let distance = Tensor::from_vec(&[bumps, m, n], data);
         let current_scale = read_f64(&mut reader)?;
         let target_scale = read_f64(&mut reader)?;
+        // `Normalizer::with_scale` asserts on bad scales; a corrupt bundle
+        // must surface as a load error, not a panic inside the assert.
+        for (what, scale) in [("current", current_scale), ("target", target_scale)] {
+            if !scale.is_finite() || scale <= 0.0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad {what} normalizer scale {scale}: must be finite and positive"),
+                ));
+            }
+        }
         let has_compressor = read_u32(&mut reader)? != 0;
         let compressor = if has_compressor {
             let rate = read_f64(&mut reader)?;
@@ -405,6 +415,50 @@ mod tests {
             let torn = &buf[..cut];
             let err = Predictor::load(&mut &torn[..]).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_normalizer_scale_is_invalid_data_not_panic() {
+        let (_, mut predictor, _) = trained_predictor();
+        let mut buf = Vec::new();
+        predictor.save(&mut buf).unwrap();
+        // Layout: 8-byte magic, six u32 header fields, the f32 distance
+        // tensor, then the two f64 normalizer scales.
+        let dist_len: usize = predictor.distance_tensor().shape().iter().product();
+        let scale_off = 8 + 6 * 4 + dist_len * 4;
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -3.5] {
+            let mut corrupt = buf.clone();
+            corrupt[scale_off..scale_off + 8].copy_from_slice(&bad.to_le_bytes());
+            let err = Predictor::load(&mut corrupt.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "scale {bad}");
+            assert!(err.to_string().contains("normalizer scale"), "scale {bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn stored_precision_serves_any_requested_precision() {
+        // A serve daemon loads a bundle stored at one precision and may be
+        // asked to answer at another: every stored x requested combination
+        // must load, validate against the design, and predict finite maps —
+        // never panic mid-request.
+        let precisions = [Precision::F32, Precision::F16, Precision::Int8];
+        let (grid, mut predictor, query) = trained_predictor();
+        for &stored in &precisions {
+            predictor.set_precision(stored);
+            let mut buf = Vec::new();
+            predictor.save(&mut buf).unwrap();
+            for &requested in &precisions {
+                let mut restored = Predictor::load(&mut buf.as_slice()).unwrap();
+                assert_eq!(restored.precision(), stored, "{stored}");
+                restored.validate_for(&grid).unwrap();
+                restored.set_precision(requested);
+                let map = restored.predict(&grid, &query);
+                assert!(
+                    map.as_slice().iter().all(|v| v.is_finite()),
+                    "stored {stored}, requested {requested}"
+                );
+            }
         }
     }
 

@@ -459,6 +459,52 @@ impl Predictor {
     pub fn compressor_settings(&self) -> Option<(f64, f64)> {
         self.compressor.as_ref().map(|c| (c.rate(), c.rate_step()))
     }
+
+    /// Fail-fast compatibility check between this bundle and `grid`.
+    ///
+    /// A long-lived host (`pdn serve`) loads the bundle once and then
+    /// answers arbitrary requests; a bundle trained for a different design
+    /// or scale would otherwise only surface as a shape-assert panic in the
+    /// middle of some victim's request. This validates everything the
+    /// request path trusts — distance-tensor rank and tile/bump dimensions
+    /// against the grid — and returns a human-readable explanation instead
+    /// of panicking later. (Normalizer scales are already guaranteed finite
+    /// and positive by construction and by the bundle loader.)
+    /// Valid for every inference precision: f16/int8 requantize from the
+    /// same trained weights, so shape compatibility is precision-invariant.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first mismatch found.
+    pub fn validate_for(&self, grid: &PowerGrid) -> Result<(), String> {
+        let shape = self.distance.shape();
+        if shape.len() != 3 {
+            return Err(format!(
+                "bundle distance tensor has {} dimensions, expected 3 (bumps x rows x cols)",
+                shape.len()
+            ));
+        }
+        let tiles = grid.tile_grid();
+        if (shape[1], shape[2]) != (tiles.rows(), tiles.cols()) {
+            return Err(format!(
+                "bundle was trained for a {}x{} tile grid but this design's grid is {}x{}; \
+                 the bundle belongs to a different design or scale",
+                shape[1],
+                shape[2],
+                tiles.rows(),
+                tiles.cols()
+            ));
+        }
+        if shape[0] != grid.bumps().len() {
+            return Err(format!(
+                "bundle distance features cover {} bumps but this design has {}; \
+                 the bundle belongs to a different design build",
+                shape[0],
+                grid.bumps().len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -563,6 +609,66 @@ mod tests {
 
         p.set_precision(Precision::F32);
         assert_eq!(p.predict(&grid, &vectors[0]), want);
+    }
+
+    #[test]
+    fn validate_for_detects_shape_mismatches() {
+        let (grid, _vectors, distance, config) = infer_fixture();
+        let bumps = grid.bumps().len();
+        let (rows, cols) = (grid.tile_grid().rows(), grid.tile_grid().cols());
+        let good = Predictor::from_parts(
+            WnvModel::new(bumps, config, 9),
+            distance,
+            Normalizer::with_scale(2.0),
+            Normalizer::with_scale(3.0),
+            None,
+        );
+        good.validate_for(&grid).unwrap();
+
+        let wrong_tiles = Predictor::from_parts(
+            WnvModel::new(bumps, config, 9),
+            Tensor::filled(&[bumps, rows + 1, cols], 0.5),
+            Normalizer::with_scale(2.0),
+            Normalizer::with_scale(3.0),
+            None,
+        );
+        let err = wrong_tiles.validate_for(&grid).unwrap_err();
+        assert!(err.contains("tile grid"), "{err}");
+
+        let wrong_bumps = Predictor::from_parts(
+            WnvModel::new(bumps + 1, config, 9),
+            Tensor::filled(&[bumps + 1, rows, cols], 0.5),
+            Normalizer::with_scale(2.0),
+            Normalizer::with_scale(3.0),
+            None,
+        );
+        let err = wrong_bumps.validate_for(&grid).unwrap_err();
+        assert!(err.contains("bumps"), "{err}");
+    }
+
+    #[test]
+    fn set_precision_combinations_validate_and_predict_finite() {
+        let (grid, vectors, distance, config) = infer_fixture();
+        let mut p = Predictor::from_parts(
+            WnvModel::new(grid.bumps().len(), config, 9),
+            distance,
+            Normalizer::with_scale(2.0),
+            Normalizer::with_scale(3.0),
+            None,
+        );
+        let precisions = [Precision::F32, Precision::F16, Precision::Int8];
+        for &from in &precisions {
+            for &to in &precisions {
+                p.set_precision(from);
+                p.set_precision(to);
+                p.validate_for(&grid).unwrap();
+                let map = p.predict(&grid, &vectors[0]);
+                assert!(
+                    map.as_slice().iter().all(|v| v.is_finite()),
+                    "non-finite prediction after {from} -> {to}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,8 +27,20 @@
 //! check on load, is deleted, and the group is re-simulated — a corrupt
 //! cache can cost time but can never poison training data.
 //!
+//! Storage is abstracted behind the [`CacheStore`] trait — today's only
+//! implementation is the filesystem-backed [`WnvCache`], but the group-run
+//! logic ([`run_group_store`]) is written against the trait so a shared
+//! fleet backend (HTTP, object store) can slot in without touching callers.
+//!
+//! Concurrent misses on the same key are **single-flighted**: a process-wide
+//! in-flight registry lets exactly one thread simulate and publish a given
+//! entry while other threads wait for it and then read the stored result,
+//! instead of every thread paying the full simulation and racing to publish.
+//!
 //! Telemetry: `sim.wnv.cache.hits` / `.misses` / `.invalidations` /
-//! `.stores` / `.evictions` count cache outcomes per process.
+//! `.stores` / `.evictions` count cache outcomes per process;
+//! `sim.wnv.cache.single_flight_waits` counts requests served by waiting on
+//! another thread's in-flight simulation.
 
 use crate::error::SimResult;
 use crate::transient::TransientStats;
@@ -39,8 +51,10 @@ use pdn_core::telemetry;
 use pdn_core::units::Volts;
 use pdn_grid::build::PowerGrid;
 use pdn_vectors::vector::TestVector;
+use std::collections::HashMap;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 const MAGIC: &[u8; 8] = b"PDNWNVC2";
@@ -120,6 +134,110 @@ pub fn vector_cache_key_from(base: &Digest, v: &TestVector) -> CacheKey {
 /// given runner's solver settings.
 pub fn cache_key(grid: &PowerGrid, vector: &TestVector, runner: &WnvRunner) -> CacheKey {
     vector_cache_key_from(&group_digest(grid, runner), vector)
+}
+
+/// Storage backend for ground-truth cache entries.
+///
+/// [`WnvCache`] is the filesystem implementation; the seam exists so a
+/// fleet of serve workers can later share one simulation pool through a
+/// remote backend. Implementations must be safe to call from multiple
+/// threads: [`run_group_store`] layers single-flight deduplication on top,
+/// but `lookup`/`store` themselves may still run concurrently for
+/// *different* keys.
+pub trait CacheStore: Send + Sync {
+    /// Looks one vector's entry up, returning `None` on a miss (including
+    /// a corrupt entry the implementation chose to drop).
+    fn lookup(&self, key: CacheKey) -> Option<NoiseReport>;
+
+    /// Durably stores one vector's report under `key`. Must be atomic:
+    /// a concurrent `lookup` sees either nothing or the complete entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O errors; the caller degrades to a warning and
+    /// still returns the simulated report.
+    fn store(&self, key: CacheKey, report: &NoiseReport) -> io::Result<()>;
+}
+
+impl CacheStore for WnvCache {
+    fn lookup(&self, key: CacheKey) -> Option<NoiseReport> {
+        WnvCache::lookup(self, key)
+    }
+
+    fn store(&self, key: CacheKey, report: &NoiseReport) -> io::Result<()> {
+        WnvCache::store(self, key, report)
+    }
+}
+
+/// One in-flight simulation: waiters block on the condvar until the owner
+/// finishes (successfully or not) and then re-check the store.
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Process-wide registry of in-flight cache fills, keyed by [`CacheKey`].
+///
+/// The registry is global rather than per-[`WnvCache`] because `WnvCache`
+/// is `Clone` — concurrent callers typically hold *different* clones of the
+/// same directory, and per-instance state would not deduplicate across
+/// them. Keys are content digests of grid + solver + vector, so distinct
+/// cache directories colliding on a key would be computing the identical
+/// report anyway.
+fn flights() -> &'static Mutex<HashMap<u64, Arc<Flight>>> {
+    static FLIGHTS: OnceLock<Mutex<HashMap<u64, Arc<Flight>>>> = OnceLock::new();
+    FLIGHTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// RAII ownership of one in-flight key: dropping (on any path, including
+/// unwind or simulator error) deregisters the flight and wakes all waiters,
+/// who then re-check the store and simulate themselves if the owner failed.
+struct FlightOwner {
+    key: u64,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightOwner {
+    fn drop(&mut self) {
+        let mut m = flights().lock().unwrap_or_else(|e| e.into_inner());
+        m.remove(&self.key);
+        drop(m);
+        let mut done = self.flight.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        self.flight.cv.notify_all();
+    }
+}
+
+enum Claim {
+    Owner(FlightOwner),
+    Waiter(Arc<Flight>),
+}
+
+/// Claims the right to fill `key`: the first claimant becomes the owner,
+/// later claimants get a handle to wait on.
+fn claim(key: CacheKey) -> Claim {
+    let mut m = flights().lock().unwrap_or_else(|e| e.into_inner());
+    match m.entry(key.0) {
+        std::collections::hash_map::Entry::Occupied(e) => Claim::Waiter(Arc::clone(e.get())),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            let flight = Arc::new(Flight::new());
+            e.insert(Arc::clone(&flight));
+            Claim::Owner(FlightOwner { key: key.0, flight })
+        }
+    }
 }
 
 /// An on-disk cache of simulated [`NoiseReport`] groups.
@@ -211,7 +329,8 @@ impl WnvCache {
     /// identical to solo runs) and stored. Changing one vector of a cached
     /// group therefore costs one simulation, not the whole group. A store
     /// failure degrades to a warning — the simulated reports are still
-    /// returned.
+    /// returned. Concurrent misses on the same key across threads are
+    /// single-flighted (see [`run_group_store`]).
     ///
     /// # Errors
     ///
@@ -222,34 +341,136 @@ impl WnvCache {
         grid: &PowerGrid,
         vectors: &[TestVector],
     ) -> SimResult<Vec<NoiseReport>> {
-        let base = group_digest(grid, runner);
-        let keys: Vec<CacheKey> =
-            vectors.iter().map(|v| vector_cache_key_from(&base, v)).collect();
-        let mut results: Vec<Option<NoiseReport>> =
-            keys.iter().map(|&k| self.lookup(k)).collect();
-        let hits = results.iter().filter(|r| r.is_some()).count();
-        let misses = vectors.len() - hits;
-        telemetry::counter_add("sim.wnv.cache.hits", hits as u64);
-        telemetry::counter_add("sim.wnv.cache.misses", misses as u64);
-        if misses > 0 {
-            let missing_idx: Vec<usize> =
-                results.iter().enumerate().filter(|(_, r)| r.is_none()).map(|(i, _)| i).collect();
-            let missing: Vec<TestVector> =
-                missing_idx.iter().map(|&i| vectors[i].clone()).collect();
-            let simulated = runner.run_group(&missing)?;
-            for (&i, report) in missing_idx.iter().zip(simulated) {
-                match self.store(keys[i], &report) {
-                    Ok(()) => telemetry::counter_add("sim.wnv.cache.stores", 1),
-                    Err(e) => eprintln!(
-                        "warning: wnv cache: cannot store entry {}: {e}",
-                        keys[i].hex()
-                    ),
-                }
-                results[i] = Some(report);
+        run_group_store(self, runner, grid, vectors)
+    }
+}
+
+/// Simulates `missing` as one group and publishes each report to `store`,
+/// counting successful stores. Store failures degrade to a warning.
+fn simulate_and_publish(
+    store: &(impl CacheStore + ?Sized),
+    runner: &WnvRunner,
+    vectors: &[TestVector],
+    idx: &[usize],
+    keys: &[CacheKey],
+    results: &mut [Option<NoiseReport>],
+) -> SimResult<()> {
+    let missing: Vec<TestVector> = idx.iter().map(|&i| vectors[i].clone()).collect();
+    let simulated = runner.run_group(&missing)?;
+    for (&i, report) in idx.iter().zip(simulated) {
+        match store.store(keys[i], &report) {
+            Ok(()) => telemetry::counter_add("sim.wnv.cache.stores", 1),
+            Err(e) => {
+                eprintln!("warning: wnv cache: cannot store entry {}: {e}", keys[i].hex())
             }
         }
-        Ok(results.into_iter().map(|r| r.expect("all slots filled")).collect())
+        results[i] = Some(report);
     }
+    Ok(())
+}
+
+/// Cached group run against any [`CacheStore`], with single-flight
+/// deduplication of concurrent misses.
+///
+/// For every miss the thread claims the key in the process-wide in-flight
+/// registry. Claims it wins are re-checked against the store (another
+/// thread may have published between the first lookup and the claim) and
+/// then simulated together as one group — keeping the multi-RHS batched
+/// solve — and published before the claim is released. Claims another
+/// thread already holds are waited on and then served from the store,
+/// counted as `sim.wnv.cache.single_flight_waits`; if the owning thread
+/// failed (simulator error, store error), the waiter falls back to
+/// simulating the leftovers itself, so single-flight can never turn one
+/// thread's failure into another's missing result.
+///
+/// # Errors
+///
+/// Propagates simulator failures on the miss path.
+pub fn run_group_store(
+    store: &(impl CacheStore + ?Sized),
+    runner: &WnvRunner,
+    grid: &PowerGrid,
+    vectors: &[TestVector],
+) -> SimResult<Vec<NoiseReport>> {
+    let base = group_digest(grid, runner);
+    let keys: Vec<CacheKey> = vectors.iter().map(|v| vector_cache_key_from(&base, v)).collect();
+    let mut results: Vec<Option<NoiseReport>> = keys.iter().map(|&k| store.lookup(k)).collect();
+    let hits = results.iter().filter(|r| r.is_some()).count();
+    let misses = vectors.len() - hits;
+    telemetry::counter_add("sim.wnv.cache.hits", hits as u64);
+    telemetry::counter_add("sim.wnv.cache.misses", misses as u64);
+    if misses == 0 {
+        return Ok(results.into_iter().map(|r| r.expect("all slots filled")).collect());
+    }
+
+    // Deduplicate repeated keys inside this group (identical vectors): one
+    // representative index goes through the claim/simulate path, the rest
+    // copy its result at the end. Without this, claiming the same key twice
+    // from one thread would deadlock on our own flight.
+    let mut first_of: HashMap<u64, usize> = HashMap::new();
+    let mut dups: Vec<(usize, usize)> = Vec::new();
+    let mut unique_missing: Vec<usize> = Vec::new();
+    for i in 0..vectors.len() {
+        if results[i].is_some() {
+            continue;
+        }
+        match first_of.entry(keys[i].0) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+                unique_missing.push(i);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => dups.push((i, *e.get())),
+        }
+    }
+
+    let mut owned_idx: Vec<usize> = Vec::new();
+    let mut owned_guards: Vec<FlightOwner> = Vec::new();
+    let mut waits: Vec<(usize, Arc<Flight>)> = Vec::new();
+    for &i in &unique_missing {
+        match claim(keys[i]) {
+            Claim::Owner(guard) => {
+                // Double-check: another thread may have published this key
+                // between our lookup above and winning the claim.
+                if let Some(report) = store.lookup(keys[i]) {
+                    results[i] = Some(report);
+                    drop(guard);
+                } else {
+                    owned_idx.push(i);
+                    owned_guards.push(guard);
+                }
+            }
+            Claim::Waiter(flight) => waits.push((i, flight)),
+        }
+    }
+
+    if !owned_idx.is_empty() {
+        // On error the guards drop with the early return, waking waiters so
+        // they re-check and simulate for themselves.
+        simulate_and_publish(store, runner, vectors, &owned_idx, &keys, &mut results)?;
+    }
+    // Release our claims only after the entries are published, so woken
+    // waiters find them in the store.
+    drop(owned_guards);
+
+    let mut leftovers: Vec<usize> = Vec::new();
+    for (i, flight) in waits {
+        flight.wait();
+        match store.lookup(keys[i]) {
+            Some(report) => {
+                telemetry::counter_add("sim.wnv.cache.single_flight_waits", 1);
+                results[i] = Some(report);
+            }
+            None => leftovers.push(i),
+        }
+    }
+    if !leftovers.is_empty() {
+        simulate_and_publish(store, runner, vectors, &leftovers, &keys, &mut results)?;
+    }
+
+    for (i, first) in dups {
+        results[i] = results[first].clone();
+    }
+    Ok(results.into_iter().map(|r| r.expect("all slots filled")).collect())
 }
 
 /// A size/age summary of a cache directory (`pdn cache stats`).

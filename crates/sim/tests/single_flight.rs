@@ -1,0 +1,119 @@
+//! Concurrency tests for the ground-truth cache: single-flight
+//! deduplication of racing misses and the `CacheStore` trait seam.
+//!
+//! These live in their own test binary because they assert exact values of
+//! process-global telemetry counters, which must not race with unrelated
+//! tests sharing the process.
+
+use pdn_core::telemetry;
+use pdn_grid::design::{DesignPreset, DesignScale};
+use pdn_sim::cache::{run_group_store, CacheKey, CacheStore, WnvCache};
+use pdn_sim::wnv::{NoiseReport, WnvRunner};
+use pdn_vectors::generator::{GeneratorConfig, VectorGenerator};
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Barrier, Mutex};
+
+#[test]
+fn racing_misses_on_one_key_simulate_and_store_once() {
+    let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 30, ..Default::default() });
+    let vectors = gen.generate_group(1, 17);
+
+    let dir = std::env::temp_dir()
+        .join(format!("pdn_wnv_singleflight_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = WnvCache::open(&dir).unwrap();
+
+    telemetry::reset();
+    telemetry::enable();
+
+    // The reference report, simulated outside the cache (and outside the
+    // telemetry window used for the counter assertions below).
+    let reference = WnvRunner::new(&grid).unwrap().run(&vectors[0]).unwrap();
+    let sim_count_before = telemetry::counter_value("sim.wnv.vectors");
+
+    let barrier = Barrier::new(2);
+    let reports: Vec<NoiseReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = cache.clone();
+                let grid = &grid;
+                let vectors = &vectors;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let runner = WnvRunner::new(grid).unwrap();
+                    barrier.wait();
+                    let mut group = cache.run_group(&runner, grid, vectors).unwrap();
+                    group.pop().unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly one thread may simulate and publish; the other is served by
+    // single-flight (or, if it arrived late, by a plain cache hit). Either
+    // way the simulation and the store happen once.
+    assert_eq!(
+        telemetry::counter_value("sim.wnv.cache.stores"),
+        1,
+        "two racing misses on one key must store exactly once"
+    );
+    assert_eq!(
+        telemetry::counter_value("sim.wnv.vectors") - sim_count_before,
+        1,
+        "two racing misses on one key must simulate exactly once"
+    );
+
+    for r in &reports {
+        assert_eq!(r.max_noise, reference.max_noise);
+        assert_eq!(r.worst_noise, reference.worst_noise);
+    }
+
+    telemetry::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A trivial in-memory backend: proves the group-run logic is written
+/// against the `CacheStore` seam, not against the filesystem cache.
+#[derive(Default)]
+struct MemStore {
+    map: Mutex<HashMap<u64, NoiseReport>>,
+}
+
+impl CacheStore for MemStore {
+    fn lookup(&self, key: CacheKey) -> Option<NoiseReport> {
+        self.map.lock().unwrap().get(&key.0).cloned()
+    }
+
+    fn store(&self, key: CacheKey, report: &NoiseReport) -> io::Result<()> {
+        self.map.lock().unwrap().insert(key.0, report.clone());
+        Ok(())
+    }
+}
+
+#[test]
+fn run_group_store_works_against_a_non_filesystem_backend() {
+    let grid = DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap();
+    let runner = WnvRunner::new(&grid).unwrap();
+    let gen = VectorGenerator::new(&grid, GeneratorConfig { steps: 30, ..Default::default() });
+    let vectors = gen.generate_group(2, 23);
+
+    let store = MemStore::default();
+    let first = run_group_store(&store, &runner, &grid, &vectors).unwrap();
+    assert_eq!(store.map.lock().unwrap().len(), 2);
+
+    // Second run must be served entirely from the backend, bit-identically.
+    let second = run_group_store(&store, &runner, &grid, &vectors).unwrap();
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.worst_noise, b.worst_noise);
+        assert_eq!(a.max_noise, b.max_noise);
+    }
+
+    // The trait is object-safe: a fleet backend can be handed around as
+    // `&dyn CacheStore`.
+    let dyn_store: &dyn CacheStore = &store;
+    let third = run_group_store(dyn_store, &runner, &grid, &vectors).unwrap();
+    assert_eq!(third.len(), 2);
+}

@@ -83,6 +83,53 @@ grep -q 'quantization gate : ok' <<<"$quant_out" \
     || { echo "quantization smoke: accuracy gate failed"; echo "$quant_out"; exit 1; }
 echo "quantization gate: f16 + int8 within accuracy bounds"
 
+echo
+echo "== serve smoke =="
+# Train a tiny bundle, start the daemon on an ephemeral port, exercise
+# /healthz, one /predict and /metrics with a stdlib-python client, then
+# SIGTERM it and require a clean zero exit.
+model="$cache_dir/smoke_model.pdn"
+vec="$cache_dir/smoke_vector.csv"
+./target/release/pdn train --design D1 --vectors 4 --steps 30 --epochs 2 \
+    --cache-dir "$cache_dir/cache" --out "$model" >/dev/null
+./target/release/pdn export-vector --design D1 --steps 30 --seed 5 --out "$vec" >/dev/null
+serve_log="$cache_dir/serve.log"
+./target/release/pdn serve --model "$model" --design D1 --addr 127.0.0.1:0 \
+    --cache-dir none >"$serve_log" 2>&1 &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's#.*listening on http://[0-9.]*:\([0-9]*\).*#\1#p' "$serve_log")"
+    [[ -n "$port" ]] && break
+    kill -0 "$serve_pid" 2>/dev/null \
+        || { echo "serve smoke: daemon died during startup"; cat "$serve_log"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$port" ]] || { echo "serve smoke: never printed a listening line"; cat "$serve_log"; exit 1; }
+python3 - "$port" "$vec" <<'PYEOF'
+import json, sys, urllib.request
+port, vec = sys.argv[1], sys.argv[2]
+base = f"http://127.0.0.1:{port}"
+health = json.load(urllib.request.urlopen(base + "/healthz", timeout=30))
+assert health["status"] == "ok", health
+req = urllib.request.Request(base + "/predict", data=open(vec, "rb").read(), method="POST")
+resp = json.load(urllib.request.urlopen(req, timeout=120))
+assert resp["kind"] == "predict", resp
+assert resp["rows"] > 0 and len(resp["map"]) == resp["rows"] * resp["cols"], resp
+metrics = urllib.request.urlopen(base + "/metrics", timeout=30).read().decode()
+assert metrics.strip(), "empty /metrics snapshot"
+for line in metrics.splitlines():
+    json.loads(line)
+assert '"serve.predict.requests"' in metrics, metrics
+print(f"serve smoke: predicted a {resp['rows']}x{resp['cols']} map, max {resp['max_noise']:.4g} V")
+PYEOF
+kill -TERM "$serve_pid"
+wait "$serve_pid" \
+    || { echo "serve smoke: daemon exited non-zero after SIGTERM"; cat "$serve_log"; exit 1; }
+grep -q "shutdown complete" "$serve_log" \
+    || { echo "serve smoke: missing clean-shutdown message"; cat "$serve_log"; exit 1; }
+echo "serve smoke: healthz + predict + metrics + clean SIGTERM shutdown"
+
 if [[ "${PDN_BENCH_GATE:-1}" != "0" && -f BENCH_components.json ]]; then
     echo
     echo "== bench regression gate (PDN_BENCH_GATE=0 to skip) =="

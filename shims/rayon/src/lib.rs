@@ -10,9 +10,10 @@
 //! working. Swapping back to real rayon is a one-line Cargo.toml change; the
 //! call sites are already written against the real API.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+static GLOBAL_BUILT: AtomicBool = AtomicBool::new(false);
 
 /// Reports the pool width requested via [`ThreadPoolBuilder::build_global`],
 /// defaulting to 1. Execution is always sequential in this shim; the value
@@ -21,13 +22,14 @@ pub fn current_num_threads() -> usize {
     CONFIGURED_THREADS.load(Ordering::Relaxed).max(1)
 }
 
-/// Error type for [`ThreadPoolBuilder::build_global`]; never produced.
+/// Error type for [`ThreadPoolBuilder::build_global`]: like real rayon, the
+/// global pool can only be built once, and later attempts fail.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(());
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error (unreachable in sequential shim)")
+        f.write_str("the global thread pool has already been initialized")
     }
 }
 
@@ -50,8 +52,14 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Records the requested width as the global pool size.
+    /// Records the requested width as the global pool size. Matches real
+    /// rayon's contract: the first call wins and later calls return an
+    /// error without touching the established width, so callers can detect
+    /// (and report) a request that arrived too late to take effect.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        if GLOBAL_BUILT.swap(true, Ordering::SeqCst) {
+            return Err(ThreadPoolBuildError(()));
+        }
         CONFIGURED_THREADS.store(self.num_threads.max(1), Ordering::Relaxed);
         Ok(())
     }
@@ -243,12 +251,20 @@ mod tests {
     }
 
     #[test]
-    fn pool_width_round_trips() {
+    fn pool_width_round_trips_and_global_builds_once() {
         assert!(super::current_num_threads() >= 1);
         super::ThreadPoolBuilder::new()
             .num_threads(4)
             .build_global()
             .unwrap();
+        assert_eq!(super::current_num_threads(), 4);
+        // Real rayon refuses to rebuild the global pool; the shim must too,
+        // and the established width must survive the failed attempt.
+        let err = super::ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build_global()
+            .unwrap_err();
+        assert!(err.to_string().contains("already been initialized"));
         assert_eq!(super::current_num_threads(), 4);
         let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         assert_eq!(pool.install(super::current_num_threads), 4);

@@ -31,6 +31,7 @@ use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
@@ -68,6 +69,10 @@ const USAGE: &str = "usage:
                       [--precision f16|int8|all]
   pdn predict         --model MODEL --design D1..D4 [--scale S] [--seed K]
                       [--vector FILE.csv] [--out DIR] [--precision f32|f16|int8]
+  pdn serve           --model MODEL --design D1..D4 [--scale S]
+                      [--addr HOST:PORT] [--workers N] [--max-batch B]
+                      [--max-wait-ms MS] [--precision f32|f16|int8]
+                      [--cache-dir DIR|none] [--solver cg|direct]
   pdn cache stats     [--cache-dir DIR]
   pdn cache gc        [--cache-dir DIR] [--max-mb MB] [--max-age-days D]
   pdn export-netlist  --design D1..D4 [--scale S] --out FILE.sp
@@ -105,6 +110,14 @@ the quantized inference path and fails when its deviation from f32 exceeds
 the accuracy gate; `pdn predict --precision` serves a query at the chosen
 precision.
 
+`pdn serve` runs the predictor as an HTTP daemon: POST a vector CSV to
+/predict (CNN inference) or /simulate (cached ground truth); concurrent
+requests are coalesced into one inference batch / multi-RHS transient
+group (--max-batch wide, formed within --max-wait-ms). GET /healthz for
+liveness, GET /metrics for a telemetry snapshot. --addr defaults to
+127.0.0.1:8320; port 0 picks an ephemeral port (printed on stdout).
+SIGTERM/SIGINT shut the daemon down cleanly.
+
 `pdn report` renders a telemetry sink as markdown (stage tree, solver
 percentiles, training curve, speedup table); with a BASELINE it also diffs
 the two runs and flags stages slower than R x (default 2.0). --trace writes
@@ -140,6 +153,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "train" => train(&opts),
         "eval" => eval_cmd(&opts),
         "predict" => predict(&opts),
+        "serve" => serve_cmd(&opts),
         "export-netlist" => export_netlist(&opts),
         "export-vector" => export_vector(&opts),
         other => Err(format!("unknown command `{other}`").into()),
@@ -732,6 +746,71 @@ fn predict(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Err
         write_csv(&map, &path)?;
         println!("predicted map written to {}", path.display());
     }
+    Ok(())
+}
+
+/// Set by the signal handler; the serve command's main loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGTERM and SIGINT to [`SHUTDOWN`] via libc's `signal(2)`,
+/// declared directly so the daemon needs no FFI crate. Storing an
+/// `AtomicBool` is async-signal-safe.
+fn install_shutdown_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal);
+        signal(SIGINT, on_shutdown_signal);
+    }
+}
+
+fn serve_cmd(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Error>> {
+    use pdn_wnv::eval::serve::{self, batcher::BatchConfig, ServeConfig};
+
+    let preset = design(opts)?;
+    let model_path = opts.get("model").ok_or("--model MODEL is required")?;
+    let grid = try_stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
+        Ok(preset.spec(scale(opts)?).build(1)?)
+    })?;
+    let mut predictor = try_stage("load_model", || Predictor::load_from(model_path))?;
+    if let Some(p) = parse_opt::<Precision>(opts, "precision")? {
+        predictor.set_precision(p);
+    }
+    let kind = solver(opts)?;
+    let runner = try_stage("factorize", || WnvRunner::with_solver(&grid, kind))?;
+    let cache = cache_from_opts(opts)?;
+
+    let max_wait = Duration::from_millis(parse(opts, "max-wait-ms", 2u64)?);
+    let cfg = ServeConfig {
+        addr: opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:8320".to_string()),
+        workers: parse(opts, "workers", 0usize)?,
+        predict_batch: BatchConfig { max_batch: parse(opts, "max-batch", 16usize)?, max_wait },
+        simulate_batch: BatchConfig {
+            max_batch: pdn_wnv::sim::wnv::DEFAULT_BATCH,
+            max_wait,
+        },
+    };
+
+    let design_name = grid.spec().name().to_string();
+    let server = try_stage("bind", || {
+        serve::serve(&cfg, &design_name, grid, predictor, runner, cache)
+    })?;
+    println!("pdn serve: {design_name} listening on http://{}", server.local_addr());
+
+    install_shutdown_signals();
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("pdn serve: signal received, shutting down");
+    server.shutdown();
+    println!("pdn serve: shutdown complete");
     Ok(())
 }
 

@@ -1,0 +1,236 @@
+//! End-to-end tests for the `pdn serve` daemon: real TCP sockets, raw
+//! HTTP/1.1, concurrent clients. The central claim is the bitwise one —
+//! answers served through the batching daemon are identical to offline
+//! [`Predictor::predict`] calls, even when requests coalesce into
+//! multi-map batches — plus liveness (/healthz, /metrics), the simulate
+//! path, error statuses, and the fail-fast bundle check.
+
+use pdn_wnv::eval::jsonl;
+use pdn_wnv::eval::serve::batcher::BatchConfig;
+use pdn_wnv::eval::serve::{self, ServeConfig};
+use pdn_wnv::features::normalize::Normalizer;
+use pdn_wnv::grid::build::PowerGrid;
+use pdn_wnv::grid::design::{DesignPreset, DesignScale};
+use pdn_wnv::model::model::{ModelConfig, Predictor, WnvModel};
+use pdn_wnv::nn::tensor::Tensor;
+use pdn_wnv::sim::wnv::WnvRunner;
+use pdn_wnv::vectors::generator::{GeneratorConfig, VectorGenerator};
+use pdn_wnv::vectors::vector::TestVector;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn tiny_grid() -> PowerGrid {
+    DesignPreset::D1.spec(DesignScale::Tiny).build(1).unwrap()
+}
+
+/// A deterministic bundle for `grid`: same `seed` → bitwise-identical
+/// predictors, which lets one instance serve and a twin act as the offline
+/// reference.
+fn fixture_predictor(grid: &PowerGrid, seed: u64) -> Predictor {
+    let tiles = grid.tile_grid();
+    let (rows, cols) = (tiles.rows(), tiles.cols());
+    let bumps = grid.bumps().len();
+    let distance = Tensor::from_fn3(bumps, rows, cols, |b, r, c| {
+        ((b * 13 + r * 5 + c) % 17) as f32 * 0.06
+    });
+    Predictor::from_parts(
+        WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, seed),
+        distance,
+        Normalizer::with_scale(2.0),
+        Normalizer::with_scale(3.0),
+        None,
+    )
+}
+
+fn vectors_for(grid: &PowerGrid, count: usize, seed: u64) -> Vec<TestVector> {
+    let gen = VectorGenerator::new(grid, GeneratorConfig { steps: 16, ..Default::default() });
+    gen.generate_group(count, seed)
+}
+
+/// Sends one request and returns `(status, body)`. The server always
+/// closes the connection after answering, so the client reads to EOF.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n", body.len())
+        .unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {raw:?}"));
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn csv_bytes(vector: &TestVector) -> Vec<u8> {
+    let mut out = Vec::new();
+    pdn_wnv::vectors::io::write_csv(vector, &mut out).unwrap();
+    out
+}
+
+fn map_field(parsed: &jsonl::Json) -> Vec<f64> {
+    parsed
+        .get("map")
+        .and_then(|m| m.as_array())
+        .expect("map array")
+        .iter()
+        .map(|v| v.as_f64().expect("map entry is a number"))
+        .collect()
+}
+
+#[test]
+fn concurrent_predicts_are_bitwise_identical_to_offline_and_coalesce() {
+    let grid = tiny_grid();
+    let mut offline = fixture_predictor(&grid, 9);
+    let served = fixture_predictor(&grid, 9);
+    let runner = WnvRunner::new(&grid).unwrap();
+    let vectors = vectors_for(&grid, 6, 33);
+    let expected: Vec<Vec<f64>> =
+        vectors.iter().map(|v| offline.predict(&grid, v).as_slice().to_vec()).collect();
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: vectors.len(),
+        // A wide-open window so simultaneous clients must share a batch.
+        predict_batch: BatchConfig { max_batch: 8, max_wait: Duration::from_millis(300) },
+        ..ServeConfig::default()
+    };
+    let server = serve::serve(&cfg, "D1-tiny", grid.clone(), served, runner, None).unwrap();
+    let addr = server.local_addr();
+
+    // Up to a few rounds: batch formation is timing-dependent, and the
+    // barrier makes coalescing overwhelmingly likely per round, not certain.
+    for round in 0..5 {
+        let barrier = Arc::new(Barrier::new(vectors.len()));
+        let answers: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = vectors
+                .iter()
+                .map(|vector| {
+                    let barrier = Arc::clone(&barrier);
+                    let body = csv_bytes(vector);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let (status, body) = http(addr, "POST", "/predict", &body);
+                        assert_eq!(status, 200, "predict failed: {body}");
+                        let parsed = jsonl::parse(&body).unwrap();
+                        let width = parsed.get("batch_width").unwrap().as_u64().unwrap();
+                        (map_field(&parsed), width)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for ((got, _), want) in answers.iter().zip(&expected) {
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "served value differs from offline predict");
+            }
+        }
+        if server.stats().predict.max_width() > 1 {
+            assert!(
+                answers.iter().any(|(_, w)| *w > 1),
+                "a multi-request batch must be visible in some response"
+            );
+            server.shutdown();
+            return;
+        }
+        eprintln!("round {round}: no batch wider than 1 yet, retrying");
+    }
+    panic!("six barrier-synchronised clients never shared a batch in 5 rounds");
+}
+
+#[test]
+fn simulate_endpoint_matches_offline_runner_bitwise() {
+    let grid = tiny_grid();
+    let predictor = fixture_predictor(&grid, 4);
+    let runner = WnvRunner::new(&grid).unwrap();
+    let vector = vectors_for(&grid, 1, 55).remove(0);
+    let want = WnvRunner::new(&grid).unwrap().run(&vector).unwrap();
+
+    let cfg = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() };
+    let server = serve::serve(&cfg, "D1-tiny", grid, predictor, runner, None).unwrap();
+    let (status, body) = http(server.local_addr(), "POST", "/simulate", &csv_bytes(&vector));
+    assert_eq!(status, 200, "{body}");
+    let parsed = jsonl::parse(&body).unwrap();
+    assert_eq!(parsed.get("kind").unwrap().as_str(), Some("simulate"));
+    assert_eq!(parsed.get("sim_steps").unwrap().as_u64(), Some(want.stats.steps as u64));
+    let got = map_field(&parsed);
+    assert_eq!(got.len(), want.worst_noise.as_slice().len());
+    for (g, w) in got.iter().zip(want.worst_noise.as_slice()) {
+        assert_eq!(g.to_bits(), w.to_bits(), "served simulation differs from offline run");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn health_metrics_and_error_statuses() {
+    let grid = tiny_grid();
+    let loads = grid.loads().len();
+    let predictor = fixture_predictor(&grid, 2);
+    let runner = WnvRunner::new(&grid).unwrap();
+    let cfg = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() };
+    let server = serve::serve(&cfg, "D1-tiny", grid, predictor, runner, None).unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = http(addr, "GET", "/healthz", b"");
+    assert_eq!(status, 200);
+    let health = jsonl::parse(&body).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("design").unwrap().as_str(), Some("D1-tiny"));
+    assert_eq!(health.get("loads").unwrap().as_u64(), Some(loads as u64));
+
+    let (status, body) = http(addr, "GET", "/metrics", b"");
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "metrics snapshot must not be empty");
+    for line in lines {
+        jsonl::parse(line).unwrap_or_else(|e| panic!("unparseable metrics line {line:?}: {e}"));
+    }
+    assert!(body.contains("serve.started"), "{body}");
+
+    let (status, body) = http(addr, "POST", "/predict", b"not,a,vector");
+    assert_eq!(status, 400, "{body}");
+    assert!(jsonl::parse(&body).unwrap().get("error").is_some());
+    let (status, _) = http(addr, "GET", "/predict", b"");
+    assert_eq!(status, 405);
+    let (status, _) = http(addr, "GET", "/nope", b"");
+    assert_eq!(status, 404);
+    // A vector with the wrong number of load columns is a client error,
+    // answered before anything reaches the predictor.
+    let wrong = b"0.0,0.1\n0.0,0.2\n";
+    let (status, body) = http(addr, "POST", "/predict", wrong);
+    assert_eq!(status, 400, "{body}");
+
+    assert!(server.stats().errors.load(std::sync::atomic::Ordering::Relaxed) >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn serve_refuses_a_mismatched_bundle_up_front() {
+    let grid = tiny_grid();
+    let tiles = grid.tile_grid();
+    let bumps = grid.bumps().len();
+    // Distance features for a different tile grid: one extra row.
+    let wrong = Predictor::from_parts(
+        WnvModel::new(bumps, ModelConfig { c1: 2, c2: 2, c3: 2 }, 3),
+        Tensor::filled(&[bumps, tiles.rows() + 1, tiles.cols()], 0.5),
+        Normalizer::with_scale(2.0),
+        Normalizer::with_scale(3.0),
+        None,
+    );
+    let runner = WnvRunner::new(&grid).unwrap();
+    let cfg = ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() };
+    let err = serve::serve(&cfg, "D1-tiny", grid, wrong, runner, None)
+        .err()
+        .expect("mismatched bundle must fail fast at startup");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    let msg = err.to_string();
+    assert!(msg.contains("tile grid"), "{msg}");
+}

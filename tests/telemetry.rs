@@ -112,6 +112,81 @@ fn jsonl_sink_emits_one_well_formed_record_per_line() {
 }
 
 #[test]
+fn jsonl_sink_lines_never_tear_under_concurrent_writers() {
+    let _guard = lock();
+    telemetry::reset();
+    let path = std::env::temp_dir().join(format!("pdn-telemetry-mt-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    telemetry::enable_with_sink(&path).expect("sink file");
+
+    // Hammer the sink from many threads at once with every record shape a
+    // server produces: events with string payloads (the worst case for
+    // interleaving — long, variable-length lines) and field-carrying spans.
+    // The serve daemon writes from request workers and batcher threads
+    // concurrently, so a torn line here would corrupt real traces.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 250;
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                let payload = format!("thread-{t}-{}", "x".repeat(40 + t * 17));
+                for i in 0..PER_THREAD {
+                    telemetry::event(
+                        "mt.event",
+                        &[("thread", (t as u64).into()), ("i", (i as u64).into()),
+                          ("payload", payload.as_str().into())],
+                    );
+                    let mut span = telemetry::span("mt.span");
+                    span.field("thread", t as u64);
+                    span.field("i", i as u64);
+                    telemetry::counter_add("mt.counter", 1);
+                    telemetry::observe("mt.histogram", i as f64);
+                }
+            });
+        }
+    });
+    telemetry::write_summary_records();
+    telemetry::flush();
+
+    let text = std::fs::read_to_string(&path).expect("read sink");
+    telemetry::reset();
+    let _ = std::fs::remove_file(&path);
+
+    // Every single line must be a complete, standalone JSON object — the
+    // parser rejects torn or interleaved fragments outright.
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    for line in text.lines() {
+        let parsed = pdn_wnv::eval::jsonl::parse(line)
+            .unwrap_or_else(|e| panic!("torn or malformed sink line {line:?}: {e}"));
+        assert!(parsed.get("ts_us").is_some(), "missing ts_us: {line}");
+        match parsed.get("kind").and_then(|k| k.as_str()) {
+            Some("event") if parsed.get("name").unwrap().as_str() == Some("mt.event") => {
+                assert!(
+                    parsed.get("payload").unwrap().as_str().unwrap().starts_with("thread-"),
+                    "event payload torn: {line}"
+                );
+                events += 1;
+            }
+            Some("span") if parsed.get("name").unwrap().as_str() == Some("mt.span") => {
+                spans += 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(events, THREADS * PER_THREAD, "every event line intact and present");
+    assert_eq!(spans, THREADS * PER_THREAD, "every span line intact and present");
+    assert!(
+        text.contains("\"name\":\"mt.counter\"") && text.contains("\"value\":2000"),
+        "aggregated counter summary missing:\n{}",
+        &text[..text.len().min(2000)]
+    );
+}
+
+#[test]
 fn solver_counters_match_transient_stats() {
     let _guard = lock();
     telemetry::reset();
