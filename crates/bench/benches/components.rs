@@ -349,6 +349,34 @@ fn bench_conv_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    // The contract `pdn serve` leans on: with telemetry disabled, every
+    // instrumentation call is one relaxed atomic load. A single call sits
+    // far below the bench gate's noise floor, so each iteration loops
+    // 100k calls. Skipped when a PDN_TELEMETRY run enabled the registry —
+    // the enabled path is a different (and unguarded) measurement.
+    if pdn_core::telemetry::enabled() {
+        return;
+    }
+    let mut group = c.benchmark_group("components_telemetry");
+    group.bench_function("disabled_counter_add_100k", |b| {
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                pdn_core::telemetry::counter_add(criterion::black_box("bench.disabled.probe"), i & 1);
+            }
+        })
+    });
+    group.bench_function("disabled_span_100k", |b| {
+        b.iter(|| {
+            for _ in 0..100_000u64 {
+                let s = pdn_core::telemetry::span(criterion::black_box("bench.disabled.span"));
+                criterion::black_box(&s);
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sparse_solvers,
@@ -356,7 +384,8 @@ criterion_group!(
     bench_gemm_kernels,
     bench_gemm_i8_kernels,
     bench_stamping_and_features,
-    bench_conv_kernels
+    bench_conv_kernels,
+    bench_telemetry_overhead
 );
 
 // Hand-rolled `criterion_main!` so the bench harness doubles as a telemetry

@@ -809,6 +809,110 @@ pub fn snapshot_records() -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Maps a dotted metric path to a legal Prometheus metric name:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit gets a `_` prefix. `serve.predict.batch_width` →
+/// `serve_predict_batch_width`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Upper bound (`le` label value) of internal log₂ bucket `i`: the bucket
+/// covers `[2^(i-40), 2^(i-39))`, so observations in it are `< 2^(i-39)`
+/// and the exported cumulative bucket uses that exclusive-upper bound.
+/// Bucket 0 additionally absorbs zero, negative and non-finite
+/// observations, so its bound is the smallest exported `le`.
+fn bucket_upper_bound(i: usize) -> f64 {
+    2f64.powi(i as i32 + 1 - BUCKET_BIAS)
+}
+
+/// Renders a float for Prometheus sample values and `le` labels. The text
+/// format accepts Go-style scientific notation; Rust's shortest
+/// round-trip `{e}` formatting is compatible and lossless.
+fn prometheus_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// Snapshot of every aggregated metric in the Prometheus text exposition
+/// format (version 0.0.4): one `# TYPE` line per family, counters suffixed
+/// `_total` (added unless already present), gauges as-is, and log₂
+/// histograms expanded into cumulative `_bucket{le="..."}` samples plus
+/// `_sum`/`_count` — the `+Inf` bucket always equals `_count`, and bucket
+/// counts are monotone non-decreasing in `le`. Empty buckets outside the
+/// observed range are elided (the cumulative encoding keeps the family
+/// valid). Returns an empty string when telemetry is disabled; the
+/// disabled cost is the usual one relaxed atomic load.
+pub fn prometheus_text() -> String {
+    if !enabled() {
+        return String::new();
+    }
+    let s = lock();
+    let mut out = String::with_capacity(
+        64 * (s.counters.len() + s.gauges.len()) + 512 * s.histograms.len(),
+    );
+    for (name, value) in &s.counters {
+        let mut pname = prometheus_name(name);
+        if !pname.ends_with("_total") {
+            pname.push_str("_total");
+        }
+        let _ = writeln!(out, "# TYPE {pname} counter");
+        let _ = writeln!(out, "{pname} {value}");
+    }
+    for (name, value) in &s.gauges {
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {pname} gauge");
+        let _ = writeln!(out, "{pname} {}", prometheus_f64(*value));
+    }
+    for (name, hist) in &s.histograms {
+        let pname = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {pname} histogram");
+        // Emit the cumulative buckets covering the observed range: from
+        // the first to the last non-empty internal bucket. Everything
+        // below the range has cumulative count 0 anyway, everything above
+        // is carried by +Inf.
+        let first = hist.buckets.iter().position(|&c| c > 0);
+        let last = hist.buckets.iter().rposition(|&c| c > 0);
+        let mut cumulative = 0u64;
+        if let (Some(first), Some(last)) = (first, last) {
+            for i in first..=last {
+                cumulative += hist.buckets[i];
+                let _ = writeln!(
+                    out,
+                    "{pname}_bucket{{le=\"{}\"}} {cumulative}",
+                    prometheus_f64(bucket_upper_bound(i))
+                );
+            }
+        }
+        let _ = writeln!(out, "{pname}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{pname}_sum {}", prometheus_f64(hist.sum));
+        let _ = writeln!(out, "{pname}_count {}", hist.count);
+    }
+    out
+}
+
 /// Flushes the JSON-lines sink, if any.
 pub fn flush() {
     let mut s = lock();
@@ -1091,6 +1195,144 @@ mod tests {
         let true_p50 = 2f64.powi(4); // 5th of 10 observations
         assert!(s.p50 / true_p50 < 2.0 && true_p50 / s.p50 < 2.0, "p50 {}", s.p50);
         assert!(s.p99 <= s.max && s.p99 >= 2f64.powi(8), "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let h = Histogram::new();
+        let s = h.summarize();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert_eq!((s.min, s.max), (0.0, 0.0), "empty histogram reports 0 bounds");
+        assert_eq!((s.p50, s.p95, s.p99), (0.0, 0.0, 0.0));
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_single_sample_are_that_sample() {
+        // One observation: every percentile must clamp to the observed
+        // value exactly, not to a bucket boundary.
+        for v in [1e-9, 0.37, 1.0, 700.0] {
+            let mut h = Histogram::new();
+            h.record(v);
+            let s = h.summarize();
+            assert_eq!(s.count, 1);
+            assert_eq!((s.p50, s.p95, s.p99), (v, v, v), "single sample {v}");
+        }
+    }
+
+    #[test]
+    fn quantiles_all_in_one_bucket_stay_within_observed_bounds() {
+        // 0.30, 0.31, ..., 0.49 all land in the [0.25, 0.5) bucket; the
+        // interpolated estimates must stay inside the *observed* min/max,
+        // not just the bucket, and stay ordered.
+        let mut h = Histogram::new();
+        for i in 0..20 {
+            h.record(0.30 + i as f64 * 0.01);
+        }
+        let s = h.summarize();
+        assert_eq!(bucket_of(s.min), bucket_of(s.max), "test premise: one bucket");
+        assert!(s.min == 0.30 && (s.max - 0.49).abs() < 1e-12);
+        assert!(s.p50 >= s.min && s.p50 <= s.max, "p50 {}", s.p50);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn quantiles_saturate_cleanly_in_the_max_bucket() {
+        // Values beyond the top bucket's range all clamp into bucket 63;
+        // percentile interpolation there must not produce infinities or
+        // escape the observed range.
+        let mut h = Histogram::new();
+        for v in [1e280, 1e290, 1e300] {
+            h.record(v);
+        }
+        assert_eq!(bucket_of(1e280), BUCKETS - 1);
+        let s = h.summarize();
+        assert!(s.p50.is_finite() && s.p99.is_finite());
+        assert!(s.p50 >= 1e280 && s.p99 <= 1e300);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99);
+        // A mixed histogram whose tail saturates: p99 must land in the
+        // saturated bucket's observed range, p50 far below it.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1.0);
+        }
+        h.record(1e300);
+        let s = h.summarize();
+        assert!(s.p50 < 2.0, "p50 {} must stay in the [1,2) bucket", s.p50);
+        assert!(s.p99 <= 1e300 && s.p99 >= 1.0);
+    }
+
+    #[test]
+    fn prometheus_name_sanitizes() {
+        assert_eq!(prometheus_name("serve.predict.batch_width"), "serve_predict_batch_width");
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("ok_name:sub"), "ok_name:sub");
+    }
+
+    #[test]
+    fn prometheus_text_families_are_typed_and_histograms_cumulative() {
+        let _g = test_guard();
+        reset();
+        assert!(prometheus_text().is_empty(), "disabled exporter must emit nothing");
+        enable();
+        counter_add("t.prom.requests", 5);
+        counter_add("t.prom.rejected_total", 2);
+        gauge_set("t.prom.depth", 3.5);
+        gauge_set("t.prom.bad", f64::NAN);
+        for v in [0.5, 1.0, 2.0, 2.5, 1e300] {
+            observe("t.prom.latency_seconds", v);
+        }
+        let text = prometheus_text();
+        reset();
+
+        // Counters get the _total suffix exactly once.
+        assert!(text.contains("# TYPE t_prom_requests_total counter\nt_prom_requests_total 5\n"), "{text}");
+        assert!(text.contains("# TYPE t_prom_rejected_total counter\nt_prom_rejected_total 2\n"), "{text}");
+        assert!(!text.contains("rejected_total_total"), "{text}");
+        assert!(text.contains("# TYPE t_prom_depth gauge\nt_prom_depth 3.5e0\n"), "{text}");
+        assert!(text.contains("t_prom_bad NaN"), "{text}");
+
+        // Histogram: every family typed, buckets cumulative and monotone,
+        // +Inf bucket == _count, _count matches observations.
+        assert!(text.contains("# TYPE t_prom_latency_seconds histogram"), "{text}");
+        let buckets: Vec<(f64, u64)> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("t_prom_latency_seconds_bucket{le=\""))
+            .map(|rest| {
+                let (le, count) = rest.split_once("\"} ").unwrap();
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() };
+                (le, count.parse().unwrap())
+            })
+            .collect();
+        assert!(buckets.len() >= 3, "{text}");
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "le not increasing: {buckets:?}");
+            assert!(pair[0].1 <= pair[1].1, "cumulative counts not monotone: {buckets:?}");
+        }
+        let last = buckets.last().unwrap();
+        assert_eq!(last.0, f64::INFINITY);
+        assert_eq!(last.1, 5, "+Inf bucket must count everything");
+        assert!(text.contains("t_prom_latency_seconds_count 5"), "{text}");
+        // 0.5 sits in the [0.5, 1) bucket, whose exclusive upper bound is
+        // 1: the first cumulative bucket is le="1e0" with count 1.
+        assert_eq!(buckets.first(), Some(&(1.0, 1)), "{text}");
+        // The saturated observation is only in +Inf-adjacent top bucket.
+        let sum_line = text.lines().find(|l| l.starts_with("t_prom_latency_seconds_sum")).unwrap();
+        let sum: f64 = sum_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!((sum - (0.5 + 1.0 + 2.0 + 2.5 + 1e300)).abs() < 1e285, "{sum_line}");
+    }
+
+    #[test]
+    fn prometheus_bucket_bounds_match_internal_buckets() {
+        // The le of bucket i is exactly the lower bound of bucket i+1, so
+        // the cumulative mapping is exact, not approximate.
+        for i in 0..BUCKETS - 1 {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_of(hi * 0.999), i, "value below le lands in bucket {i}");
+            assert_eq!(bucket_of(hi), i + 1, "value at le spills into the next bucket");
+        }
     }
 
     #[test]

@@ -41,6 +41,10 @@ impl Default for BatchConfig {
 pub struct Job<Req, Resp> {
     /// The request payload handed to the batch processor.
     pub request: Req,
+    /// The request ID minted at accept time (empty for anonymous jobs);
+    /// recorded on the batch span so a slow response can be correlated
+    /// with the batch it rode in.
+    pub request_id: String,
     /// When the request entered the queue (for queue-wait accounting).
     pub enqueued: Instant,
     /// Where the batched answer goes. A dropped receiver (client gone)
@@ -68,6 +72,7 @@ pub struct BatcherStats {
     batches: AtomicU64,
     jobs: AtomicU64,
     max_width: AtomicU64,
+    pending: AtomicU64,
 }
 
 impl BatcherStats {
@@ -75,6 +80,24 @@ impl BatcherStats {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.jobs.fetch_add(width as u64, Ordering::Relaxed);
         self.max_width.fetch_max(width as u64, Ordering::Relaxed);
+    }
+
+    /// Claims one pending slot and returns the depth *before* the claim;
+    /// admission control compares it against the queue cap. The claimant
+    /// must pair this with [`BatcherStats::release_pending`] once the job
+    /// is answered (or was never enqueued).
+    pub fn claim_pending(&self) -> u64 {
+        self.pending.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Releases a slot claimed by [`BatcherStats::claim_pending`].
+    pub fn release_pending(&self) {
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Jobs submitted but not yet answered (queued + in the processor).
+    pub fn pending(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
     }
 
     /// Batches processed so far.
@@ -138,6 +161,17 @@ fn run<Req, Resp>(
         stats.record(width);
         let mut span = telemetry::span(&format!("{name}.batch"));
         span.field("width", width as u64);
+        if jobs.iter().any(|j| !j.request_id.is_empty()) {
+            // Cap the field so a pathological max_batch cannot bloat the
+            // sink; 16 ids cover every default configuration.
+            let ids: Vec<&str> =
+                jobs.iter().take(16).map(|j| j.request_id.as_str()).collect();
+            let mut joined = ids.join(",");
+            if width > 16 {
+                joined.push_str(&format!(",+{}", width - 16));
+            }
+            span.field("request_ids", joined.as_str());
+        }
         telemetry::observe(&format!("{name}.batch_width"), width as f64);
         let started = Instant::now();
         let queue_us: Vec<u64> = jobs
@@ -185,7 +219,13 @@ mod tests {
         let receivers: Vec<_> = (0..5u64)
             .map(|x| {
                 let (reply_tx, reply_rx) = mpsc::channel();
-                tx.send(Job { request: x, enqueued: Instant::now(), reply: reply_tx }).unwrap();
+                tx.send(Job {
+                    request: x,
+                    request_id: format!("t-{x}"),
+                    enqueued: Instant::now(),
+                    reply: reply_tx,
+                })
+                .unwrap();
                 reply_rx
             })
             .collect();
@@ -209,7 +249,13 @@ mod tests {
         let receivers: Vec<_> = (0..6u32)
             .map(|x| {
                 let (reply_tx, reply_rx) = mpsc::channel();
-                tx.send(Job { request: x, enqueued: Instant::now(), reply: reply_tx }).unwrap();
+                tx.send(Job {
+                    request: x,
+                    request_id: format!("t-{x}"),
+                    enqueued: Instant::now(),
+                    reply: reply_tx,
+                })
+                .unwrap();
                 reply_rx
             })
             .collect();
@@ -221,5 +267,18 @@ mod tests {
         handle.join().unwrap();
         assert_eq!(stats.jobs(), 6);
         assert!(stats.batches() >= 3);
+    }
+
+    #[test]
+    fn pending_slots_claim_and_release() {
+        let stats = BatcherStats::default();
+        assert_eq!(stats.pending(), 0);
+        assert_eq!(stats.claim_pending(), 0);
+        assert_eq!(stats.claim_pending(), 1);
+        assert_eq!(stats.pending(), 2);
+        stats.release_pending();
+        assert_eq!(stats.pending(), 1);
+        stats.release_pending();
+        assert_eq!(stats.pending(), 0);
     }
 }

@@ -19,10 +19,21 @@ pub const MAX_BODY_BYTES: usize = 16 << 20;
 pub struct Request {
     /// Request method, uppercased by the client (`GET`, `POST`, ...).
     pub method: String,
-    /// Request target path, e.g. `/predict`. Query strings are kept as-is.
+    /// Request target path with any query string stripped, e.g. `/predict`.
     pub path: String,
+    /// Query string after the `?` (empty when none was sent).
+    pub query: String,
+    /// Headers in arrival order, names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
     /// Raw body bytes (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (lowercase), if the client sent it.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
 }
 
 /// Reads one request from `reader`. Returns `Ok(None)` on a clean EOF
@@ -46,6 +57,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         return Err(bad(format!("unsupported protocol version {version:?}")));
     }
 
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (path, String::new()),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length: usize = 0;
     loop {
         let mut header = String::new();
@@ -59,9 +76,10 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         let Some((name, value)) = header.split_once(':') else {
             return Err(bad(format!("malformed header {header:?}")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
             content_length = value
-                .trim()
                 .parse::<usize>()
                 .map_err(|e| bad(format!("bad content-length {value:?}: {e}")))?;
             if content_length > MAX_BODY_BYTES {
@@ -70,11 +88,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
                 )));
             }
         }
+        headers.push((name, value.to_string()));
     }
 
     let mut body = vec![0u8; content_length];
     io::Read::read_exact(reader, &mut body)?;
-    Ok(Some(Request { method, path, body }))
+    Ok(Some(Request { method, path, query, headers, body }))
 }
 
 fn bad(msg: impl Into<String>) -> io::Error {
@@ -93,20 +112,42 @@ pub fn write_response<W: Write>(
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_with(writer, status, content_type, &[], body)
+}
+
+/// [`write_response`] plus arbitrary extra headers (request IDs,
+/// `Retry-After`, ...). Header names and values must already be valid
+/// HTTP token/field text; the caller controls both.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     };
     write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body)?;
     writer.flush()
 }
@@ -122,7 +163,20 @@ mod tests {
         let req = read_request(&mut BufReader::new(&raw[..])).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/predict");
+        assert!(req.query.is_empty());
         assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn splits_query_and_lowercases_headers() {
+        let raw = b"GET /metrics?format=jsonl&x=1 HTTP/1.1\r\nX-Pdn-Request-Id:  abc-123 \r\nAccept: text/plain\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, "format=jsonl&x=1");
+        assert_eq!(req.header("x-pdn-request-id"), Some("abc-123"));
+        assert_eq!(req.header("accept"), Some("text/plain"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]
@@ -158,5 +212,25 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"), "{text}");
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_before_the_body() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            429,
+            "application/json",
+            &[("Retry-After", "1"), ("x-pdn-request-id", "r-7")],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.contains("x-pdn-request-id: r-7\r\n"), "{text}");
+        let (head, body) = text.split_once("\r\n\r\n").unwrap();
+        assert!(head.contains("Retry-After"), "headers before the blank line");
+        assert_eq!(body, "{}");
     }
 }

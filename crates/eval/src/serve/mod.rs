@@ -15,10 +15,17 @@
 //! * **Cached ground truth**: simulate requests go through the
 //!   [`CacheStore`](pdn_sim::cache::CacheStore) seam with single-flight
 //!   deduplication — two concurrent misses on one key simulate once.
-//! * **Observability**: every request runs under a telemetry span and the
-//!   batcher records queue wait / batch width / compute time, so
-//!   `pdn report` works on server traces unchanged; `GET /metrics` returns
-//!   a live registry snapshot and `GET /healthz` a liveness summary.
+//! * **Observability**: every request is minted an ID at accept time
+//!   (honoring a sane client-supplied `x-pdn-request-id`), runs under a
+//!   telemetry span carrying it, rides it through the batcher's batch
+//!   span, and echoes it in an `x-pdn-request-id` response header and an
+//!   optional JSONL access log (`--access-log`). `GET /metrics` serves
+//!   the registry in Prometheus text format by default (the raw JSONL
+//!   snapshot stays behind `?format=jsonl`), `GET /statusz` summarizes
+//!   rolling-window SLOs ([`window`]: per-route QPS, error rate,
+//!   p50/p95/p99 over a ~60 s horizon), and `GET /healthz` stays a
+//!   liveness probe. `--max-queue` sheds load with 429 + `Retry-After`
+//!   when a batcher's pending depth hits the cap.
 //!
 //! The listener is plain `std::net::TcpListener` + a worker pool sized by
 //! the existing `PDN_THREADS` plumbing; no new dependencies.
@@ -26,6 +33,7 @@
 pub mod batcher;
 pub mod http;
 pub mod proto;
+pub mod window;
 
 use batcher::{BatchConfig, Batched, BatcherStats, Job};
 use pdn_core::telemetry;
@@ -34,14 +42,17 @@ use pdn_model::model::Predictor;
 use pdn_sim::cache::{run_group_cached, WnvCache};
 use pdn_sim::wnv::{WnvRunner, DEFAULT_BATCH};
 use pdn_vectors::vector::TestVector;
-use proto::{error_json, MapResponse, VectorRequest};
-use std::io::{self, BufReader, BufWriter};
+use proto::{error_json, push_json_str, MapResponse, VectorRequest};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use window::RollingWindow;
 
 /// Server configuration. `Default` suits tests and local runs; the CLI
 /// fills it from flags.
@@ -58,6 +69,13 @@ pub struct ServeConfig {
     pub predict_batch: BatchConfig,
     /// Batch formation for `/simulate`.
     pub simulate_batch: BatchConfig,
+    /// Admission control: largest pending depth (jobs submitted but not
+    /// yet answered) a batcher accepts before `/predict` / `/simulate`
+    /// shed load with HTTP 429 + `Retry-After`. `0` disables the cap.
+    pub max_queue: usize,
+    /// When set, one JSONL access-log line is appended per request
+    /// (request ID, route, status, batch width, timings).
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +88,8 @@ impl Default for ServeConfig {
                 max_batch: DEFAULT_BATCH,
                 max_wait: Duration::from_millis(2),
             },
+            max_queue: 0,
+            access_log: None,
         }
     }
 }
@@ -87,6 +107,40 @@ pub struct ServerStats {
     pub simulate: Arc<BatcherStats>,
 }
 
+/// Route labels the rolling windows and per-route metrics aggregate by.
+/// Unknown paths land in `"other"` so scanner noise cannot mint
+/// unbounded metric names.
+const ROUTES: [&str; 6] = ["predict", "simulate", "healthz", "metrics", "statusz", "other"];
+
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/predict" => "predict",
+        "/simulate" => "simulate",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/statusz" => "statusz",
+        _ => "other",
+    }
+}
+
+/// One rolling SLO window per route label, index-aligned with [`ROUTES`].
+struct RouteWindows([RollingWindow; 6]);
+
+impl RouteWindows {
+    fn new() -> RouteWindows {
+        RouteWindows(std::array::from_fn(|_| RollingWindow::new()))
+    }
+
+    fn get(&self, label: &str) -> &RollingWindow {
+        let i = ROUTES.iter().position(|r| *r == label).unwrap_or(ROUTES.len() - 1);
+        &self.0[i]
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&'static str, &RollingWindow)> {
+        ROUTES.iter().copied().zip(self.0.iter())
+    }
+}
+
 /// Read-only state shared by every connection worker.
 struct Ctx {
     design: String,
@@ -98,6 +152,18 @@ struct Ctx {
     stats: ServerStats,
     predict_tx: Sender<Job<TestVector, MapResponse>>,
     simulate_tx: Sender<Job<TestVector, Result<MapResponse, String>>>,
+    /// Admission cap shared by both batchers; `0` disables shedding.
+    max_queue: usize,
+    /// Requests currently inside `handle_connection`.
+    in_flight: AtomicU64,
+    /// Per-route rolling SLO windows (~60 s horizon).
+    windows: RouteWindows,
+    /// Request-ID mint: `{nonce:08x}-{seq}` so IDs stay unique across
+    /// restarts without coordination.
+    rid_nonce: u64,
+    rid_seq: AtomicU64,
+    /// One JSONL line per request when configured.
+    access_log: Option<Mutex<BufWriter<File>>>,
 }
 
 /// A running server. Dropping it without calling [`Server::shutdown`]
@@ -192,6 +258,19 @@ pub fn serve(
         },
     );
 
+    let access_log = match &cfg.access_log {
+        Some(path) => {
+            let file = OpenOptions::new().create(true).append(true).open(path)?;
+            Some(Mutex::new(BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let rid_nonce = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ (u64::from(std::process::id()) << 32);
+
     let ctx = Arc::new(Ctx {
         design: design.to_string(),
         rows: tiles.rows(),
@@ -207,6 +286,12 @@ pub fn serve(
         },
         predict_tx,
         simulate_tx,
+        max_queue: cfg.max_queue,
+        in_flight: AtomicU64::new(0),
+        windows: RouteWindows::new(),
+        rid_nonce,
+        rid_seq: AtomicU64::new(0),
+        access_log,
     });
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -315,6 +400,32 @@ fn worker_loop(conn_rx: &Mutex<Receiver<TcpStream>>, ctx: &Ctx) {
     }
 }
 
+/// One routed answer plus the batch annotations the access log records.
+struct Routed {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    batch_width: usize,
+    queue_us: u64,
+    compute_us: u64,
+    /// Set on 429 so the writer adds `Retry-After`.
+    shed: bool,
+}
+
+impl Routed {
+    fn plain(status: u16, content_type: &'static str, body: String) -> Routed {
+        Routed { status, content_type, body, batch_width: 0, queue_us: 0, compute_us: 0, shed: false }
+    }
+}
+
+/// A sane client-supplied request ID the server will adopt instead of
+/// minting one: short and strictly `[A-Za-z0-9._-]`, so it is safe to
+/// echo into headers, JSON and log lines without escaping surprises.
+fn acceptable_client_id(id: &str) -> bool {
+    (1..=64).contains(&id.len())
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+}
+
 fn handle_connection(stream: TcpStream, ctx: &Ctx) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let Ok(read_half) = stream.try_clone() else { return };
@@ -330,68 +441,261 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
         }
     };
 
+    let accepted = Instant::now();
+    ctx.in_flight.fetch_add(1, Ordering::Relaxed);
     ctx.stats.requests.fetch_add(1, Ordering::Relaxed);
     telemetry::counter_add("serve.requests", 1);
+
+    let request_id = match request.header("x-pdn-request-id") {
+        Some(id) if acceptable_client_id(id) => id.to_string(),
+        _ => format!(
+            "{:08x}-{}",
+            ctx.rid_nonce & 0xffff_ffff,
+            ctx.rid_seq.fetch_add(1, Ordering::Relaxed) + 1
+        ),
+    };
+    let label = route_label(&request.path);
+
     let mut span = telemetry::span("serve.request");
     span.field("method", request.method.as_str());
     span.field("path", request.path.as_str());
+    span.field("request_id", request_id.as_str());
 
-    let (status, content_type, body) = route(&request, ctx);
-    span.field("status", status as u64);
-    if status >= 400 {
+    let routed = route(&request, &request_id, ctx);
+    span.field("status", routed.status as u64);
+    if routed.status >= 400 {
         ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
         telemetry::counter_add("serve.errors", 1);
+        telemetry::counter_add(&format!("serve.route.{label}.errors"), 1);
     }
+    telemetry::counter_add(&format!("serve.route.{label}.requests"), 1);
+
     let mut writer = BufWriter::new(stream);
-    let _ = http::write_response(&mut writer, status, content_type, body.as_bytes());
+    let mut extra: Vec<(&str, &str)> = vec![("x-pdn-request-id", request_id.as_str())];
+    if routed.shed {
+        extra.push(("Retry-After", "1"));
+    }
+    let _ = http::write_response_with(
+        &mut writer,
+        routed.status,
+        routed.content_type,
+        &extra,
+        routed.body.as_bytes(),
+    );
+
+    // Account the full request (including the response write) so tail
+    // percentiles reflect what the client saw.
+    let total = accepted.elapsed();
+    let total_s = total.as_secs_f64();
+    telemetry::observe(&format!("serve.route.{label}.latency_seconds"), total_s);
+    ctx.windows
+        .get(label)
+        .record(ctx.started.elapsed().as_secs(), total_s, routed.status >= 400);
+    ctx.in_flight.fetch_sub(1, Ordering::Relaxed);
+
+    if let Some(log) = &ctx.access_log {
+        write_access_log(log, &request, &request_id, label, &routed, total.as_micros() as u64);
+    }
 }
 
-fn route(request: &http::Request, ctx: &Ctx) -> (u16, &'static str, String) {
+/// Appends one JSONL access-log line and flushes it, so an operator
+/// tailing the file (or a test racing the response) sees it promptly.
+fn write_access_log(
+    log: &Mutex<BufWriter<File>>,
+    request: &http::Request,
+    request_id: &str,
+    label: &str,
+    routed: &Routed,
+    total_us: u64,
+) {
+    let ts_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let mut line = String::with_capacity(192);
+    line.push_str("{\"ts_us\":");
+    let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{ts_us}"));
+    line.push_str(",\"id\":");
+    push_json_str(&mut line, request_id);
+    line.push_str(",\"method\":");
+    push_json_str(&mut line, &request.method);
+    line.push_str(",\"path\":");
+    push_json_str(&mut line, &request.path);
+    line.push_str(",\"route\":");
+    push_json_str(&mut line, label);
+    let _ = std::fmt::Write::write_fmt(
+        &mut line,
+        format_args!(
+            ",\"status\":{},\"batch_width\":{},\"queue_us\":{},\"compute_us\":{},\"total_us\":{}}}",
+            routed.status, routed.batch_width, routed.queue_us, routed.compute_us, total_us
+        ),
+    );
+    let mut writer = log.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = writeln!(writer, "{line}");
+    let _ = writer.flush();
+}
+
+/// `true` when the client asked for the legacy JSONL registry snapshot
+/// on `/metrics` (query `format=jsonl` or an ndjson `Accept`).
+fn wants_jsonl(request: &http::Request) -> bool {
+    request.query.split('&').any(|kv| kv == "format=jsonl")
+        || request.header("accept").is_some_and(|a| a.contains("application/x-ndjson"))
+}
+
+fn route(request: &http::Request, request_id: &str, ctx: &Ctx) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, "application/json", health_json(ctx)),
-        ("GET", "/metrics") => (200, "application/x-ndjson", telemetry::snapshot_records()),
+        ("GET", "/healthz") => Routed::plain(200, "application/json", health_json(ctx)),
+        ("GET", "/metrics") => {
+            if wants_jsonl(request) {
+                Routed::plain(200, "application/x-ndjson", telemetry::snapshot_records())
+            } else {
+                publish_window_gauges(ctx);
+                Routed::plain(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    telemetry::prometheus_text(),
+                )
+            }
+        }
+        ("GET", "/statusz") => {
+            publish_window_gauges(ctx);
+            Routed::plain(200, "application/json", statusz_json(ctx))
+        }
         ("POST", "/predict") => match VectorRequest::parse(&request.body, ctx.loads) {
-            Ok(req) => dispatch(&ctx.predict_tx, req.vector, Ok),
-            Err(why) => (400, "application/json", error_json(&why)),
+            Ok(req) => dispatch(&ctx.predict_tx, &ctx.stats.predict, ctx, request_id, req.vector, Ok),
+            Err(why) => Routed::plain(400, "application/json", error_json(&why)),
         },
         ("POST", "/simulate") => match VectorRequest::parse(&request.body, ctx.loads) {
-            Ok(req) => dispatch(&ctx.simulate_tx, req.vector, |resp| resp),
-            Err(why) => (400, "application/json", error_json(&why)),
+            Ok(req) => {
+                dispatch(&ctx.simulate_tx, &ctx.stats.simulate, ctx, request_id, req.vector, |resp| resp)
+            }
+            Err(why) => Routed::plain(400, "application/json", error_json(&why)),
         },
-        (_, "/healthz" | "/metrics" | "/predict" | "/simulate") => {
-            (405, "application/json", error_json("method not allowed"))
+        (_, "/healthz" | "/metrics" | "/statusz" | "/predict" | "/simulate") => {
+            Routed::plain(405, "application/json", error_json("method not allowed"))
         }
-        _ => (404, "application/json", error_json("no such endpoint")),
+        _ => Routed::plain(404, "application/json", error_json("no such endpoint")),
     }
 }
 
 /// Enqueues one job and waits for its batched answer. `unwrap_result`
 /// folds the processor's per-job payload into `Result<MapResponse, String>`
 /// (the predict path is infallible, the simulate path is not).
+///
+/// Admission control happens here: the pending depth (jobs submitted but
+/// not yet answered) is claimed before enqueueing, and a claim that finds
+/// the batcher already at `max_queue` is released immediately and
+/// answered 429 — the batch-forming window therefore bounds how much work
+/// can pile up behind a slow batch.
 fn dispatch<T: Send + 'static>(
     tx: &Sender<Job<TestVector, T>>,
+    stats: &BatcherStats,
+    ctx: &Ctx,
+    request_id: &str,
     vector: TestVector,
     unwrap_result: impl Fn(T) -> Result<MapResponse, String>,
-) -> (u16, &'static str, String) {
-    let (reply_tx, reply_rx) = mpsc::channel::<Batched<T>>();
-    let job = Job { request: vector, enqueued: Instant::now(), reply: reply_tx };
-    if tx.send(job).is_err() {
-        return (503, "application/json", error_json("batcher unavailable"));
+) -> Routed {
+    let depth_before = stats.claim_pending();
+    if ctx.max_queue > 0 && depth_before >= ctx.max_queue as u64 {
+        stats.release_pending();
+        telemetry::counter_add("serve.rejected_total", 1);
+        let mut routed = Routed::plain(
+            429,
+            "application/json",
+            error_json(&format!("queue full ({} pending); retry shortly", depth_before)),
+        );
+        routed.shed = true;
+        return routed;
     }
-    match reply_rx.recv() {
+
+    let (reply_tx, reply_rx) = mpsc::channel::<Batched<T>>();
+    let job = Job {
+        request: vector,
+        request_id: request_id.to_string(),
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    if tx.send(job).is_err() {
+        stats.release_pending();
+        return Routed::plain(503, "application/json", error_json("batcher unavailable"));
+    }
+    let answer = reply_rx.recv();
+    stats.release_pending();
+    match answer {
         Ok(batched) => match unwrap_result(batched.result) {
             Ok(mut resp) => {
+                resp.request_id = request_id.to_string();
                 resp.batch_width = batched.batch_width;
                 resp.queue_us = batched.queue_us;
                 resp.compute_us = batched.compute_us;
-                (200, "application/json", resp.to_json())
+                let mut routed = Routed::plain(200, "application/json", resp.to_json());
+                routed.batch_width = batched.batch_width;
+                routed.queue_us = batched.queue_us;
+                routed.compute_us = batched.compute_us;
+                routed
             }
-            Err(why) => (500, "application/json", error_json(&why)),
+            Err(why) => Routed::plain(500, "application/json", error_json(&why)),
         },
         // The batcher thread died mid-request (it never drops a reply
         // sender before answering otherwise).
-        Err(_) => (500, "application/json", error_json("worker failed mid-request")),
+        Err(_) => Routed::plain(500, "application/json", error_json("worker failed mid-request")),
     }
+}
+
+/// Publishes the live SLO aggregates as registry gauges so the Prometheus
+/// endpoint exports them; called at scrape time (`/metrics`, `/statusz`)
+/// so idle servers pay nothing between scrapes.
+fn publish_window_gauges(ctx: &Ctx) {
+    let tick = ctx.started.elapsed().as_secs();
+    telemetry::gauge_set("serve.in_flight", ctx.in_flight.load(Ordering::Relaxed) as f64);
+    telemetry::gauge_set("serve.queue_depth.predict", ctx.stats.predict.pending() as f64);
+    telemetry::gauge_set("serve.queue_depth.simulate", ctx.stats.simulate.pending() as f64);
+    for (label, w) in ctx.windows.iter() {
+        let s = w.snapshot(tick);
+        telemetry::gauge_set(&format!("serve.window.{label}.qps"), s.qps);
+        telemetry::gauge_set(&format!("serve.window.{label}.error_rate"), s.error_rate);
+        telemetry::gauge_set(&format!("serve.window.{label}.p50_seconds"), s.p50);
+        telemetry::gauge_set(&format!("serve.window.{label}.p95_seconds"), s.p95);
+        telemetry::gauge_set(&format!("serve.window.{label}.p99_seconds"), s.p99);
+        telemetry::gauge_set(&format!("serve.window.{label}.requests"), s.count as f64);
+    }
+}
+
+/// `GET /statusz`: one JSON object summarizing the rolling windows,
+/// queue depths and admission counters — the human/dashboard view of
+/// what `/metrics` exports.
+fn statusz_json(ctx: &Ctx) -> String {
+    use std::fmt::Write as _;
+    let tick = ctx.started.elapsed().as_secs();
+    let mut out = String::with_capacity(640);
+    let _ = write!(
+        out,
+        "{{\"status\":\"ok\",\"design\":\"{}\",\"uptime_s\":{},\"window_s\":{},\
+         \"in_flight\":{},\"queue_depth\":{{\"predict\":{},\"simulate\":{}}},\
+         \"max_queue\":{},\"rejected_total\":{},\"routes\":{{",
+        ctx.design,
+        tick,
+        window::SLOTS,
+        ctx.in_flight.load(Ordering::Relaxed),
+        ctx.stats.predict.pending(),
+        ctx.stats.simulate.pending(),
+        ctx.max_queue,
+        telemetry::counter_value("serve.rejected_total"),
+    );
+    for (i, (label, w)) in ctx.windows.iter().enumerate() {
+        let s = w.snapshot(tick);
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{label}\":{{\"count\":{},\"errors\":{},\"qps\":{:.3},\"error_rate\":{:.4},\
+             \"p50_s\":{:.6},\"p95_s\":{:.6},\"p99_s\":{:.6}}}",
+            s.count, s.errors, s.qps, s.error_rate, s.p50, s.p95, s.p99
+        );
+    }
+    out.push_str("}}");
+    out
 }
 
 fn health_json(ctx: &Ctx) -> String {

@@ -66,6 +66,9 @@ pub struct MapResponse {
     pub hotspot_count: usize,
     /// `hotspot_count / (rows * cols)`.
     pub hotspot_ratio: f64,
+    /// The per-request ID minted at accept time (also echoed in the
+    /// `x-pdn-request-id` response header); empty when unset.
+    pub request_id: String,
     /// How many requests shared this request's inference/simulation batch.
     pub batch_width: usize,
     /// Microseconds the request waited in the batcher queue.
@@ -96,6 +99,7 @@ impl MapResponse {
             hotspot_threshold,
             hotspot_count,
             hotspot_ratio: hotspot_count as f64 / tiles as f64,
+            request_id: String::new(),
             batch_width: 0,
             queue_us: 0,
             compute_us: 0,
@@ -123,6 +127,10 @@ impl MapResponse {
             self.hotspot_count
         );
         push_f64(&mut out, self.hotspot_ratio);
+        if !self.request_id.is_empty() {
+            out.push_str(",\"request_id\":");
+            push_json_str(&mut out, &self.request_id);
+        }
         let _ = write!(
             out,
             ",\"batch_width\":{},\"queue_us\":{},\"compute_us\":{}",
@@ -167,7 +175,7 @@ pub fn error_json(message: &str) -> String {
     out
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -209,12 +217,14 @@ mod tests {
     fn map_response_json_is_parseable_and_lossless() {
         let map = TileMap::from_vec(2, 2, vec![0.1, 0.25, 1.0 / 3.0, 0.05]).unwrap();
         let mut resp = MapResponse::from_map("predict", &map, 0.2);
+        resp.request_id = "a1b2-7".to_string();
         resp.batch_width = 3;
         resp.queue_us = 17;
         resp.compute_us = 2100;
         let json = resp.to_json();
         let parsed = jsonl::parse(&json).unwrap();
         assert_eq!(parsed.get("kind").unwrap().as_str(), Some("predict"));
+        assert_eq!(parsed.get("request_id").unwrap().as_str(), Some("a1b2-7"));
         assert_eq!(parsed.get("rows").unwrap().as_u64(), Some(2));
         assert_eq!(parsed.get("hotspot_count").unwrap().as_u64(), Some(2));
         assert_eq!(parsed.get("batch_width").unwrap().as_u64(), Some(3));

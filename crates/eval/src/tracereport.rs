@@ -707,6 +707,79 @@ pub fn report(
         let _ = writeln!(md);
     }
 
+    // --- serving (present only for `pdn serve`-origin sinks) -------------
+    if run.counters.keys().any(|k| k.starts_with("serve.")) {
+        let _ = writeln!(md, "## Serving\n");
+        let requests = run.counters.get("serve.requests").copied().unwrap_or(0);
+        let errors = run.counters.get("serve.errors").copied().unwrap_or(0);
+        let rejected = run.counters.get("serve.rejected_total").copied().unwrap_or(0);
+        let _ = writeln!(
+            md,
+            "{requests} requests, {errors} errors, {rejected} shed by admission control.\n"
+        );
+
+        // Batcher efficiency: how wide batches formed and what each
+        // request paid for the coalescing.
+        let batchers: Vec<&str> = ["serve.predict", "serve.simulate"]
+            .into_iter()
+            .filter(|b| run.histograms.contains_key(&format!("{b}.batch_width")))
+            .collect();
+        if !batchers.is_empty() {
+            let _ = writeln!(
+                md,
+                "| batcher | batches | requests | width mean | width max | queue p50 (s) | queue p99 (s) | compute p50 (s) | compute p99 (s) |"
+            );
+            let _ = writeln!(md, "|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+            for b in batchers {
+                let width = &run.histograms[&format!("{b}.batch_width")];
+                let queue = run.histograms.get(&format!("{b}.queue_wait_seconds"));
+                let compute = run.histograms.get(&format!("{b}.compute_seconds"));
+                let _ = writeln!(
+                    md,
+                    "| {b} | {} | {} | {} | {} | {} | {} | {} | {} |",
+                    run.counters.get(&format!("{b}.batches")).copied().unwrap_or(width.count),
+                    run.counters.get(&format!("{b}.requests")).copied().unwrap_or(0),
+                    fmt_g(width.mean()),
+                    fmt_g(width.max),
+                    fmt_g(queue.map_or(f64::NAN, |h| h.p50)),
+                    fmt_g(queue.map_or(f64::NAN, |h| h.p99)),
+                    fmt_g(compute.map_or(f64::NAN, |h| h.p50)),
+                    fmt_g(compute.map_or(f64::NAN, |h| h.p99)),
+                );
+            }
+            let _ = writeln!(md);
+        }
+
+        // Per-route latency, keyed off the serve.route.<route>.latency_seconds
+        // histograms the connection workers record.
+        let routes: Vec<(&str, &HistRec)> = run
+            .histograms
+            .iter()
+            .filter_map(|(name, h)| {
+                name.strip_prefix("serve.route.")
+                    .and_then(|rest| rest.strip_suffix(".latency_seconds"))
+                    .map(|route| (route, h))
+            })
+            .collect();
+        if !routes.is_empty() {
+            let _ = writeln!(md, "| route | requests | errors | p50 (s) | p95 (s) | p99 (s) | max (s) |");
+            let _ = writeln!(md, "|---|---:|---:|---:|---:|---:|---:|");
+            for (route, h) in routes {
+                let _ = writeln!(
+                    md,
+                    "| {route} | {} | {} | {} | {} | {} | {} |",
+                    h.count,
+                    run.counters.get(&format!("serve.route.{route}.errors")).copied().unwrap_or(0),
+                    fmt_g(h.p50),
+                    fmt_g(h.p95),
+                    fmt_g(h.p99),
+                    fmt_g(h.max),
+                );
+            }
+            let _ = writeln!(md);
+        }
+    }
+
     // --- A-vs-B diff ----------------------------------------------------
     let mut regressions = Vec::new();
     if let Some(base) = baseline {
@@ -898,6 +971,42 @@ mod tests {
             assert!(out.markdown.contains(needle), "missing {needle:?} in:\n{}", out.markdown);
         }
         assert!(out.regressions.is_empty());
+    }
+
+    #[test]
+    fn report_serving_section_from_serve_sink() {
+        // A serve-origin sink: request/error/shed counters, one batcher's
+        // width/queue/compute histograms, and two per-route latency
+        // histograms with an error counter for one of them.
+        let text = r#"{"ts_us":10,"kind":"counter","name":"serve.requests","value":12}
+{"ts_us":10,"kind":"counter","name":"serve.errors","value":2}
+{"ts_us":10,"kind":"counter","name":"serve.rejected_total","value":3}
+{"ts_us":10,"kind":"counter","name":"serve.predict.batches","value":4}
+{"ts_us":10,"kind":"counter","name":"serve.predict.requests","value":9}
+{"ts_us":10,"kind":"histogram","name":"serve.predict.batch_width","count":4,"sum":9,"min":1,"max":4,"p50":2,"p95":4,"p99":4}
+{"ts_us":10,"kind":"histogram","name":"serve.predict.queue_wait_seconds","count":9,"sum":0.09,"min":0.001,"max":0.02,"p50":0.01,"p95":0.019,"p99":0.02}
+{"ts_us":10,"kind":"histogram","name":"serve.predict.compute_seconds","count":4,"sum":0.4,"min":0.05,"max":0.2,"p50":0.1,"p95":0.19,"p99":0.2}
+{"ts_us":10,"kind":"histogram","name":"serve.route.predict.latency_seconds","count":9,"sum":0.9,"min":0.05,"max":0.3,"p50":0.1,"p95":0.25,"p99":0.3}
+{"ts_us":10,"kind":"histogram","name":"serve.route.healthz.latency_seconds","count":3,"sum":0.003,"min":0.0005,"max":0.002,"p50":0.001,"p95":0.002,"p99":0.002}
+{"ts_us":10,"kind":"counter","name":"serve.route.predict.errors","value":2}
+"#;
+        let run = TelemetryLog::parse_str(text).unwrap();
+        let out = report(&run, None, &ReportOptions::default());
+        for needle in [
+            "## Serving",
+            "12 requests, 2 errors, 3 shed by admission control.",
+            "| batcher | batches | requests | width mean | width max |",
+            "| serve.predict | 4 | 9 |",
+            "| route | requests | errors |",
+            "| predict | 9 | 2 |",
+            "| healthz | 3 | 0 |",
+        ] {
+            assert!(out.markdown.contains(needle), "missing {needle:?} in:\n{}", out.markdown);
+        }
+
+        // A non-serve sink must not grow a Serving section.
+        let offline = report(&sample_log(), None, &ReportOptions::default());
+        assert!(!offline.markdown.contains("## Serving"), "{}", offline.markdown);
     }
 
     #[test]

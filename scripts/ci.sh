@@ -85,17 +85,21 @@ echo "quantization gate: f16 + int8 within accuracy bounds"
 
 echo
 echo "== serve smoke =="
-# Train a tiny bundle, start the daemon on an ephemeral port, exercise
-# /healthz, one /predict and /metrics with a stdlib-python client, then
-# SIGTERM it and require a clean zero exit.
+# Train a tiny bundle, start the daemon on an ephemeral port with an
+# access log, exercise /healthz and /predict, validate the Prometheus
+# /metrics exposition (every family typed, buckets cumulative/monotone,
+# +Inf == _count), the ?format=jsonl negotiation, /statusz, and the
+# request-ID round trip into the access log — then SIGTERM it and
+# require a clean zero exit.
 model="$cache_dir/smoke_model.pdn"
 vec="$cache_dir/smoke_vector.csv"
+access_log="$cache_dir/access.jsonl"
 ./target/release/pdn train --design D1 --vectors 4 --steps 30 --epochs 2 \
     --cache-dir "$cache_dir/cache" --out "$model" >/dev/null
 ./target/release/pdn export-vector --design D1 --steps 30 --seed 5 --out "$vec" >/dev/null
 serve_log="$cache_dir/serve.log"
 ./target/release/pdn serve --model "$model" --design D1 --addr 127.0.0.1:0 \
-    --cache-dir none >"$serve_log" 2>&1 &
+    --cache-dir none --access-log "$access_log" >"$serve_log" 2>&1 &
 serve_pid=$!
 port=""
 for _ in $(seq 1 100); do
@@ -106,22 +110,92 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 [[ -n "$port" ]] || { echo "serve smoke: never printed a listening line"; cat "$serve_log"; exit 1; }
-python3 - "$port" "$vec" <<'PYEOF'
-import json, sys, urllib.request
-port, vec = sys.argv[1], sys.argv[2]
+python3 - "$port" "$vec" "$access_log" <<'PYEOF'
+import json, math, sys, time, urllib.request
+port, vec, access_log = sys.argv[1], sys.argv[2], sys.argv[3]
 base = f"http://127.0.0.1:{port}"
 health = json.load(urllib.request.urlopen(base + "/healthz", timeout=30))
 assert health["status"] == "ok", health
+
 req = urllib.request.Request(base + "/predict", data=open(vec, "rb").read(), method="POST")
-resp = json.load(urllib.request.urlopen(req, timeout=120))
+with urllib.request.urlopen(req, timeout=120) as r:
+    rid = r.headers["x-pdn-request-id"]
+    resp = json.load(r)
 assert resp["kind"] == "predict", resp
 assert resp["rows"] > 0 and len(resp["map"]) == resp["rows"] * resp["cols"], resp
-metrics = urllib.request.urlopen(base + "/metrics", timeout=30).read().decode()
-assert metrics.strip(), "empty /metrics snapshot"
-for line in metrics.splitlines():
+assert rid and resp["request_id"] == rid, (rid, resp.get("request_id"))
+
+# The handler appends the access-log line after writing the response;
+# give it a beat before insisting on it.
+entry = None
+for _ in range(100):
+    for line in open(access_log):
+        rec = json.loads(line)
+        if rec["id"] == rid:
+            entry = rec
+            break
+    if entry:
+        break
+    time.sleep(0.05)
+assert entry, f"request {rid} never reached the access log"
+assert entry["route"] == "predict" and entry["status"] == 200, entry
+assert entry["batch_width"] == resp["batch_width"], (entry, resp["batch_width"])
+assert entry["total_us"] >= entry["compute_us"] >= 0, entry
+
+# Prometheus exposition: a tiny but strict text-format 0.0.4 check.
+with urllib.request.urlopen(base + "/metrics", timeout=30) as r:
+    assert r.headers["Content-Type"].startswith("text/plain"), r.headers["Content-Type"]
+    prom = r.read().decode()
+types, samples = {}, []
+for line in prom.splitlines():
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ")
+        assert name not in types, f"duplicate TYPE for {name}"
+        assert kind in ("counter", "gauge", "histogram"), line
+        types[name] = kind
+    elif line and not line.startswith("#"):
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        samples.append((name, line))
+def family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        base_name = name.removesuffix(suffix)
+        if base_name in types and types[base_name] == "histogram":
+            return base_name
+    return name
+hist = {}
+for name, line in samples:
+    fam = family(name)
+    assert fam in types, f"untyped sample family {name!r}: {line}"
+    if types[fam] == "histogram":
+        payload = line.rsplit(" ", 1)
+        if name.endswith("_bucket"):
+            le = line.split('le="', 1)[1].split('"', 1)[0]
+            hist.setdefault(fam, {"buckets": [], "count": None})["buckets"].append(
+                (math.inf if le == "+Inf" else float(le), float(payload[1])))
+        elif name.endswith("_count"):
+            hist.setdefault(fam, {"buckets": [], "count": None})["count"] = float(payload[1])
+assert types.get("serve_requests_total") == "counter", sorted(types)
+assert types.get("serve_predict_batch_width") == "histogram", sorted(types)
+assert any(n.startswith("serve_window_predict_") for n in types), sorted(types)
+for fam, h in hist.items():
+    les = [le for le, _ in h["buckets"]]
+    counts = [v for _, v in h["buckets"]]
+    assert les == sorted(les) and les[-1] == math.inf, f"{fam}: bad le order {les}"
+    assert all(a <= b for a, b in zip(counts, counts[1:])), f"{fam}: non-cumulative {counts}"
+    assert h["count"] is not None and counts[-1] == h["count"], f"{fam}: +Inf != _count"
+
+# Content negotiation: the raw JSONL registry snapshot stays reachable.
+jsonl = urllib.request.urlopen(base + "/metrics?format=jsonl", timeout=30).read().decode()
+for line in jsonl.splitlines():
     json.loads(line)
-assert '"serve.predict.requests"' in metrics, metrics
-print(f"serve smoke: predicted a {resp['rows']}x{resp['cols']} map, max {resp['max_noise']:.4g} V")
+assert '"serve.predict.requests"' in jsonl, jsonl[:2000]
+
+statusz = json.load(urllib.request.urlopen(base + "/statusz", timeout=30))
+assert statusz["status"] == "ok" and "predict" in statusz["routes"], statusz
+assert statusz["routes"]["predict"]["count"] >= 1, statusz
+
+print(f"serve smoke: predicted a {resp['rows']}x{resp['cols']} map (request {rid}, "
+      f"batch width {resp['batch_width']}), {len(hist)} histogram families valid")
 PYEOF
 kill -TERM "$serve_pid"
 wait "$serve_pid" \

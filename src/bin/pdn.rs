@@ -71,7 +71,9 @@ const USAGE: &str = "usage:
                       [--vector FILE.csv] [--out DIR] [--precision f32|f16|int8]
   pdn serve           --model MODEL --design D1..D4 [--scale S]
                       [--addr HOST:PORT] [--workers N] [--max-batch B]
-                      [--max-wait-ms MS] [--precision f32|f16|int8]
+                      [--max-wait-ms MS] [--max-queue N]
+                      [--access-log FILE.jsonl]
+                      [--precision f32|f16|int8]
                       [--cache-dir DIR|none] [--solver cg|direct]
   pdn cache stats     [--cache-dir DIR]
   pdn cache gc        [--cache-dir DIR] [--max-mb MB] [--max-age-days D]
@@ -114,7 +116,12 @@ precision.
 /predict (CNN inference) or /simulate (cached ground truth); concurrent
 requests are coalesced into one inference batch / multi-RHS transient
 group (--max-batch wide, formed within --max-wait-ms). GET /healthz for
-liveness, GET /metrics for a telemetry snapshot. --addr defaults to
+liveness, GET /metrics for Prometheus text (append ?format=jsonl for the
+raw registry snapshot), GET /statusz for rolling-window QPS / error-rate
+/ latency percentiles. Every response carries an x-pdn-request-id header;
+--access-log FILE appends one JSON line per request with that id, the
+batch width and timings. --max-queue N sheds requests with HTTP 429 +
+Retry-After once a batcher has N unanswered jobs. --addr defaults to
 127.0.0.1:8320; port 0 picks an ephemeral port (printed on stdout).
 SIGTERM/SIGINT shut the daemon down cleanly.
 
@@ -796,6 +803,8 @@ fn serve_cmd(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::E
             max_batch: pdn_wnv::sim::wnv::DEFAULT_BATCH,
             max_wait,
         },
+        max_queue: parse(opts, "max-queue", 0usize)?,
+        access_log: opts.get("access-log").map(std::path::PathBuf::from),
     };
 
     let design_name = grid.spec().name().to_string();

@@ -49,13 +49,25 @@ fn vectors_for(grid: &PowerGrid, count: usize, seed: u64) -> Vec<TestVector> {
     gen.generate_group(count, seed)
 }
 
-/// Sends one request and returns `(status, body)`. The server always
-/// closes the connection after answering, so the client reads to EOF.
-fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+/// Sends one request (with optional extra request headers) and returns
+/// `(status, response_headers, body)`; header names come back lowercased.
+/// The server always closes the connection after answering, so the client
+/// reads to EOF.
+fn http_full(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
-    write!(stream, "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n", body.len())
+    write!(stream, "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n", body.len())
         .unwrap();
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n").unwrap();
+    }
+    stream.write_all(b"\r\n").unwrap();
     stream.write_all(body).unwrap();
     let mut raw = String::new();
     stream.read_to_string(&mut raw).expect("read response");
@@ -64,7 +76,23 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("no status line in {raw:?}"));
-    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    let headers: Vec<(String, String)> = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+/// [`http_full`] without extra headers, dropping the response headers.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let (status, _, body) = http_full(addr, method, path, &[], body);
     (status, body)
 }
 
@@ -186,14 +214,55 @@ fn health_metrics_and_error_statuses() {
     assert_eq!(health.get("design").unwrap().as_str(), Some("D1-tiny"));
     assert_eq!(health.get("loads").unwrap().as_u64(), Some(loads as u64));
 
-    let (status, body) = http(addr, "GET", "/metrics", b"");
+    // One real prediction so the batcher histograms exist when /metrics
+    // is scraped below.
+    let vector = vectors_for(&tiny_grid(), 1, 77).remove(0);
+    let (status, body) = http(addr, "POST", "/predict", &csv_bytes(&vector));
+    assert_eq!(status, 200, "{body}");
+
+    // Default /metrics is Prometheus text: typed families, counters with
+    // the _total suffix, cumulative histogram buckets ending at +Inf.
+    let (status, headers, body) = http_full(addr, "GET", "/metrics", &[], b"");
     assert_eq!(status, 200);
-    let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
-    assert!(!lines.is_empty(), "metrics snapshot must not be empty");
-    for line in lines {
-        jsonl::parse(line).unwrap_or_else(|e| panic!("unparseable metrics line {line:?}: {e}"));
+    assert!(
+        header(&headers, "content-type").unwrap().starts_with("text/plain; version=0.0.4"),
+        "{headers:?}"
+    );
+    assert!(body.contains("# TYPE serve_requests_total counter"), "{body}");
+    assert!(body.contains("# TYPE serve_started_total counter"), "{body}");
+    assert!(body.contains("# TYPE serve_in_flight gauge"), "{body}");
+    assert!(body.contains("# TYPE serve_predict_batch_width histogram"), "{body}");
+    assert!(body.contains("serve_predict_batch_width_bucket{le=\"+Inf\"}"), "{body}");
+    assert!(body.contains("serve_window_predict_p99_seconds"), "{body}");
+    assert!(!body.contains("\"kind\""), "Prometheus text must not be JSONL: {body}");
+
+    // The raw registry snapshot stays reachable via content negotiation.
+    for (path, extra) in [
+        ("/metrics?format=jsonl", &[][..]),
+        ("/metrics", &[("Accept", "application/x-ndjson")][..]),
+    ] {
+        let (status, headers, body) = http_full(addr, "GET", path, extra, b"");
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "content-type"), Some("application/x-ndjson"));
+        let lines: Vec<&str> = body.lines().filter(|l| !l.is_empty()).collect();
+        assert!(!lines.is_empty(), "metrics snapshot must not be empty");
+        for line in lines {
+            jsonl::parse(line)
+                .unwrap_or_else(|e| panic!("unparseable metrics line {line:?}: {e}"));
+        }
+        assert!(body.contains("serve.started"), "{body}");
     }
-    assert!(body.contains("serve.started"), "{body}");
+
+    // /statusz summarizes the rolling windows as one JSON object.
+    let (status, body) = http(addr, "GET", "/statusz", b"");
+    assert_eq!(status, 200);
+    let statusz = jsonl::parse(&body).unwrap_or_else(|e| panic!("bad statusz {body:?}: {e}"));
+    assert_eq!(statusz.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(statusz.get("window_s").unwrap().as_u64(), Some(60));
+    let routes = statusz.get("routes").expect("routes object");
+    let predict = routes.get("predict").expect("predict route window");
+    assert!(predict.get("count").unwrap().as_u64().unwrap() >= 1, "{body}");
+    assert!(predict.get("p99_s").unwrap().as_f64().unwrap() > 0.0, "{body}");
 
     let (status, body) = http(addr, "POST", "/predict", b"not,a,vector");
     assert_eq!(status, 400, "{body}");
@@ -209,6 +278,155 @@ fn health_metrics_and_error_statuses() {
     assert_eq!(status, 400, "{body}");
 
     assert!(server.stats().errors.load(std::sync::atomic::Ordering::Relaxed) >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn request_ids_round_trip_through_header_json_and_access_log() {
+    let grid = tiny_grid();
+    let predictor = fixture_predictor(&grid, 6);
+    let runner = WnvRunner::new(&grid).unwrap();
+    let vectors = vectors_for(&grid, 6, 21);
+    let log_path = std::env::temp_dir()
+        .join(format!("pdn-serve-access-{}-{:p}.jsonl", std::process::id(), &grid));
+    let _ = std::fs::remove_file(&log_path);
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: vectors.len() + 1,
+        // A wide-open window so the concurrent clients share batches and
+        // the logged batch widths are interesting.
+        predict_batch: BatchConfig { max_batch: 8, max_wait: Duration::from_millis(300) },
+        access_log: Some(log_path.clone()),
+        ..ServeConfig::default()
+    };
+    let server = serve::serve(&cfg, "D1-tiny", grid, predictor, runner, None).unwrap();
+    let addr = server.local_addr();
+
+    // Concurrent clients, each with its own ID.
+    let barrier = Arc::new(Barrier::new(vectors.len()));
+    let answers: Vec<(String, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..vectors.len())
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                let body = csv_bytes(&vectors[i]);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let id = format!("client-{i}");
+                    let (status, headers, body) = http_full(
+                        addr,
+                        "POST",
+                        "/predict",
+                        &[("x-pdn-request-id", id.as_str())],
+                        &body,
+                    );
+                    assert_eq!(status, 200, "{body}");
+                    assert_eq!(
+                        header(&headers, "x-pdn-request-id"),
+                        Some(id.as_str()),
+                        "client-supplied ID must be echoed"
+                    );
+                    let parsed = jsonl::parse(&body).unwrap();
+                    assert_eq!(parsed.get("request_id").unwrap().as_str(), Some(id.as_str()));
+                    (id, parsed.get("batch_width").unwrap().as_u64().unwrap())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // A request without an ID gets a server-minted one.
+    let (status, headers, _) = http_full(addr, "GET", "/healthz", &[], b"");
+    assert_eq!(status, 200);
+    let minted = header(&headers, "x-pdn-request-id").expect("server-minted ID");
+    assert!(!minted.is_empty() && minted.contains('-'), "{minted:?}");
+    // An unusable client ID (embedded space) is replaced, not echoed.
+    let (_, headers, _) = http_full(addr, "GET", "/healthz", &[("x-pdn-request-id", "a b")], b"");
+    assert_ne!(header(&headers, "x-pdn-request-id"), Some("a b"));
+
+    server.shutdown();
+
+    // Every request appears in the access log exactly once, under its ID,
+    // with the batch width its response reported.
+    let log = std::fs::read_to_string(&log_path).expect("access log written");
+    let mut logged = std::collections::HashMap::new();
+    for line in log.lines().filter(|l| !l.is_empty()) {
+        let rec = jsonl::parse(line).unwrap_or_else(|e| panic!("bad access line {line:?}: {e}"));
+        let id = rec.get("id").unwrap().as_str().unwrap().to_string();
+        assert!(logged.insert(id, rec).is_none(), "duplicate access-log id");
+    }
+    for (id, width) in &answers {
+        let rec = logged.get(id).unwrap_or_else(|| panic!("no access-log line for {id}"));
+        assert_eq!(rec.get("route").unwrap().as_str(), Some("predict"));
+        assert_eq!(rec.get("status").unwrap().as_u64(), Some(200));
+        assert_eq!(
+            rec.get("batch_width").unwrap().as_u64(),
+            Some(*width),
+            "logged batch width must match the response JSON for {id}"
+        );
+        assert!(rec.get("total_us").unwrap().as_u64().unwrap() > 0);
+    }
+    assert!(logged.contains_key(minted), "minted ID must reach the log too");
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn max_queue_sheds_load_with_429_and_retry_after() {
+    let grid = tiny_grid();
+    let predictor = fixture_predictor(&grid, 8);
+    let runner = WnvRunner::new(&grid).unwrap();
+    let vectors = vectors_for(&grid, 6, 91);
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: vectors.len() + 1,
+        // A long batch-forming window: the one admitted job holds its
+        // pending slot for ~300 ms, so barrier-synchronised stragglers
+        // deterministically find the queue full.
+        predict_batch: BatchConfig { max_batch: 8, max_wait: Duration::from_millis(300) },
+        max_queue: 1,
+        ..ServeConfig::default()
+    };
+    let server = serve::serve(&cfg, "D1-tiny", grid, predictor, runner, None).unwrap();
+    let addr = server.local_addr();
+
+    let barrier = Arc::new(Barrier::new(vectors.len()));
+    let statuses: Vec<(u16, Option<String>, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = vectors
+            .iter()
+            .map(|vector| {
+                let barrier = Arc::clone(&barrier);
+                let body = csv_bytes(vector);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let (status, headers, body) =
+                        http_full(addr, "POST", "/predict", &[], &body);
+                    (status, header(&headers, "retry-after").map(str::to_string), body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = statuses.iter().filter(|(s, _, _)| *s == 200).count();
+    let shed = statuses.iter().filter(|(s, _, _)| *s == 429).count();
+    assert_eq!(ok + shed, vectors.len(), "only 200s and 429s expected: {statuses:?}");
+    assert!(ok >= 1, "at least one request must be admitted");
+    assert!(shed >= 1, "a 1-deep queue must shed some of 6 simultaneous requests");
+    for (status, retry_after, body) in &statuses {
+        if *status == 429 {
+            assert_eq!(retry_after.as_deref(), Some("1"), "429 must carry Retry-After");
+            let parsed = jsonl::parse(body).unwrap();
+            assert!(parsed.get("error").unwrap().as_str().unwrap().contains("queue full"));
+        }
+    }
+
+    // The shed requests are visible to operators: counter + statusz.
+    let (status, body) = http(addr, "GET", "/statusz", b"");
+    assert_eq!(status, 200);
+    let statusz = jsonl::parse(&body).unwrap();
+    assert_eq!(statusz.get("max_queue").unwrap().as_u64(), Some(1));
+    assert_eq!(statusz.get("rejected_total").unwrap().as_u64(), Some(shed as u64));
     server.shutdown();
 }
 

@@ -74,6 +74,45 @@ fn disabled_hot_path_overhead_is_negligible() {
 }
 
 #[test]
+fn prometheus_exposition_matches_the_live_registry() {
+    let _guard = lock();
+    telemetry::reset();
+
+    // Disabled exporter: empty output, no side effects.
+    assert!(telemetry::prometheus_text().is_empty());
+
+    telemetry::enable();
+    telemetry::counter_add("it.prom.requests", 11);
+    telemetry::gauge_set("it.prom.qps", 2.5);
+    for v in [0.001, 0.004, 0.004, 2.0] {
+        telemetry::observe("it.prom.latency_seconds", v);
+    }
+    let text = telemetry::prometheus_text();
+    telemetry::reset();
+
+    // The exposition agrees with the public registry accessors: the
+    // counter sample carries the same value counter_value would report,
+    // and the histogram _count matches the number of observations.
+    assert!(text.contains("# TYPE it_prom_requests_total counter"), "{text}");
+    assert!(text.contains("it_prom_requests_total 11"), "{text}");
+    assert!(text.contains("# TYPE it_prom_qps gauge"), "{text}");
+    assert!(text.contains("it_prom_qps 2.5e0"), "{text}");
+    assert!(text.contains("# TYPE it_prom_latency_seconds histogram"), "{text}");
+    assert!(text.contains("it_prom_latency_seconds_bucket{le=\"+Inf\"} 4"), "{text}");
+    assert!(text.contains("it_prom_latency_seconds_count 4"), "{text}");
+
+    // Structural invariant every scraper relies on: within a family,
+    // bucket counts are cumulative (monotone non-decreasing in le).
+    let counts: Vec<u64> = text
+        .lines()
+        .filter_map(|l| l.strip_prefix("it_prom_latency_seconds_bucket{le=\""))
+        .map(|rest| rest.split_once("\"} ").unwrap().1.parse().unwrap())
+        .collect();
+    assert!(counts.len() >= 2, "{text}");
+    assert!(counts.windows(2).all(|w| w[0] <= w[1]), "non-cumulative: {counts:?}");
+}
+
+#[test]
 fn jsonl_sink_emits_one_well_formed_record_per_line() {
     let _guard = lock();
     telemetry::reset();
