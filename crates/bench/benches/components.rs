@@ -88,6 +88,17 @@ fn bench_sparse_solvers(c: &mut Criterion) {
     group.bench_function("cholesky_factor_supernodal", |b| {
         b.iter(|| SupernodalCholesky::factor_with(sym.clone(), &a).expect("spd"))
     });
+    // AMD on the same Ci-scale matrix: the quotient-graph ordering plus
+    // its symbolic analysis (the pair `analyze` runs per candidate), and
+    // the numeric factor it produces.
+    group.bench_function("cholesky_analyze_amd", |b| {
+        b.iter(|| SymbolicCholesky::analyze_with(&a, FillOrdering::Amd).expect("spd"))
+    });
+    let sym_amd =
+        std::sync::Arc::new(SymbolicCholesky::analyze_with(&a, FillOrdering::Amd).expect("spd"));
+    group.bench_function("cholesky_factor_amd", |b| {
+        b.iter(|| SupernodalCholesky::factor_with(sym_amd.clone(), &a).expect("spd"))
+    });
     // Blocked multi-RHS solve vs K sequential single-vector solves against
     // the same factor (K = 16, the transient batch width that matters).
     let chol = SupernodalCholesky::factor_with(sym.clone(), &a).expect("spd");

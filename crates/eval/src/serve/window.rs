@@ -26,7 +26,10 @@ const BUCKETS: usize = 40;
 const BIAS: i32 = 30;
 
 fn bucket_of(latency_s: f64) -> usize {
-    // NaN and non-positive values both land in bucket 0.
+    // NaN and non-positive values land in bucket 0: a request measured
+    // below timer resolution reports 0 ns, and `log2(0) = -inf` would
+    // otherwise poison the cast. Subnormals (log2 as low as -1074) are
+    // positive, so they take the log path and rely on the clamp below.
     if latency_s.is_nan() || latency_s <= 0.0 {
         return 0;
     }
@@ -285,6 +288,40 @@ mod tests {
         assert_eq!(s.count, 10);
         assert!((s.qps - 1.0).abs() < 1e-9, "qps {}", s.qps);
         assert!(s.p50 >= 0.001 && s.p50 <= 0.010, "p50 {}", s.p50);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_the_lowest_bucket() {
+        // A request measured below timer resolution (0 ns) must not
+        // produce -inf out of the log2 mapping; it belongs in bucket 0
+        // and the snapshot must stay finite.
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(-0.0), 0);
+        let w = RollingWindow::new();
+        w.record(0, 0.0, false);
+        w.record(0, 0.010, false);
+        let s = w.snapshot(0);
+        assert_eq!(s.count, 2);
+        assert!(s.p50.is_finite() && s.p50 >= 0.0, "p50 {}", s.p50);
+        assert!(s.p99.is_finite(), "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn subnormal_durations_land_in_the_lowest_bucket() {
+        // Subnormals are positive, so they pass the <= 0 guard and take
+        // the log2 path: f64::MIN_POSITIVE has log2 ≈ -1022, far below
+        // the bucket range, and must clamp to bucket 0 instead of
+        // wrapping the index.
+        for v in [f64::MIN_POSITIVE, 5e-324, 1e-310] {
+            assert!(v > 0.0 && v < 1e-300);
+            assert_eq!(bucket_of(v), 0, "bucket for {v:e}");
+        }
+        let w = RollingWindow::new();
+        w.record(0, 5e-324, false);
+        w.record(0, f64::MIN_POSITIVE, false);
+        let s = w.snapshot(0);
+        assert_eq!(s.count, 2);
+        assert!(s.p50.is_finite() && s.p99.is_finite());
     }
 
     #[test]

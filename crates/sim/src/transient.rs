@@ -26,8 +26,8 @@ pub enum SolverKind {
     IterativeCg,
     /// Supernodal sparse direct Cholesky: one factorization per design,
     /// two panel-blocked triangular solves per time stamp. The
-    /// fill-reducing ordering (minimum-degree vs RCM) is selected at
-    /// analysis time by predicted factor fill.
+    /// fill-reducing ordering (AMD vs RCM) is selected at analysis time
+    /// by predicted factor fill, at every problem size.
     DirectCholesky,
 }
 

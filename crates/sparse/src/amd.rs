@@ -1,0 +1,632 @@
+//! Approximate minimum degree (AMD) fill-reducing ordering.
+//!
+//! The quotient-graph formulation of minimum degree, after Amestoy, Davis
+//! and Duff: eliminating a pivot does not form its clique explicitly (the
+//! quadratic step that caps [`crate::mindeg::minimum_degree`] at ~16 k
+//! nodes) — it records the clique as an *element* whose member list is the
+//! pivot's pattern. A variable's adjacency is then its remaining original
+//! edges plus the elements it belongs to, and three classic refinements
+//! keep every structure shrinking:
+//!
+//! * **element absorption** — eliminating a pivot absorbs every element in
+//!   its list (their cliques are subsets of the new one), and *aggressive
+//!   absorption* additionally folds in any element whose members all landed
+//!   inside the new pivot pattern;
+//! * **supervariable detection** — variables whose quotient-graph adjacency
+//!   lists become identical (hash-bucketed, then verified entry-for-entry)
+//!   are merged into one weighted supervariable and eliminated together;
+//! * **approximate external degree** — instead of the exact degree (which
+//!   would require set unions per update), each touched variable gets the
+//!   Amestoy/Davis/Duff upper bound
+//!   `d̂ = min(n − k, d_prev + |Lp \ i|, |A_i \ Lp| + |Lp \ i| + Σ_e |Le \ Lp|)`,
+//!   computable in time linear in the lists scanned.
+//!
+//! Together these give near-linear analysis cost on mesh-like PDN matrices
+//! at paper node counts (0.58 M–4.4 M), where the explicit-clique
+//! implementation is unusable and RCM's bandwidth-oriented fill is several
+//! times larger. Every tie is broken deterministically (intrusive
+//! degree-list LIFO order, hash groups sorted by vertex id), so the
+//! returned order is reproducible across runs and platforms — a
+//! requirement for the content-addressed ground-truth cache, whose keys
+//! include the ordering's factor structure.
+
+use crate::csr::CsrMatrix;
+
+const NONE: u32 = u32::MAX;
+
+/// Computes an approximate-minimum-degree elimination ordering of a
+/// symmetric matrix's graph. Returns `perm` with `perm[new] = old`,
+/// directly usable with [`CsrMatrix::permute_symmetric`].
+///
+/// Merged supervariables are emitted contiguously (representative first),
+/// which is exactly the order the supernodal analysis wants: runs of
+/// indistinguishable columns become wide panels.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+///
+/// # Example
+///
+/// ```
+/// use pdn_sparse::amd::amd;
+/// use pdn_sparse::coo::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(3, 3);
+/// for i in 0..3 { coo.push(i, i, 2.0); }
+/// coo.push(0, 1, -1.0); coo.push(1, 0, -1.0);
+/// let perm = amd(&coo.to_csr());
+/// let mut sorted = perm.clone();
+/// sorted.sort();
+/// assert_eq!(sorted, vec![0, 1, 2]);
+/// ```
+pub fn amd(a: &CsrMatrix) -> Vec<usize> {
+    assert_eq!(a.n_rows(), a.n_cols(), "ordering requires a square matrix");
+    let n = a.n_rows();
+    assert!(n < NONE as usize, "amd supports at most 2^32 - 2 nodes");
+    if n == 0 {
+        return Vec::new();
+    }
+    Workspace::new(a).run()
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum NodeState {
+    /// Still a variable of the quotient graph.
+    Live,
+    /// Chosen as a pivot; its id now names the element it created.
+    Eliminated,
+    /// Merged into the supervariable whose representative is the payload.
+    Merged(u32),
+}
+
+/// All quotient-graph state. Node ids serve double duty: a `Live`/`Merged`
+/// id is a variable, an `Eliminated` id is the element its pivot created —
+/// the two never coexist, so shared index spaces (and the shared `mark`
+/// array) are unambiguous.
+struct Workspace {
+    n: usize,
+    /// Remaining original-edge adjacency of each variable (pruned lazily:
+    /// edges into eliminated/merged nodes and edges covered by a shared
+    /// element are dropped the next time the list is scanned).
+    vars: Vec<Vec<u32>>,
+    /// Elements each variable belongs to.
+    elems: Vec<Vec<u32>>,
+    /// Member variables of each element (compacted lazily).
+    evars: Vec<Vec<u32>>,
+    elem_alive: Vec<bool>,
+    /// Supervariable weight; 0 once merged away.
+    nv: Vec<u32>,
+    /// Approximate external degree, in original-variable units.
+    degree: Vec<usize>,
+    state: Vec<NodeState>,
+    // Intrusive degree lists: `head[d]` chains live variables of
+    // (approximate) degree `d` in LIFO insertion order.
+    head: Vec<u32>,
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    mindeg: usize,
+    /// Pivot-scoped membership marker (`mark[v] == tag` ⇔ v ∈ Lp), also
+    /// reused with fresh tags for list-equality checks.
+    mark: Vec<u64>,
+    /// First-touch tag and |Le \ Lp| accumulator per element, per pivot.
+    wtag: Vec<u64>,
+    w: Vec<i64>,
+    tag: u64,
+}
+
+impl Workspace {
+    fn new(a: &CsrMatrix) -> Workspace {
+        let n = a.n_rows();
+        // Symmetrize defensively: the elimination graph is undirected, so
+        // a structurally unsymmetric input still yields a valid order.
+        let mut vars: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for r in 0..n {
+            for &c in a.row(r).0 {
+                if c != r {
+                    vars[r].push(c as u32);
+                    vars[c].push(r as u32);
+                }
+            }
+        }
+        for list in &mut vars {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let degree: Vec<usize> = vars.iter().map(Vec::len).collect();
+        let mut ws = Workspace {
+            n,
+            vars,
+            elems: vec![Vec::new(); n],
+            evars: vec![Vec::new(); n],
+            elem_alive: vec![false; n],
+            nv: vec![1; n],
+            degree,
+            state: vec![NodeState::Live; n],
+            head: vec![NONE; n + 1],
+            next: vec![NONE; n],
+            prev: vec![NONE; n],
+            mindeg: 0,
+            mark: vec![0; n],
+            wtag: vec![0; n],
+            w: vec![0; n],
+            tag: 0,
+        };
+        // Insert in reverse so each degree chain pops in ascending id
+        // order (LIFO head insertion).
+        for v in (0..n as u32).rev() {
+            ws.insert(v);
+        }
+        ws.mindeg = 0;
+        ws
+    }
+
+    fn insert(&mut self, v: u32) {
+        let d = self.degree[v as usize];
+        let h = self.head[d];
+        self.prev[v as usize] = NONE;
+        self.next[v as usize] = h;
+        if h != NONE {
+            self.prev[h as usize] = v;
+        }
+        self.head[d] = v;
+        if d < self.mindeg {
+            self.mindeg = d;
+        }
+    }
+
+    fn unlink(&mut self, v: u32) {
+        let (pv, nx) = (self.prev[v as usize], self.next[v as usize]);
+        if pv == NONE {
+            self.head[self.degree[v as usize]] = nx;
+        } else {
+            self.next[pv as usize] = nx;
+        }
+        if nx != NONE {
+            self.prev[nx as usize] = pv;
+        }
+    }
+
+    /// Pops the head of the lowest non-empty degree chain. `mindeg` only
+    /// ever lags behind (inserts pull it down), so the forward walk is
+    /// amortized O(1); a live variable must exist when this is called.
+    fn pop_min(&mut self) -> u32 {
+        loop {
+            let h = self.head[self.mindeg];
+            if h != NONE {
+                self.unlink(h);
+                return h;
+            }
+            debug_assert!(self.mindeg < self.n, "pop_min on an empty quotient graph");
+            self.mindeg += 1;
+        }
+    }
+
+    /// Marker-verified list equality: `i` and `j` are indistinguishable
+    /// when their element and variable lists hold the same sets (ids are
+    /// unambiguous across the two lists — see the struct docs).
+    fn indistinguishable(&mut self, i: u32, j: u32) -> bool {
+        let (iu, ju) = (i as usize, j as usize);
+        if self.elems[iu].len() != self.elems[ju].len()
+            || self.vars[iu].len() != self.vars[ju].len()
+        {
+            return false;
+        }
+        self.tag += 1;
+        let t = self.tag;
+        for &x in self.elems[iu].iter().chain(self.vars[iu].iter()) {
+            self.mark[x as usize] = t;
+        }
+        self.elems[ju]
+            .iter()
+            .chain(self.vars[ju].iter())
+            .all(|&x| self.mark[x as usize] == t)
+    }
+
+    fn run(mut self) -> Vec<usize> {
+        let n = self.n;
+        let mut elim: Vec<u32> = Vec::with_capacity(n);
+        let mut nelim = 0usize;
+        let mut lp: Vec<u32> = Vec::new();
+        let mut hashes: Vec<(u64, u32)> = Vec::new();
+        while nelim < n {
+            let p = self.pop_min();
+            let pu = p as usize;
+            self.state[pu] = NodeState::Eliminated;
+
+            // --- Form the pivot element Lp: the union of p's remaining
+            // original edges and the members of every element p belongs
+            // to, minus eliminated/merged nodes and p itself. ---
+            self.tag += 1;
+            let tag = self.tag;
+            self.mark[pu] = tag;
+            lp.clear();
+            let pvars = std::mem::take(&mut self.vars[pu]);
+            for &v in &pvars {
+                let vu = v as usize;
+                if self.state[vu] == NodeState::Live && self.mark[vu] != tag {
+                    self.mark[vu] = tag;
+                    self.unlink(v);
+                    lp.push(v);
+                }
+            }
+            let pelems = std::mem::take(&mut self.elems[pu]);
+            for &e in &pelems {
+                let eu = e as usize;
+                if !self.elem_alive[eu] {
+                    continue;
+                }
+                // Absorb e: its clique is a subset of the new element's.
+                self.elem_alive[eu] = false;
+                let members = std::mem::take(&mut self.evars[eu]);
+                for &v in &members {
+                    let vu = v as usize;
+                    if self.state[vu] == NodeState::Live && self.mark[vu] != tag {
+                        self.mark[vu] = tag;
+                        self.unlink(v);
+                        lp.push(v);
+                    }
+                }
+            }
+            let degme: usize = lp.iter().map(|&v| self.nv[v as usize] as usize).sum();
+            let nvpiv = self.nv[pu] as usize;
+            nelim += nvpiv;
+            elim.push(p);
+
+            // --- Scan 1: per adjacent element e, w[e] := |Le \ Lp| in
+            // supervariable weight (first touch compacts e's member list
+            // and re-derives its live size exactly). ---
+            for &i in &lp {
+                let iu = i as usize;
+                let mut k = 0;
+                while k < self.elems[iu].len() {
+                    let e = self.elems[iu][k];
+                    let eu = e as usize;
+                    if !self.elem_alive[eu] {
+                        self.elems[iu].swap_remove(k);
+                        continue;
+                    }
+                    if self.wtag[eu] != tag {
+                        self.wtag[eu] = tag;
+                        let state = &self.state;
+                        let nv = &self.nv;
+                        let mut size = 0usize;
+                        self.evars[eu].retain(|&v| {
+                            let live = state[v as usize] == NodeState::Live;
+                            if live {
+                                size += nv[v as usize] as usize;
+                            }
+                            live
+                        });
+                        self.w[eu] = size as i64;
+                    }
+                    self.w[eu] -= self.nv[iu] as i64;
+                    k += 1;
+                }
+            }
+
+            // --- Scan 2: per i ∈ Lp, prune lists and set the approximate
+            // external degree via the Amestoy/Davis/Duff bound. ---
+            for &i in &lp {
+                let iu = i as usize;
+                let nvi = self.nv[iu] as usize;
+                let mut deg = 0usize;
+                let mut k = 0;
+                while k < self.elems[iu].len() {
+                    let eu = self.elems[iu][k] as usize;
+                    debug_assert_eq!(self.wtag[eu], tag);
+                    if self.w[eu] == 0 {
+                        // Aggressive absorption: every live member of e sits
+                        // inside Lp, so the new element covers it entirely.
+                        self.elem_alive[eu] = false;
+                        self.evars[eu] = Vec::new();
+                        self.elems[iu].swap_remove(k);
+                    } else {
+                        deg += self.w[eu] as usize;
+                        k += 1;
+                    }
+                }
+                {
+                    let state = &self.state;
+                    let mark = &self.mark;
+                    let nv = &self.nv;
+                    self.vars[iu].retain(|&v| {
+                        let vu = v as usize;
+                        // Drop dead nodes and edges into Lp (covered by
+                        // the new element from here on).
+                        let keep = state[vu] == NodeState::Live && mark[vu] != tag;
+                        if keep {
+                            deg += nv[vu] as usize;
+                        }
+                        keep
+                    });
+                }
+                self.elems[iu].push(p);
+                let d_prev = self.degree[iu] + (degme - nvi);
+                let d_scan = deg + (degme - nvi);
+                let d_live = n - nelim - nvi;
+                self.degree[iu] = d_prev.min(d_scan).min(d_live);
+            }
+
+            // --- Scan 3: supervariable detection. Hash every i ∈ Lp by
+            // its (order-independent) adjacency content, sort the
+            // (hash, id) pairs, and verify candidates inside each equal-
+            // hash group — smallest id becomes the representative. ---
+            hashes.clear();
+            for &i in &lp {
+                let iu = i as usize;
+                let mut h = (self.elems[iu].len() as u64) ^ ((self.vars[iu].len() as u64) << 32);
+                for &x in self.elems[iu].iter().chain(self.vars[iu].iter()) {
+                    h = h.wrapping_add(splitmix(x as u64));
+                }
+                hashes.push((h, i));
+            }
+            hashes.sort_unstable();
+            let mut g0 = 0;
+            while g0 < hashes.len() {
+                let mut g1 = g0 + 1;
+                while g1 < hashes.len() && hashes[g1].0 == hashes[g0].0 {
+                    g1 += 1;
+                }
+                for ai in g0..g1 {
+                    let i = hashes[ai].1;
+                    if self.nv[i as usize] == 0 {
+                        continue;
+                    }
+                    let candidates: &[(u64, u32)] = &hashes[ai + 1..g1];
+                    for &(_, j) in candidates {
+                        if self.nv[j as usize] == 0 || !self.indistinguishable(i, j) {
+                            continue;
+                        }
+                        let nvj = self.nv[j as usize];
+                        self.nv[i as usize] += nvj;
+                        self.nv[j as usize] = 0;
+                        // j was counted in i's external degree (it is in
+                        // Lp); folded in, it no longer is.
+                        self.degree[i as usize] =
+                            self.degree[i as usize].saturating_sub(nvj as usize);
+                        self.state[j as usize] = NodeState::Merged(i);
+                        self.vars[j as usize] = Vec::new();
+                        self.elems[j as usize] = Vec::new();
+                    }
+                }
+                g0 = g1;
+            }
+
+            // --- Publish the new element and requeue the survivors. ---
+            let survivors: Vec<u32> =
+                lp.iter().copied().filter(|&i| self.nv[i as usize] > 0).collect();
+            for &i in &survivors {
+                self.insert(i);
+            }
+            if !survivors.is_empty() {
+                self.elem_alive[pu] = true;
+                self.evars[pu] = survivors;
+            }
+        }
+
+        // --- Expand supervariables: each representative is followed by
+        // every variable merged into it, depth first, so indistinguishable
+        // columns land contiguously. ---
+        let mut child_head = vec![NONE; n];
+        let mut child_next = vec![NONE; n];
+        for j in (0..n).rev() {
+            if let NodeState::Merged(parent) = self.state[j] {
+                child_next[j] = child_head[parent as usize];
+                child_head[parent as usize] = j as u32;
+            }
+        }
+        let mut perm = Vec::with_capacity(n);
+        let mut stack: Vec<u32> = Vec::new();
+        for &p in &elim {
+            stack.push(p);
+            while let Some(x) = stack.pop() {
+                perm.push(x as usize);
+                let mut c = child_head[x as usize];
+                while c != NONE {
+                    stack.push(c);
+                    c = child_next[c as usize];
+                }
+            }
+        }
+        debug_assert_eq!(perm.len(), n, "amd dropped or duplicated a node");
+        perm
+    }
+}
+
+/// SplitMix64 finalizer: cheap, deterministic id mixing so structurally
+/// different lists rarely share a hash (collisions only cost a verify).
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::SparseCholesky;
+    use crate::coo::CooMatrix;
+    use crate::mindeg::minimum_degree;
+    use crate::ordering::reverse_cuthill_mckee;
+    use proptest::prelude::*;
+    use rand::{Rng as _, SeedableRng as _};
+
+    fn grid_laplacian(rows: usize, cols: usize) -> CsrMatrix {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let n = rows * cols;
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..rows {
+            for c in 0..cols {
+                coo.push(idx(r, c), idx(r, c), 4.5);
+                if r + 1 < rows {
+                    coo.stamp_conductance(Some(idx(r, c)), Some(idx(r + 1, c)), 1.0);
+                }
+                if c + 1 < cols {
+                    coo.stamp_conductance(Some(idx(r, c)), Some(idx(r, c + 1)), 1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn assert_permutation(perm: &[usize], n: usize) {
+        assert_eq!(perm.len(), n);
+        let mut seen = vec![false; n];
+        for &v in perm {
+            assert!(v < n, "out-of-range entry {v}");
+            assert!(!seen[v], "duplicate entry {v}");
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn produces_a_permutation_on_grids() {
+        for (rows, cols) in [(1, 1), (1, 9), (5, 5), (7, 11), (13, 13)] {
+            let a = grid_laplacian(rows, cols);
+            assert_permutation(&amd(&a), rows * cols);
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_graphs() {
+        // Empty.
+        assert!(amd(&CooMatrix::new(0, 0).to_csr()).is_empty());
+        // Diagonal only (no edges at all).
+        let mut coo = CooMatrix::new(5, 5);
+        for i in 0..5 {
+            coo.push(i, i, 1.0);
+        }
+        assert_permutation(&amd(&coo.to_csr()), 5);
+        // Disconnected: one edge plus isolated nodes.
+        let mut coo = CooMatrix::new(4, 4);
+        for i in 0..4 {
+            coo.push(i, i, 1.0);
+        }
+        coo.stamp_conductance(Some(0), Some(1), 1.0);
+        assert_permutation(&amd(&coo.to_csr()), 4);
+        // Star: the hub (initial degree 5) cannot be picked until four
+        // leaves have gone and its external degree has decayed to a
+        // leaf's 1 — after that the tie may break either way.
+        let mut coo = CooMatrix::new(6, 6);
+        for i in 0..6 {
+            coo.push(i, i, 6.0);
+        }
+        for leaf in 1..6 {
+            coo.stamp_conductance(Some(0), Some(leaf), 1.0);
+        }
+        let perm = amd(&coo.to_csr());
+        assert_permutation(&perm, 6);
+        let hub_pos = perm.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos >= 4, "hub eliminated at {hub_pos} while degree exceeded a leaf's");
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = grid_laplacian(17, 19);
+        let first = amd(&a);
+        for _ in 0..3 {
+            assert_eq!(amd(&a), first, "amd order drifted between runs");
+        }
+    }
+
+    #[test]
+    fn fill_beats_rcm_and_matches_mindeg_class_on_grids() {
+        // The point of the algorithm: dramatically less fill than RCM on
+        // meshes, and in the same class as exact minimum degree.
+        let a = grid_laplacian(24, 24);
+        let nnz_of = |perm: &[usize]| {
+            SparseCholesky::factor(&a.permute_symmetric(perm)).expect("spd").nnz()
+        };
+        let amd_fill = nnz_of(&amd(&a));
+        let rcm_fill = nnz_of(&reverse_cuthill_mckee(&a));
+        let md_fill = nnz_of(&minimum_degree(&a));
+        assert!(amd_fill < rcm_fill, "amd {amd_fill} should beat rcm {rcm_fill}");
+        assert!(
+            amd_fill as f64 <= md_fill as f64 * 1.2,
+            "amd {amd_fill} far off exact min-degree {md_fill}"
+        );
+    }
+
+    #[test]
+    fn supervariables_group_indistinguishable_columns() {
+        // A clique of 4 indistinguishable nodes hanging off a path: the
+        // clique members merge into one supervariable and must come out
+        // contiguously in the permutation.
+        let mut coo = CooMatrix::new(8, 8);
+        for i in 0..8 {
+            coo.push(i, i, 8.0);
+        }
+        for i in 0..4 {
+            for j in i + 1..4 {
+                coo.stamp_conductance(Some(i), Some(j), 1.0);
+            }
+        }
+        for i in 4..7 {
+            coo.stamp_conductance(Some(i), Some(i + 1), 1.0);
+        }
+        coo.stamp_conductance(Some(0), Some(4), 1.0);
+        let perm = amd(&coo.to_csr());
+        assert_permutation(&perm, 8);
+        let pos: Vec<usize> =
+            (0..4).map(|v| perm.iter().position(|&x| x == v).unwrap()).collect();
+        let (lo, hi) = (*pos.iter().min().unwrap(), *pos.iter().max().unwrap());
+        // 1..4 are mutually indistinguishable (0 also touches node 4);
+        // allow the representative split but insist the clique is one
+        // contiguous run of the order.
+        assert!(hi - lo <= 3, "clique scattered across the order: {pos:?}");
+    }
+
+    fn random_symmetric_pattern(n: usize, seed: u64, density: f64) -> CsrMatrix {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0 + n as f64);
+            for j in (i + 1)..n {
+                if rng.gen_bool(density) {
+                    coo.push(i, j, -1.0);
+                    coo.push(j, i, -1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn returns_valid_permutation_on_random_patterns(
+            n in 1usize..60,
+            seed in 0u64..1000,
+            density in 0.02f64..0.6,
+        ) {
+            let a = random_symmetric_pattern(n, seed, density);
+            let perm = amd(&a);
+            prop_assert_eq!(perm.len(), n);
+            let mut seen = vec![false; n];
+            for &v in &perm {
+                prop_assert!(v < n);
+                prop_assert!(!seen[v], "duplicate {}", v);
+                seen[v] = true;
+            }
+        }
+
+        #[test]
+        fn factorization_succeeds_under_amd_order(n in 2usize..40, seed in 0u64..200) {
+            // The permuted matrix must stay factorable and solve correctly:
+            // an invalid order (or one that confuses the symbolic pass)
+            // would surface here.
+            let a = random_symmetric_pattern(n, seed, 0.3);
+            let perm = amd(&a);
+            let chol = SparseCholesky::factor(&a.permute_symmetric(&perm)).unwrap();
+            let x_true: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+            let b = a.mul_vec(&x_true);
+            let pb: Vec<f64> = perm.iter().map(|&old| b[old]).collect();
+            let y = chol.solve(&pb);
+            for (new, &old) in perm.iter().enumerate() {
+                prop_assert!((y[new] - x_true[old]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -17,8 +17,9 @@
 //!   refactor split and threaded multi-RHS sweeps;
 //! * [`ichol::IncompleteCholesky`] — zero-fill IC(0) preconditioner;
 //! * [`cg`] — preconditioned conjugate gradient, the workhorse solver;
-//! * [`ordering`] / [`mindeg`] — reverse Cuthill–McKee and minimum-degree
-//!   fill-reducing orderings.
+//! * [`ordering`] / [`mindeg`] / [`amd`] — reverse Cuthill–McKee,
+//!   explicit-clique minimum-degree, and quotient-graph approximate
+//!   minimum degree (the paper-scale fill-reducing ordering).
 //!
 //! # Example
 //!
@@ -40,6 +41,7 @@
 //! assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-8);
 //! ```
 
+pub mod amd;
 pub mod cg;
 pub mod cholesky;
 pub mod coo;
@@ -59,4 +61,4 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::{SolveError, SparseResult};
 pub use ichol::IncompleteCholesky;
-pub use supernodal::{FillOrdering, SupernodalCholesky, SymbolicCholesky};
+pub use supernodal::{FillOrdering, OrderingSelection, SupernodalCholesky, SymbolicCholesky};

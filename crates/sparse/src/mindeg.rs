@@ -71,13 +71,20 @@ impl DegreeBuckets {
         DegreeBuckets { buckets, min_degree: 0 }
     }
 
-    fn pop_min(&mut self) -> usize {
-        while self.buckets[self.min_degree].is_empty() {
+    /// Pops the minimum-(degree, vertex) entry, or `None` once every
+    /// bucket is empty. The explicit bound check matters: the walk is
+    /// only amortized-correct while vertices remain, and a caller that
+    /// over-pops (one elimination step too many) must get a clean `None`
+    /// rather than an out-of-bounds index past `buckets`.
+    fn pop_min(&mut self) -> Option<usize> {
+        while self.min_degree < self.buckets.len() {
+            if let Some(&v) = self.buckets[self.min_degree].first() {
+                self.buckets[self.min_degree].remove(&v);
+                return Some(v);
+            }
             self.min_degree += 1;
         }
-        let v = *self.buckets[self.min_degree].first().expect("non-empty bucket");
-        self.buckets[self.min_degree].remove(&v);
-        v
+        None
     }
 
     /// Moves a vertex whose degree changed; only then does any tree churn
@@ -109,7 +116,7 @@ fn minimum_degree_sets(a: &CsrMatrix) -> Vec<usize> {
     let mut order = Vec::with_capacity(n);
     let mut buckets = DegreeBuckets::new(n, |v| adj[v].len());
     for _ in 0..n {
-        let v = buckets.pop_min();
+        let v = buckets.pop_min().expect("one live vertex per elimination step");
         order.push(v);
         let neighbors: Vec<usize> = adj[v].iter().copied().collect();
         let before: Vec<usize> = neighbors.iter().map(|&x| adj[x].len()).collect();
@@ -153,7 +160,7 @@ fn minimum_degree_bitset(a: &CsrMatrix) -> Vec<usize> {
     let mut vrow = vec![0u64; words];
     let mut neighbors: Vec<usize> = Vec::with_capacity(n);
     for _ in 0..n {
-        let v = buckets.pop_min();
+        let v = buckets.pop_min().expect("one live vertex per elimination step");
         order.push(v);
         vrow.copy_from_slice(&adj[v * words..(v + 1) * words]);
         neighbors.clear();
@@ -281,6 +288,21 @@ mod tests {
                 "paths diverged on {rows}x{cols} grid"
             );
         }
+    }
+
+    #[test]
+    fn pop_min_returns_none_on_exhausted_buckets() {
+        // Regression: popping past the last live vertex used to walk
+        // `min_degree` off the end of `buckets` and panic on the index.
+        let mut empty = DegreeBuckets::new(0, |_| 0);
+        assert_eq!(empty.pop_min(), None);
+        let mut buckets = DegreeBuckets::new(3, |v| v);
+        assert_eq!(buckets.pop_min(), Some(0));
+        assert_eq!(buckets.pop_min(), Some(1));
+        assert_eq!(buckets.pop_min(), Some(2));
+        assert_eq!(buckets.pop_min(), None);
+        // Still None on repeated calls, not a panic.
+        assert_eq!(buckets.pop_min(), None);
     }
 
     #[test]

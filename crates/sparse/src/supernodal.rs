@@ -8,8 +8,8 @@
 //! all the machine's floating-point width idle. This module instead:
 //!
 //! 1. **analyzes once** per grid structure ([`SymbolicCholesky::analyze`]):
-//!    picks a fill-reducing ordering at runtime (minimum-degree vs RCM by
-//!    predicted factor fill), postorders the elimination tree, detects
+//!    picks a fill-reducing ordering at runtime (AMD vs RCM by predicted
+//!    factor fill, at every size), postorders the elimination tree, detects
 //!    *supernodes* — runs of columns with identical below-diagonal
 //!    structure — and relaxes them by amalgamating small neighbours into
 //!    wider panels at a bounded padding cost;
@@ -29,6 +29,7 @@
 //! callers pass the matrix and right-hand sides in their natural node
 //! numbering.
 
+use crate::amd::amd;
 use crate::cholesky::elimination_tree;
 use crate::csr::CsrMatrix;
 use crate::error::{SolveError, SparseResult};
@@ -51,11 +52,6 @@ pub const MAX_SUPERNODE_WIDTH: usize = 32;
 /// degenerate GEMM shapes cost more than the wasted flops there.
 const AMALGAMATION_RELAX: f64 = 0.25;
 
-/// Largest `n` for which [`SymbolicCholesky::analyze`] considers
-/// minimum-degree: beyond this the quotient-graph implementation leaves its
-/// bitset fast path and turns quadratic, so RCM (linear) is used directly.
-const MINDEG_AUTO_LIMIT: usize = 16_384;
-
 /// Number of right-hand sides per block in [`SupernodalCholesky::solve_sweep`].
 /// Each block is solved independently, so this also fixes the unit of work
 /// handed to sweep threads — per-vector results depend on the block size
@@ -67,12 +63,17 @@ pub const SWEEP_BLOCK: usize = 16;
 pub enum FillOrdering {
     /// Keep the matrix's natural order (tests / already-ordered inputs).
     Natural,
-    /// Reverse Cuthill–McKee: linear-time, bandwidth-oriented; the safe
-    /// choice at paper scale.
+    /// Reverse Cuthill–McKee: linear-time, bandwidth-oriented; the
+    /// fallback when its predicted fill beats AMD's (rare on meshes).
     Rcm,
-    /// Greedy minimum degree: best fill on multi-layer PDN graphs, but the
-    /// implementation is only fast up to [`MINDEG_AUTO_LIMIT`] nodes.
+    /// Greedy explicit-clique minimum degree: excellent fill, but the
+    /// implementation turns quadratic past its bitset fast path (~16 k
+    /// nodes), so it is opt-in rather than auto-selected.
     MinimumDegree,
+    /// Approximate minimum degree ([`crate::amd`]): quotient-graph
+    /// complexity with near-mindeg fill — the paper-scale default
+    /// whenever its predicted fill wins.
+    Amd,
 }
 
 impl FillOrdering {
@@ -82,8 +83,34 @@ impl FillOrdering {
             FillOrdering::Natural => "natural",
             FillOrdering::Rcm => "rcm",
             FillOrdering::MinimumDegree => "mindeg",
+            FillOrdering::Amd => "amd",
         }
     }
+
+    /// Stable numeric id for the `factor.ordering` telemetry gauge
+    /// (gauges carry `f64`, so the name itself cannot be exported).
+    pub fn telemetry_index(self) -> usize {
+        match self {
+            FillOrdering::Natural => 0,
+            FillOrdering::Rcm => 1,
+            FillOrdering::MinimumDegree => 2,
+            FillOrdering::Amd => 3,
+        }
+    }
+}
+
+/// Outcome of the automatic ordering comparison run by
+/// [`SymbolicCholesky::analyze`]: both candidates' predicted fill and the
+/// winner. Only present on auto-analyzed symbolics —
+/// [`SymbolicCholesky::analyze_with`] skips the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderingSelection {
+    /// The ordering that won the comparison.
+    pub ordering: FillOrdering,
+    /// Predicted nnz(L) (diagonal included) under RCM.
+    pub rcm_nnz: usize,
+    /// Predicted nnz(L) under AMD.
+    pub amd_nnz: usize,
 }
 
 /// The structure-only half of the factorization: ordering, elimination
@@ -112,36 +139,46 @@ pub struct SymbolicCholesky {
     factor_nnz: usize,
     /// Tallest panel, in rows (sizes the factor's update scratch).
     max_height: usize,
+    /// Comparison record when the ordering was auto-selected.
+    selection: Option<OrderingSelection>,
 }
 
 impl SymbolicCholesky {
     /// Analyzes a symmetric positive-definite matrix, selecting the fill
-    /// ordering at runtime: minimum-degree and RCM both have their factor
-    /// fill predicted from a symbolic pass, and the smaller one wins
-    /// (minimum-degree is only considered up to [`MINDEG_AUTO_LIMIT`] nodes
-    /// — past that its quotient-graph implementation is too slow and RCM is
-    /// used directly).
+    /// ordering at runtime: AMD and RCM both have their factor fill
+    /// predicted from an O(nnz(L)) symbolic pass, and the smaller one
+    /// wins — at every size; both candidates have near-linear ordering
+    /// cost, so no cutoff excludes the comparison at paper scale. The
+    /// comparison is recorded on the result
+    /// ([`SymbolicCholesky::selection`]) and exported through the
+    /// `factor.ordering` / `factor.predicted_nnz_l.{rcm,amd}` telemetry
+    /// gauges.
     ///
     /// # Errors
     ///
     /// Returns [`SolveError::DimensionMismatch`] for non-square input.
     pub fn analyze(a: &CsrMatrix) -> SparseResult<SymbolicCholesky> {
         check_square(a)?;
-        let ordering = if a.n_rows() <= MINDEG_AUTO_LIMIT {
-            let rcm_fill = predicted_factor_nnz(a, &reverse_cuthill_mckee(a));
-            let mindeg_fill = predicted_factor_nnz(a, &minimum_degree(a));
-            if mindeg_fill <= rcm_fill {
-                FillOrdering::MinimumDegree
-            } else {
-                FillOrdering::Rcm
-            }
+        let rcm_perm = reverse_cuthill_mckee(a);
+        let amd_perm = amd(a);
+        let rcm_nnz = predicted_factor_nnz(a, &rcm_perm);
+        let amd_nnz = predicted_factor_nnz(a, &amd_perm);
+        let (ordering, p0) = if amd_nnz <= rcm_nnz {
+            (FillOrdering::Amd, amd_perm)
         } else {
-            FillOrdering::Rcm
+            (FillOrdering::Rcm, rcm_perm)
         };
-        SymbolicCholesky::analyze_with(a, ordering)
+        pdn_core::telemetry::gauge_set("factor.ordering", ordering.telemetry_index() as f64);
+        pdn_core::telemetry::gauge_set("factor.predicted_nnz_l.rcm", rcm_nnz as f64);
+        pdn_core::telemetry::gauge_set("factor.predicted_nnz_l.amd", amd_nnz as f64);
+        let mut sym = SymbolicCholesky::analyze_perm(a, ordering, p0)?;
+        sym.selection = Some(OrderingSelection { ordering, rcm_nnz, amd_nnz });
+        Ok(sym)
     }
 
-    /// Like [`SymbolicCholesky::analyze`] with an explicit ordering choice.
+    /// Like [`SymbolicCholesky::analyze`] with an explicit ordering choice
+    /// (no comparison is run, so [`SymbolicCholesky::selection`] is
+    /// `None`).
     ///
     /// # Errors
     ///
@@ -153,7 +190,20 @@ impl SymbolicCholesky {
             FillOrdering::Natural => (0..n).collect(),
             FillOrdering::Rcm => reverse_cuthill_mckee(a),
             FillOrdering::MinimumDegree => minimum_degree(a),
+            FillOrdering::Amd => amd(a),
         };
+        SymbolicCholesky::analyze_perm(a, ordering, p0)
+    }
+
+    /// Shared back half of the analysis, starting from an already-computed
+    /// fill permutation `p0` (`p0[new] = old`).
+    fn analyze_perm(
+        a: &CsrMatrix,
+        ordering: FillOrdering,
+        p0: Vec<usize>,
+    ) -> SparseResult<SymbolicCholesky> {
+        let n = a.n_rows();
+        debug_assert_eq!(p0.len(), n);
         // Postorder the elimination tree so supernodes become contiguous
         // column runs, then fold the postorder into the permutation.
         let a0 = a.permute_symmetric(&p0);
@@ -324,6 +374,7 @@ impl SymbolicCholesky {
             panel_ptr,
             factor_nnz,
             max_height,
+            selection: None,
         })
     }
 
@@ -335,6 +386,13 @@ impl SymbolicCholesky {
     /// The fill ordering this analysis applied.
     pub fn ordering(&self) -> FillOrdering {
         self.ordering
+    }
+
+    /// The RCM-vs-AMD comparison behind an auto-selected ordering, or
+    /// `None` when the caller fixed the ordering via
+    /// [`SymbolicCholesky::analyze_with`].
+    pub fn selection(&self) -> Option<OrderingSelection> {
+        self.selection
     }
 
     /// Number of supernodes.
@@ -986,9 +1044,12 @@ mod tests {
         let a = grid_laplacian(9, 7, 0.6);
         let n = a.n_rows();
         let simplicial = SparseCholesky::factor(&a).unwrap();
-        for ordering in
-            [FillOrdering::Natural, FillOrdering::Rcm, FillOrdering::MinimumDegree]
-        {
+        for ordering in [
+            FillOrdering::Natural,
+            FillOrdering::Rcm,
+            FillOrdering::MinimumDegree,
+            FillOrdering::Amd,
+        ] {
             let sym = Arc::new(SymbolicCholesky::analyze_with(&a, ordering).unwrap());
             assert_eq!(sym.ordering(), ordering);
             let chol = SupernodalCholesky::factor_with(sym, &a).unwrap();
@@ -1132,19 +1193,74 @@ mod tests {
     }
 
     #[test]
-    fn predicted_fill_prefers_mindeg_on_grids() {
-        // On 2-D meshes minimum degree produces less fill than RCM; the
-        // auto analysis must therefore select it.
+    fn predicted_fill_prefers_amd_on_grids() {
+        // On 2-D meshes minimum-degree-class orderings produce less fill
+        // than RCM; the auto analysis must therefore select AMD, and must
+        // publish the comparison it ran.
         let a = grid_laplacian(14, 14, 0.4);
         let rcm = predicted_factor_nnz(&a, &reverse_cuthill_mckee(&a));
-        let md = predicted_factor_nnz(&a, &minimum_degree(&a));
-        assert!(md < rcm, "mindeg {md} should beat rcm {rcm} on a grid");
+        let amd_fill = predicted_factor_nnz(&a, &amd(&a));
+        assert!(amd_fill < rcm, "amd {amd_fill} should beat rcm {rcm} on a grid");
         let sym = SymbolicCholesky::analyze(&a).unwrap();
-        assert_eq!(sym.ordering(), FillOrdering::MinimumDegree);
+        assert_eq!(sym.ordering(), FillOrdering::Amd);
+        let sel = sym.selection().expect("auto analysis records its comparison");
+        assert_eq!(sel.ordering, FillOrdering::Amd);
+        assert_eq!(sel.rcm_nnz, rcm);
+        assert_eq!(sel.amd_nnz, amd_fill);
+        // A fixed ordering skips the comparison.
+        let fixed = SymbolicCholesky::analyze_with(&a, FillOrdering::Rcm).unwrap();
+        assert_eq!(fixed.selection(), None);
+    }
+
+    #[test]
+    fn auto_selection_has_no_size_cutoff() {
+        // Regression for the old MINDEG_AUTO_LIMIT: above 16 384 unknowns
+        // the analysis silently fell back to RCM without predicting fill.
+        // A 150x150 grid (22 500 nodes) sits past that boundary; the
+        // fill comparison must still run and still pick AMD.
+        let a = grid_laplacian(150, 150, 0.4);
+        let sym = SymbolicCholesky::analyze(&a).unwrap();
+        let sel = sym.selection().expect("comparison must run at every size");
+        assert_eq!(sel.ordering, FillOrdering::Amd);
+        assert!(
+            sel.amd_nnz < sel.rcm_nnz,
+            "amd {} should beat rcm {} at 22.5k nodes",
+            sel.amd_nnz,
+            sel.rcm_nnz
+        );
     }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn amd_supernodal_matches_simplicial_on_shuffled_grids(
+            rows in 2usize..9,
+            cols in 2usize..9,
+            seed in 0u64..100,
+        ) {
+            // Shuffle the grid's node numbering so AMD sees an arbitrary
+            // input order, then check the supernodal factor under
+            // FillOrdering::Amd against the simplicial reference.
+            let g = grid_laplacian(rows, cols, 0.6);
+            let n = g.n_rows();
+            let mut shuffle: Vec<usize> = (0..n).collect();
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            for i in (1..n).rev() {
+                shuffle.swap(i, rng.gen_range(0..i + 1));
+            }
+            let a = g.permute_symmetric(&shuffle);
+            let sym = Arc::new(SymbolicCholesky::analyze_with(&a, FillOrdering::Amd).unwrap());
+            prop_assert_eq!(sym.ordering(), FillOrdering::Amd);
+            let chol = SupernodalCholesky::factor_with(sym, &a).unwrap();
+            let simplicial = SparseCholesky::factor(&a).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 11) as f64 - 5.0).collect();
+            let expect = simplicial.solve(&b);
+            let got = chol.solve(&b);
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert!((g - e).abs() < 1e-10, "{} vs {}", g, e);
+            }
+        }
+
         #[test]
         fn random_spd_round_trip(n in 2usize..40, seed in 0u64..100) {
             let a = random_spd(n, seed);

@@ -57,7 +57,7 @@ const USAGE: &str = "usage:
   pdn simulate        --design D1..D4 [--scale S] [--steps N] [--seed K]
                       [--vector FILE.csv] [--out DIR] [--solver cg|direct]
   pdn factor          --design D1..D4 [--scale S] [--seed K] [--rhs N]
-                      [--ordering auto|natural|rcm|mindeg]
+                      [--ordering auto|natural|rcm|mindeg|amd]
   pdn train           --design D1..D4 [--scale S] [--vectors N] [--epochs E] --out MODEL
                       [--cache-dir DIR|none] [--solver cg|direct]
                       [--checkpoint FILE.ckpt] [--checkpoint-every N]
@@ -505,8 +505,9 @@ fn factor(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Erro
         Some("natural") => Some(FillOrdering::Natural),
         Some("rcm") => Some(FillOrdering::Rcm),
         Some("mindeg") => Some(FillOrdering::MinimumDegree),
+        Some("amd") => Some(FillOrdering::Amd),
         Some(other) => {
-            return Err(format!("unknown ordering `{other}` (auto|natural|rcm|mindeg)").into())
+            return Err(format!("unknown ordering `{other}` (auto|natural|rcm|mindeg|amd)").into())
         }
     };
     let grid = try_stage("build_grid", || -> Result<_, Box<dyn std::error::Error>> {
@@ -525,6 +526,14 @@ fn factor(opts: &HashMap<String, String>) -> Result<(), Box<dyn std::error::Erro
     let t_analyze = t0.elapsed();
     telemetry::gauge_set("factor.nnz_l", sym.factor_nnz() as f64);
     telemetry::gauge_set("factor.panel_nnz", sym.panel_nnz() as f64);
+    if let Some(sel) = sym.selection() {
+        println!(
+            "compare : predicted nnz(L) rcm {} vs amd {} -> {}",
+            sel.rcm_nnz,
+            sel.amd_nnz,
+            sel.ordering.name(),
+        );
+    }
     println!(
         "analyze : {:.2}s — ordering {}, {} supernodes, nnz(L) {} ({:.2} GiB panels)",
         t_analyze.as_secs_f64(),
